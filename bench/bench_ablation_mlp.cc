@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: core memory-level parallelism vs. snooping-algorithm gains.
+ *
+ * The paper's cores are out-of-order (they overlap miss latency); our
+ * core model exposes that tolerance as the outstanding-miss window.
+ * This bench sweeps the window for Lazy and Superset Agg on a
+ * SPLASH-2-like workload. Two regimes appear: with small windows the
+ * snoop-latency difference translates (partially) into execution time
+ * — the paper's regime, where its end-to-end gains (6-14%) are far
+ * below the raw latency gap; with a very wide window the cores flood
+ * the ring, link occupancy dominates, and the message-heavy decoupled
+ * algorithm can even lose to Lazy — the contention hazard the paper
+ * notes for Eager-style forwarding.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "workload/synthetic_generator.hh"
+
+using namespace flexsnoop;
+using namespace flexsnoop::bench;
+
+int
+main()
+{
+    std::cout << "=== Ablation: outstanding-miss window (MLP) ===\n";
+
+    auto profile = profileByName("barnes");
+    scaleProfile(profile, 8000, 2500);
+    SyntheticGenerator gen(profile);
+    const CoreTraces traces = gen.generate();
+
+    std::cout << '\n'
+              << std::left << std::setw(9) << "window" << std::right
+              << std::setw(14) << "Lazy cycles" << std::setw(14)
+              << "SupAgg cycles" << std::setw(13) << "Agg speedup"
+              << '\n'
+              << std::string(50, '-') << '\n';
+
+    for (std::size_t window : {1u, 2u, 4u, 8u}) {
+        Cycle lazy_cycles = 0, agg_cycles = 0;
+        for (Algorithm a : {Algorithm::Lazy, Algorithm::SupersetAgg}) {
+            std::cerr << "  window=" << window << " " << toString(a)
+                      << "...\n";
+            MachineConfig cfg = MachineConfig::paperDefault(
+                a, profile.coresPerCmp);
+            cfg.setNumCmps(profile.numCmps());
+            cfg.core.maxOutstanding = window;
+            const RunResult r =
+                runSimulation(cfg, traces, profile.name);
+            (a == Algorithm::Lazy ? lazy_cycles : agg_cycles) =
+                r.execCycles;
+        }
+        std::cout << std::left << std::setw(9) << window << std::right
+                  << std::setw(14) << lazy_cycles << std::setw(14)
+                  << agg_cycles << std::fixed << std::setprecision(1)
+                  << std::setw(12)
+                  << (static_cast<double>(lazy_cycles) / agg_cycles -
+                      1.0) *
+                         100
+                  << "%" << '\n';
+    }
+
+    std::cout << "\nexpectation: positive Superset Agg speedups in the "
+                 "latency-bound regime (small windows); at very wide "
+                 "windows ring occupancy dominates and the advantage "
+                 "shrinks or inverts (decoupled messages saturate the "
+                 "links first).\n";
+    return 0;
+}

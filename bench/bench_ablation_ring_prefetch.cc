@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablations of two machine-level design choices the paper adopts:
+ *
+ *  1. Number of embedded rings (paper §2.2: "If more than one ring is
+ *     embedded, snoop requests may be mapped to different rings ...
+ *     This helps to balance the load"). Compares 1 vs 2 rings.
+ *
+ *  2. The home-node DRAM prefetch heuristic (paper §2.2: remote memory
+ *     round trip 312 cycles with prefetch vs 710 without, Table 4).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "workload/synthetic_generator.hh"
+
+using namespace flexsnoop;
+using namespace flexsnoop::bench;
+
+namespace
+{
+
+RunResult
+runConfigured(const WorkloadProfile &profile, Algorithm algo,
+              std::size_t num_rings, bool prefetch)
+{
+    MachineConfig cfg =
+        MachineConfig::paperDefault(algo, profile.coresPerCmp);
+    cfg.numRings = num_rings;
+    cfg.memory.prefetchEnabled = prefetch;
+    SyntheticGenerator gen(profile);
+    return runSimulation(cfg, gen.generate(), profile.name);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Ablation: embedded-ring count and home-node "
+                 "prefetch ===\n";
+
+    auto splash = profileByName("ocean"); // heavy traffic
+    scaleProfile(splash, 8000, 2500);
+    auto jbb = jbbBenchProfile(10000, 2500); // memory bound
+
+    std::cout << "\n-- rings (Eager, ocean-like: most ring traffic) --\n"
+              << std::left << std::setw(8) << "rings" << std::right
+              << std::setw(14) << "exec cycles" << std::setw(14)
+              << "avg read lat" << '\n'
+              << std::string(36, '-') << '\n';
+    double one_ring_exec = 0.0;
+    for (std::size_t rings : {1u, 2u}) {
+        std::cerr << "  rings=" << rings << "...\n";
+        const RunResult r =
+            runConfigured(splash, Algorithm::Eager, rings, true);
+        if (rings == 1)
+            one_ring_exec = static_cast<double>(r.execCycles);
+        std::cout << std::left << std::setw(8) << rings << std::right
+                  << std::setw(14) << r.execCycles << std::fixed
+                  << std::setprecision(0) << std::setw(14)
+                  << r.avgReadLatency << '\n';
+        if (rings == 2) {
+            std::cout << "  second ring speedup: " << std::setprecision(1)
+                      << (one_ring_exec / r.execCycles - 1.0) * 100
+                      << "%\n";
+        }
+    }
+
+    std::cout << "\n-- home-node prefetch (Lazy, SPECjbb-like: most "
+                 "memory traffic) --\n"
+              << std::left << std::setw(10) << "prefetch" << std::right
+              << std::setw(14) << "exec cycles" << std::setw(14)
+              << "avg read lat" << std::setw(14) << "prefetch hits"
+              << '\n'
+              << std::string(52, '-') << '\n';
+    double no_prefetch_exec = 0.0;
+    for (bool prefetch : {false, true}) {
+        std::cerr << "  prefetch=" << prefetch << "...\n";
+        const RunResult r =
+            runConfigured(jbb, Algorithm::Lazy, 2, prefetch);
+        if (!prefetch)
+            no_prefetch_exec = static_cast<double>(r.execCycles);
+        std::cout << std::left << std::setw(10)
+                  << (prefetch ? "on" : "off") << std::right
+                  << std::setw(14) << r.execCycles << std::fixed
+                  << std::setprecision(0) << std::setw(14)
+                  << r.avgReadLatency << std::setw(14) << "-" << '\n';
+        if (prefetch) {
+            std::cout << "  prefetch speedup: " << std::setprecision(1)
+                      << (no_prefetch_exec / r.execCycles - 1.0) * 100
+                      << "%\n";
+        }
+    }
+
+    std::cout << "\nexpectation: the second ring relieves link "
+                 "contention for message-heavy algorithms; the prefetch "
+                 "heuristic substantially reduces memory-bound read "
+                 "latency (710 -> 312 cycle remote round trips).\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: write-snoop filtering with a presence predictor — the
+ * extension paper §2.2/§5.3 sketches ("[writes] would need a predictor
+ * of line presence, rather than one of line in supplier state").
+ *
+ * Runs Lazy and Superset Con with and without a per-gateway presence
+ * Bloom filter and reports write snoop operations, energy, and
+ * execution time. The win is largest on workloads dominated by private
+ * data (most CMPs provably cache no copy of a written line).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "workload/synthetic_generator.hh"
+
+using namespace flexsnoop;
+using namespace flexsnoop::bench;
+
+int
+main()
+{
+    std::cout << "=== Ablation: write-snoop filtering (presence "
+                 "predictor) ===\n";
+
+    std::vector<WorkloadProfile> profiles;
+    {
+        auto p = profileByName("barnes");
+        scaleProfile(p, 8000, 2500);
+        profiles.push_back(p);
+    }
+    profiles.push_back(jbbBenchProfile(10000, 2500));
+    profiles.push_back(webBenchProfile(10000, 2500));
+
+    std::cout << '\n'
+              << std::left << std::setw(11) << "workload" << std::setw(13)
+              << "algorithm" << std::setw(9) << "filter" << std::right
+              << std::setw(13) << "write snps" << std::setw(11)
+              << "filtered" << std::setw(10) << "energy" << std::setw(9)
+              << "exec" << '\n'
+              << std::string(76, '-') << '\n';
+
+    for (const auto &profile : profiles) {
+        SyntheticGenerator gen(profile);
+        const CoreTraces traces = gen.generate();
+        for (Algorithm a : {Algorithm::Lazy, Algorithm::SupersetCon}) {
+            double base_energy = 0.0;
+            Cycle base_exec = 0;
+            for (bool filtering : {false, true}) {
+                std::cerr << "  " << profile.name << " " << toString(a)
+                          << " filter=" << filtering << "...\n";
+                MachineConfig cfg = MachineConfig::paperDefault(
+                    a, profile.coresPerCmp);
+                cfg.setNumCmps(profile.numCmps());
+                cfg.writeFiltering = filtering;
+                const RunResult r =
+                    runSimulation(cfg, traces, profile.name);
+                if (!filtering) {
+                    base_energy = r.energyNj;
+                    base_exec = r.execCycles;
+                }
+                std::cout << std::left << std::setw(11) << profile.name
+                          << std::setw(13) << toString(a) << std::setw(9)
+                          << (filtering ? "on" : "off") << std::right
+                          << std::setw(13) << r.writeSnoops
+                          << std::setw(11) << r.writeFiltered
+                          << std::fixed << std::setprecision(3)
+                          << std::setw(10) << r.energyNj / base_energy
+                          << std::setw(9)
+                          << static_cast<double>(r.execCycles) /
+                                 base_exec
+                          << '\n';
+            }
+        }
+    }
+
+    std::cout << "\nexpectation: filtering removes a large share of "
+                 "write invalidation snoops (especially on the "
+                 "private-data-heavy SPECjbb-like workload) at equal "
+                 "correctness; energy drops by the avoided snoop "
+                 "operations minus the presence-filter overhead.\n";
+    return 0;
+}

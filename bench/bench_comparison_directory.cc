@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Comparison: embedded-ring snooping vs. a flat home-node directory
+ * (paper §2.1.2: directories "introduce a time-consuming indirection
+ * in all transactions" on mid-range machines).
+ *
+ * Runs the same traces through the ring machine (Lazy and Superset
+ * Agg) and through the directory comparator, and reports execution
+ * time, network traffic, probe counts, and the directory's storage
+ * footprint.
+ *
+ * Note on interpretation: the comparator is deliberately optimistic —
+ * its network is latency-only (no link occupancy), directory state
+ * changes are race-free by construction, and there is no NACK/retry
+ * machinery. It therefore bounds the directory's *performance* from
+ * above; what the paper holds against directories on mid-range
+ * machines is the other two columns — the per-line tracking state
+ * (storage grows with cache capacity x cores) and the complexity a
+ * race-free home controller actually requires, both of which the
+ * embedded ring avoids entirely.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "directory/directory_machine.hh"
+#include "workload/synthetic_generator.hh"
+
+using namespace flexsnoop;
+using namespace flexsnoop::bench;
+
+namespace
+{
+
+struct Outcome
+{
+    std::string label;
+    Cycle exec = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t probes = 0;
+    double energyNj = 0.0;
+};
+
+Outcome
+runRing(Algorithm a, const WorkloadProfile &profile,
+        const CoreTraces &traces)
+{
+    MachineConfig cfg =
+        MachineConfig::paperDefault(a, profile.coresPerCmp);
+    cfg.setNumCmps(profile.numCmps());
+    const RunResult r = runSimulation(cfg, traces, profile.name);
+    Outcome out;
+    out.label = std::string("ring/") + std::string(toString(a));
+    out.exec = r.execCycles;
+    out.messages = r.readLinkMessages;
+    out.probes = r.readSnoops + r.writeSnoops;
+    out.energyNj = r.energyNj;
+    return out;
+}
+
+struct DirExtra
+{
+    std::size_t trackedLines = 0;
+    std::uint64_t storageBits = 0;
+};
+
+DirExtra g_dir_extra;
+
+Outcome
+runDirectory(const WorkloadProfile &profile, const CoreTraces &traces)
+{
+    TorusParams torus;
+    torus.rows = profile.numCmps() >= 8 ? 2 : 1;
+    torus.columns = profile.numCmps() / torus.rows;
+    DirectoryMachine dir(profile.numCmps(), profile.coresPerCmp, 8192, 8,
+                         torus);
+    WorkloadRunner runner(dir.queue(), dir, traces, CoreParams{});
+    // Reset measured stats at the warmup barrier like the ring runs.
+    runner.setWarmupDoneFn([&dir]() { dir.stats().reset(); });
+    const Cycle measured = runner.run();
+    Outcome out;
+    out.label = "directory";
+    out.exec = measured;
+    out.messages = dir.stats().counterValue("message_hops");
+    out.probes = dir.stats().counterValue("probes");
+    out.energyNj = dir.energyNj();
+    g_dir_extra.trackedLines = dir.trackedLines();
+    g_dir_extra.storageBits = dir.storageBits();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Comparison: embedded-ring snooping vs. directory "
+                 "protocol ===\n";
+
+    std::vector<WorkloadProfile> profiles;
+    {
+        auto p = profileByName("barnes"); // sharing heavy
+        scaleProfile(p, 8000, 2500);
+        profiles.push_back(p);
+    }
+    profiles.push_back(jbbBenchProfile(10000, 2500)); // memory bound
+
+    for (const auto &profile : profiles) {
+        std::cout << "\n-- " << profile.name << " --\n"
+                  << std::left << std::setw(18) << "protocol"
+                  << std::right << std::setw(13) << "exec" << std::setw(14)
+                  << "link msgs" << std::setw(12) << "probes"
+                  << std::setw(13) << "energy (uJ)" << '\n'
+                  << std::string(70, '-') << '\n';
+        SyntheticGenerator gen(profile);
+        const CoreTraces traces = gen.generate();
+        std::vector<Outcome> outcomes;
+        std::cerr << "  ring Lazy...\n";
+        outcomes.push_back(runRing(Algorithm::Lazy, profile, traces));
+        std::cerr << "  ring SupersetAgg...\n";
+        outcomes.push_back(
+            runRing(Algorithm::SupersetAgg, profile, traces));
+        std::cerr << "  directory...\n";
+        outcomes.push_back(runDirectory(profile, traces));
+        const double base = static_cast<double>(outcomes.front().exec);
+        for (const auto &o : outcomes) {
+            std::cout << std::left << std::setw(18) << o.label
+                      << std::right << std::fixed << std::setprecision(3)
+                      << std::setw(13) << o.exec / base << std::setw(14)
+                      << o.messages << std::setw(12) << o.probes
+                      << std::setprecision(1) << std::setw(13)
+                      << o.energyNj / 1e3 << '\n';
+        }
+        std::cout << "directory tracking state: "
+                  << g_dir_extra.trackedLines << " lines, "
+                  << g_dir_extra.storageBits / 8 / 1024
+                  << " KB (vs the ring's 7.3 KB predictor per node and "
+                     "no directory at all)\n";
+    }
+
+    std::cout << "\ninterpretation (paper §2.1.2): this idealized, "
+                 "contention-free directory bounds performance from "
+                 "above, yet needs per-line tracking state that scales "
+                 "with cache capacity x cores plus a race-free home "
+                 "controller; the embedded ring needs neither -- the "
+                 "cost/simplicity trade the paper argues for.\n";
+    return 0;
+}

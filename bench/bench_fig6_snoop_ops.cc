@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: average number of snoop operations per
+ * read snoop request (absolute values) for the seven algorithms on
+ * SPLASH-2 (arithmetic mean over 11 applications), SPECjbb, and
+ * SPECweb.
+ *
+ * Expected shape: Eager = 7 everywhere; Lazy ~ 4-5 on SPLASH-2/web and
+ * close to 7 on SPECjbb (requests rarely find a supplier); Superset
+ * variants 2-4 with Con <= Agg; Oracle < 1; Exact <= Oracle (downgrades
+ * shrink the supplier population).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace flexsnoop;
+using namespace flexsnoop::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 6: snoop operations per read snoop request "
+                 "===\n";
+    const PaperSweeps sweeps = runPaperSweeps();
+
+    const Metric metric = [](const RunResult &r) {
+        return r.snoopsPerReadRequest;
+    };
+    printFigureTable("snoop operations per read request (absolute)",
+                     sweeps, metric, /*normalize=*/false,
+                     /*splash_arith_mean=*/true, 2);
+    printPerAppTable("per-application detail", sweeps, metric,
+                     /*normalize=*/false, 2);
+
+    // Headline checks against the paper's description.
+    const double eager_jbb =
+        sweeps.jbb.byAlgorithm(Algorithm::Eager).snoopsPerReadRequest;
+    const double lazy_jbb =
+        sweeps.jbb.byAlgorithm(Algorithm::Lazy).snoopsPerReadRequest;
+    const double oracle_splash = suiteArithMean(
+        sweeps.splash, Algorithm::Oracle, metric);
+    const double exact_splash = suiteArithMean(
+        sweeps.splash, Algorithm::Exact, metric);
+    std::cout << "\npaper checks:\n"
+              << "  Eager snoops all 7 CMPs:          "
+              << (eager_jbb > 6.9 ? "PASS" : "FAIL") << '\n'
+              << "  SPECjbb Lazy close to 7:          "
+              << (lazy_jbb > 6.0 ? "PASS" : "FAIL") << '\n'
+              << "  Oracle below 1:                   "
+              << (oracle_splash < 1.0 ? "PASS" : "FAIL") << '\n'
+              << "  Exact at or below Oracle:         "
+              << (exact_splash <= oracle_splash + 0.05 ? "PASS" : "FAIL")
+              << '\n';
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: total number of read snoop requests and
+ * replies in the ring (measured as ring-link traversals by read
+ * messages), normalized to Lazy.
+ *
+ * Expected shape: Eager ~ 1.8-1.9x Lazy; Subset and Superset Agg
+ * between Lazy and Eager; Superset Con, Exact and Oracle = 1x.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace flexsnoop;
+using namespace flexsnoop::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 7: read snoop messages in the ring "
+                 "(normalized to Lazy) ===\n";
+    const PaperSweeps sweeps = runPaperSweeps();
+
+    const Metric metric = [](const RunResult &r) {
+        return static_cast<double>(r.readLinkMessages);
+    };
+    printFigureTable("read ring messages, normalized to Lazy", sweeps,
+                     metric, /*normalize=*/true,
+                     /*splash_arith_mean=*/false, 3);
+    printPerAppTable("per-application detail (normalized)", sweeps,
+                     metric, /*normalize=*/true, 3);
+
+    const double eager =
+        lazyNormalizedGeoMean(sweeps.splash, Algorithm::Eager, metric);
+    const double con = lazyNormalizedGeoMean(sweeps.splash,
+                                             Algorithm::SupersetCon,
+                                             metric);
+    const double exact =
+        lazyNormalizedGeoMean(sweeps.splash, Algorithm::Exact, metric);
+    std::cout << "\npaper checks:\n"
+              << "  Eager close to 2x Lazy:               "
+              << (eager > 1.6 && eager < 2.0 ? "PASS" : "FAIL") << '\n'
+              << "  Superset Con matches Lazy (1 msg):    "
+              << (con < 1.05 ? "PASS" : "FAIL") << '\n'
+              << "  Exact matches Lazy (1 msg):           "
+              << (exact < 1.05 ? "PASS" : "FAIL") << '\n';
+    return 0;
+}

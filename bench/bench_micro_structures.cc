@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot data structures of the
+ * simulator: event queue, set-associative arrays, Bloom filter,
+ * predictors, and ring message hops. These guard the simulator's own
+ * performance; they do not correspond to a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "net/ring.hh"
+#include "predictor/exact_predictor.hh"
+#include "predictor/subset_predictor.hh"
+#include "predictor/superset_predictor.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue queue;
+        int sink = 0;
+        for (int i = 0; i < batch; ++i)
+            queue.schedule(static_cast<Cycle>(i % 97), [&sink]() {
+                benchmark::DoNotOptimize(++sink);
+            });
+        queue.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_SetAssocArrayChurn(benchmark::State &state)
+{
+    SetAssocArray<int> array(8192, 8);
+    Rng rng(1);
+    for (auto _ : state) {
+        const Addr line = rng.nextBelow(32768) * kLineSizeBytes;
+        benchmark::DoNotOptimize(array.insert(line, 1));
+        benchmark::DoNotOptimize(array.lookup(line));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SetAssocArrayChurn);
+
+void
+BM_BloomFilterQuery(benchmark::State &state)
+{
+    CountingBloomFilter filter({10, 4, 7});
+    Rng rng(2);
+    for (int i = 0; i < 2000; ++i)
+        filter.insert(rng.nextBelow(1 << 20) * kLineSizeBytes);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            filter.mayContain(rng.nextBelow(1 << 20) * kLineSizeBytes));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomFilterQuery);
+
+void
+BM_SubsetPredictorLookup(benchmark::State &state)
+{
+    SubsetPredictor pred("p", 2048, 8, 18, 2);
+    Rng rng(3);
+    for (int i = 0; i < 1500; ++i)
+        pred.supplierGained(rng.nextBelow(1 << 16) * kLineSizeBytes);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pred.predict(rng.nextBelow(1 << 16) * kLineSizeBytes));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubsetPredictorLookup);
+
+void
+BM_SupersetPredictorLookup(benchmark::State &state)
+{
+    SupersetPredictor pred("p", {10, 4, 7}, 2048, 8, 18, 2);
+    Rng rng(4);
+    for (int i = 0; i < 1500; ++i)
+        pred.supplierGained(rng.nextBelow(1 << 16) * kLineSizeBytes);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pred.predict(rng.nextBelow(1 << 16) * kLineSizeBytes));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SupersetPredictorLookup);
+
+void
+BM_RingFullCircle(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue queue;
+        Ring ring(queue, 8, RingParams{}, "bench");
+        int arrivals = 0;
+        for (NodeId n = 0; n < 8; ++n) {
+            ring.setHandler(n, [&, n](const SnoopMessage &msg) {
+                ++arrivals;
+                if (n != msg.requester)
+                    ring.send(n, msg);
+            });
+        }
+        SnoopMessage msg;
+        msg.line = 0;
+        msg.requester = 0;
+        msg.txn = 1;
+        ring.send(0, msg);
+        queue.run();
+        benchmark::DoNotOptimize(arrivals);
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_RingFullCircle);
+
+} // namespace
+} // namespace flexsnoop
+
+BENCHMARK_MAIN();

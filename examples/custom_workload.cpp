@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Custom workload plug-in: shows how a user drives the library with
+ * their own traces rather than the built-in generators.
+ *
+ * The example hand-builds a classic false-sharing-free ping-pong
+ * pattern (two cores in different CMPs alternately writing the same
+ * line) plus a read-only broadcast pattern, runs them under two
+ * algorithms, and reports how the coherence fabric behaves.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/simulation.hh"
+
+using namespace flexsnoop;
+
+namespace
+{
+
+/** Line ping-ponged between core 0 and core 4 (different CMPs). */
+constexpr Addr kPingPongLine = 0x100000;
+/** Line written once and then read by everyone. */
+constexpr Addr kBroadcastLine = 0x200000;
+
+CoreTraces
+buildTraces(std::size_t num_cores, std::size_t rounds)
+{
+    CoreTraces traces;
+    traces.traces.resize(num_cores);
+    traces.warmupRefs = 0;
+
+    // Phase 1: cores 0 and 4 ping-pong ownership of one line.
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (CoreId writer : {CoreId{0}, CoreId{4}}) {
+            MemRef ref;
+            ref.addr = kPingPongLine;
+            ref.isWrite = true;
+            ref.gap = 400; // give the other side time to respond
+            traces.traces[writer].push_back(ref);
+        }
+    }
+
+    // Phase 2: core 1 produces a line, every other core reads it.
+    MemRef produce;
+    produce.addr = kBroadcastLine;
+    produce.isWrite = true;
+    produce.gap = 50;
+    traces.traces[1].push_back(produce);
+    for (CoreId c = 0; c < num_cores; ++c) {
+        if (c == 1)
+            continue;
+        MemRef read;
+        read.addr = kBroadcastLine;
+        read.isWrite = false;
+        // Stagger the readers behind the producer.
+        read.gap = 3000 + 150 * c;
+        traces.traces[c].push_back(read);
+    }
+
+    // Keep every core non-empty (the runner wants uniform progress).
+    for (CoreId c = 0; c < num_cores; ++c) {
+        if (traces.traces[c].empty()) {
+            MemRef idle;
+            idle.addr = 0x900000 + c * kLineSizeBytes;
+            idle.isWrite = false;
+            idle.gap = 10;
+            traces.traces[c].push_back(idle);
+        }
+    }
+    return traces;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "custom workload: ownership ping-pong + broadcast\n\n";
+    constexpr std::size_t kRounds = 40;
+
+    for (Algorithm algo : {Algorithm::Lazy, Algorithm::SupersetAgg}) {
+        MachineConfig cfg = MachineConfig::paperDefault(algo, 1);
+        const CoreTraces traces = buildTraces(cfg.numCores(), kRounds);
+        const RunResult r = runSimulation(cfg, traces, "pingpong");
+
+        std::cout << "--- " << toString(algo) << " ---\n"
+                  << "  exec cycles:        " << r.execCycles << '\n'
+                  << "  cache supplies:     " << r.cacheSupplies
+                  << "  (each ping-pong write pulls the dirty line "
+                     "across)\n"
+                  << "  memory fetches:     " << r.memoryFetches << '\n'
+                  << "  collisions/retries: " << r.collisions << " / "
+                  << r.retries << '\n'
+                  << "  snoops per request: " << std::fixed
+                  << std::setprecision(2) << r.snoopsPerReadRequest
+                  << '\n'
+                  << "  avg read latency:   " << std::setprecision(0)
+                  << r.avgReadLatency << " cycles\n\n";
+    }
+
+    std::cout << "note: the ping-pong line migrates dirty between CMPs "
+                 "(D -> invalidate -> D), while the broadcast line ends "
+                 "Tagged at the producer with Shared copies at the "
+                 "readers.\n";
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Energy tuner: demonstrates the adaptive Superset system of paper
+ * §6.1.5. An EnergyBudgetController watches the per-request snoop
+ * energy each epoch and flips the gateway action between the
+ * Aggressive (performance) and Conservative (energy) variants.
+ *
+ * The example sweeps the energy budget from tight to loose and shows
+ * the machine walking the latency/energy trade-off curve between pure
+ * Superset Con and pure Superset Agg.
+ *
+ * Usage: energy_tuner [workload] (default: raytrace)
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "snoop/adaptive_switcher.hh"
+#include "workload/synthetic_generator.hh"
+
+using namespace flexsnoop;
+
+namespace
+{
+
+struct TunedRun
+{
+    double budget = 0.0; ///< nJ per request the controller targets
+    Cycle exec = 0;
+    double energyNj = 0.0;
+    std::uint64_t conservativeEpochs = 0;
+    std::uint64_t epochs = 0;
+};
+
+TunedRun
+runWithBudget(const WorkloadProfile &profile, const CoreTraces &traces,
+              double budget_nj_per_request)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(
+        Algorithm::AdaptiveSuperset, profile.coresPerCmp);
+
+    Machine machine(cfg);
+    auto &policy =
+        dynamic_cast<AdaptiveSupersetPolicy &>(machine.policy());
+    // Hysteresis band of +-10% around the budget.
+    EnergyBudgetController controller(policy,
+                                      budget_nj_per_request * 1.1,
+                                      budget_nj_per_request * 0.9);
+
+    WorkloadRunner runner(machine.queue(), machine.controller(), traces,
+                          cfg.core);
+
+    constexpr Cycle kEpoch = 40000;
+    auto last_energy = std::make_shared<double>(0.0);
+    auto last_requests = std::make_shared<std::uint64_t>(0);
+    std::function<void()> sample = [&, last_energy, last_requests]() {
+        if (runner.allDone())
+            return; // stop rescheduling so the event queue drains
+        const double energy = machine.energy().totalNj();
+        const std::uint64_t requests =
+            machine.controller().readRequests();
+        controller.sampleEpoch(energy - *last_energy,
+                               requests - *last_requests);
+        *last_energy = energy;
+        *last_requests = requests;
+        machine.queue().schedule(kEpoch, sample);
+    };
+    machine.queue().schedule(kEpoch, sample);
+    runner.setWarmupDoneFn([&machine]() { machine.resetStats(); });
+    const Cycle measured = runner.run();
+    machine.finalizeEnergy();
+
+    TunedRun out;
+    out.budget = budget_nj_per_request;
+    out.exec = measured;
+    out.energyNj = machine.energy().totalNj();
+    out.conservativeEpochs = controller.conservativeEpochs();
+    out.epochs = controller.epochs();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    WorkloadProfile profile =
+        profileByName(argc > 1 ? argv[1] : "raytrace");
+    profile.refsPerCore = 8000;
+    profile.warmupRefs = 2500;
+
+    std::cout << "energy tuner on " << profile.name << "\n\n";
+    SyntheticGenerator gen(profile);
+    const CoreTraces traces = gen.generate();
+
+    // Reference points: the two pure policies.
+    const RunResult con = runSimulation(
+        MachineConfig::paperDefault(Algorithm::SupersetCon,
+                                    profile.coresPerCmp),
+        traces, profile.name);
+    const RunResult agg = runSimulation(
+        MachineConfig::paperDefault(Algorithm::SupersetAgg,
+                                    profile.coresPerCmp),
+        traces, profile.name);
+    const double con_per_req = con.energyNj / con.readRingRequests;
+    const double agg_per_req = agg.energyNj / agg.readRingRequests;
+
+    std::cout << "pure SupersetCon: " << con.execCycles << " cycles, "
+              << std::fixed << std::setprecision(1) << con.energyNj / 1e3
+              << " uJ (" << std::setprecision(2) << con_per_req
+              << " nJ/request)\n";
+    std::cout << "pure SupersetAgg: " << agg.execCycles << " cycles, "
+              << std::setprecision(1) << agg.energyNj / 1e3 << " uJ ("
+              << std::setprecision(2) << agg_per_req
+              << " nJ/request)\n\n";
+
+    std::cout << std::left << std::setw(18) << "budget (nJ/req)"
+              << std::right << std::setw(14) << "exec cycles"
+              << std::setw(13) << "energy (uJ)" << std::setw(18)
+              << "conserv. epochs" << '\n'
+              << std::string(63, '-') << '\n';
+    for (double frac : {0.85, 0.95, 1.05, 1.15}) {
+        // Budgets spanning below Con's rate (always conservative) to
+        // above Agg's rate (always aggressive).
+        const double budget =
+            con_per_req + frac * (agg_per_req - con_per_req);
+        const TunedRun run = runWithBudget(profile, traces, budget);
+        std::cout << std::left << std::fixed << std::setprecision(2)
+                  << std::setw(18) << run.budget << std::right
+                  << std::setw(14) << run.exec << std::setprecision(1)
+                  << std::setw(13) << run.energyNj / 1e3 << std::setw(11)
+                  << run.conservativeEpochs << " / " << run.epochs
+                  << '\n';
+    }
+    std::cout << "\nlower budgets force Conservative epochs (slower, "
+                 "less energy); looser budgets let the machine stay "
+                 "Aggressive.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: build the paper's baseline machine, run a small synthetic
+ * workload under one snooping algorithm, and print the key metrics.
+ *
+ * Usage: quickstart [algorithm] [workload] [key=value ...]
+ *   algorithm: lazy | eager | oracle | subset | supersetcon |
+ *              supersetagg | exact          (default: supersetagg)
+ *   workload:  mini | barnes | ... | specjbb | specweb (default: mini)
+ *   overrides: any config_parser key, e.g. num_rings=1 l2_entries=4096
+ */
+
+#include <iostream>
+
+#include "core/config_parser.hh"
+#include "core/simulation.hh"
+#include "workload/synthetic_generator.hh"
+
+using namespace flexsnoop;
+
+int
+main(int argc, char **argv)
+{
+    const Algorithm algorithm =
+        argc > 1 ? algorithmFromName(argv[1]) : Algorithm::SupersetAgg;
+    const WorkloadProfile profile =
+        profileByName(argc > 2 ? argv[2] : "mini");
+
+    std::cout << "flexsnoop quickstart\n"
+              << "  algorithm: " << toString(algorithm) << '\n'
+              << "  workload:  " << profile.name << " ("
+              << profile.numCores << " cores, "
+              << profile.numCmps() << " CMPs)\n\n";
+
+    // 1. Machine configuration: the paper's Table 4 defaults, with the
+    //    predictor this repo pairs with the algorithm (Sub2k / n2k /
+    //    Exa2k / perfect / none).
+    MachineConfig config =
+        MachineConfig::paperDefault(algorithm, profile.coresPerCmp);
+    config.setNumCmps(profile.numCmps());
+    for (int i = 3; i < argc; ++i)
+        applyOverride(config, argv[i]);
+    std::cout << "config: " << describeConfig(config) << "\n\n";
+
+    // 2. Generate the workload traces (deterministic per profile seed).
+    SyntheticGenerator generator(profile);
+    const CoreTraces traces = generator.generate();
+    std::cout << "generated " << traces.totalRefs()
+              << " references (" << traces.warmupRefs
+              << " warmup per core)\n";
+
+    // 3. Run. Statistics cover the post-warmup phase only.
+    const RunResult result = runSimulation(config, traces, profile.name);
+
+    // 4. Report.
+    std::cout << '\n';
+    result.dump(std::cout);
+
+    std::cout << "\nper-request energy: "
+              << result.energyNj / result.readRingRequests
+              << " nJ across " << result.readRingRequests
+              << " ring read transactions\n";
+    return 0;
+}

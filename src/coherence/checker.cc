@@ -1,0 +1,84 @@
+#include "coherence/checker.hh"
+
+#include <map>
+#include <sstream>
+
+#include "mem/line_state.hh"
+
+namespace flexsnoop
+{
+
+std::vector<CoherenceChecker::Violation>
+CoherenceChecker::check() const
+{
+    struct Copy
+    {
+        NodeId node;
+        std::size_t core;
+        LineState state;
+    };
+
+    std::map<Addr, std::vector<Copy>> copies;
+    for (NodeId n = 0; n < _nodes.size(); ++n) {
+        _nodes[n]->forEachLine([&](std::size_t core, Addr line,
+                                   LineState st) {
+            copies[line].push_back(Copy{n, core, st});
+        });
+    }
+
+    std::vector<Violation> violations;
+    auto report = [&](Addr line, const std::string &what) {
+        violations.push_back(Violation{line, what});
+    };
+
+    for (const auto &[line, holders] : copies) {
+        unsigned suppliers = 0;
+        for (const auto &c : holders)
+            suppliers += isSupplierState(c.state);
+        if (suppliers > 1) {
+            std::ostringstream oss;
+            oss << suppliers << " supplier copies:";
+            for (const auto &c : holders) {
+                if (isSupplierState(c.state))
+                    oss << " cmp" << c.node << ".l2." << c.core << "="
+                        << toString(c.state);
+            }
+            report(line, oss.str());
+        }
+
+        // One SL per CMP.
+        std::map<NodeId, unsigned> sl_per_cmp;
+        for (const auto &c : holders) {
+            if (c.state == LineState::SharedLocal)
+                ++sl_per_cmp[c.node];
+        }
+        for (const auto &[node, count] : sl_per_cmp) {
+            if (count > 1) {
+                std::ostringstream oss;
+                oss << count << " SL copies within cmp" << node;
+                report(line, oss.str());
+            }
+        }
+
+        // Pairwise compatibility matrix.
+        for (std::size_t i = 0; i < holders.size(); ++i) {
+            for (std::size_t j = i + 1; j < holders.size(); ++j) {
+                const auto &a = holders[i];
+                const auto &b = holders[j];
+                const bool same_cmp = a.node == b.node;
+                if (!statesCompatible(a.state, b.state, same_cmp)) {
+                    std::ostringstream oss;
+                    oss << "incompatible states: cmp" << a.node << ".l2."
+                        << a.core << "=" << toString(a.state) << " vs cmp"
+                        << b.node << ".l2." << b.core << "="
+                        << toString(b.state)
+                        << (same_cmp ? " (same CMP)" : "");
+                    report(line, oss.str());
+                }
+            }
+        }
+    }
+    return violations;
+}
+
+} // namespace flexsnoop

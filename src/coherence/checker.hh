@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Coherence invariant checker.
+ *
+ * Validates the global cache state against the protocol's rules (paper
+ * Figure 2-(b) and §2.2):
+ *  1. every pair of copies of a line satisfies the compatibility matrix;
+ *  2. at most one cache in the machine holds a line in a supplier state
+ *     (SG, E, D, T);
+ *  3. at most one cache per CMP holds a line in SL;
+ *  4. E and D copies are globally unique (no other valid copy).
+ *
+ * Used by the tests (after randomized traffic) and optionally sampled
+ * during long simulations.
+ */
+
+#ifndef FLEXSNOOP_COHERENCE_CHECKER_HH
+#define FLEXSNOOP_COHERENCE_CHECKER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/cmp_node.hh"
+
+namespace flexsnoop
+{
+
+class CoherenceChecker
+{
+  public:
+    /** One detected violation, human-readable. */
+    struct Violation
+    {
+        Addr line;
+        std::string description;
+    };
+
+    explicit CoherenceChecker(
+        const std::vector<std::unique_ptr<CmpNode>> &nodes)
+        : _nodes(nodes)
+    {
+    }
+
+    /**
+     * Scan all caches; @return every violated invariant (empty = OK).
+     */
+    std::vector<Violation> check() const;
+
+    /** Convenience: true when no invariant is violated. */
+    bool consistent() const { return check().empty(); }
+
+  private:
+    const std::vector<std::unique_ptr<CmpNode>> &_nodes;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_COHERENCE_CHECKER_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Timing parameters of the coherence fabric (paper Table 4).
+ */
+
+#ifndef FLEXSNOOP_COHERENCE_COHERENCE_PARAMS_HH
+#define FLEXSNOOP_COHERENCE_COHERENCE_PARAMS_HH
+
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+struct CoherenceParams
+{
+    /** Round trip to the core's own L2. */
+    Cycle l2RoundTrip = 11;
+
+    /** Round trip to another L2 in the same CMP over the shared bus. */
+    Cycle localBusRoundTrip = 55;
+
+    /**
+     * Time for a ring message to access the CMP bus and snoop all local
+     * L2s in parallel (38 transmission + 10 arbitration + 7 snoop).
+     */
+    Cycle cmpSnoopTime = 55;
+
+    /** Backoff before re-issuing a squashed transaction. */
+    Cycle retryBackoff = 200;
+
+    /** Extra bus hop for same-CMP waiters merged onto one transaction. */
+    Cycle waiterBusDelay = 55;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_COHERENCE_COHERENCE_PARAMS_HH

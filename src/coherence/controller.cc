@@ -1,0 +1,968 @@
+#include "coherence/controller.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace flexsnoop
+{
+
+CoherenceController::CoherenceController(
+    EventQueue &queue, RingNetwork &ring, DataNetwork &data,
+    MemoryController &memory, EnergyModel &energy, SnoopPolicy &policy,
+    std::vector<std::unique_ptr<CmpNode>> &nodes,
+    const CoherenceParams &params)
+    : _queue(queue), _ring(ring), _data(data), _memory(memory),
+      _energy(energy), _policy(policy), _nodes(nodes), _params(params),
+      _coresPerCmp(nodes.empty() ? 1 : nodes.front()->numCores()),
+      _outstandingByLine(nodes.size()), _pending(nodes.size()),
+      _gates(nodes.size()), _stats("controller")
+{
+    assert(!_nodes.empty());
+    for (NodeId n = 0; n < _nodes.size(); ++n) {
+        _ring.setHandler(n, [this, n](const SnoopMessage &msg) {
+            onRingMessage(n, msg);
+        });
+    }
+}
+
+Transaction *
+CoherenceController::findTransaction(TransactionId id)
+{
+    auto it = _transactions.find(id);
+    return it == _transactions.end() ? nullptr : &it->second;
+}
+
+NodePending &
+CoherenceController::pending(NodeId node, TransactionId txn)
+{
+    return _pending[node][txn];
+}
+
+NodePending *
+CoherenceController::findPending(NodeId node, TransactionId txn)
+{
+    auto &map = _pending[node];
+    auto it = map.find(txn);
+    return it == map.end() ? nullptr : &it->second;
+}
+
+void
+CoherenceController::erasePending(NodeId node, TransactionId txn)
+{
+    _pending[node].erase(txn);
+}
+
+bool
+CoherenceController::deferIfGated(NodeId node, const SnoopMessage &msg)
+{
+    auto it = _gates[node].find(msg.line);
+    if (it == _gates[node].end())
+        return false;
+    GateLine &gate = it->second;
+    // The holder's own traffic (notably the trailing reply an STF hold
+    // is waiting for) must always flow, or the hold never ends.
+    if (gate.active == msg.txn)
+        return false;
+    // Idle gate with nothing queued: pass through.
+    if (gate.active == kInvalidTransaction && gate.deferred.empty())
+        return false;
+    // Strict per-line FIFO: every other message (any type) queues, so a
+    // trailing reply can never overtake its own parked request.
+    gate.deferred.push_back(msg);
+    _stats.counter("gate_deferrals").inc();
+    return true;
+}
+
+void
+CoherenceController::acquireGate(NodeId node, Addr line, TransactionId txn)
+{
+    GateLine &gate = _gates[node][line];
+    assert(gate.active == kInvalidTransaction || gate.active == txn);
+    gate.active = txn;
+}
+
+void
+CoherenceController::releaseGate(NodeId node, Addr line, TransactionId txn)
+{
+    auto it = _gates[node].find(line);
+    if (it == _gates[node].end())
+        return;
+    GateLine &gate = it->second;
+    if (gate.active != txn)
+        return;
+    gate.active = kInvalidTransaction;
+    drainGate(node, line);
+}
+
+void
+CoherenceController::drainGate(NodeId node, Addr line)
+{
+    // Synchronous loop: popping and reprocessing must leave no window
+    // in which a newly-arriving message could slip past the queue and
+    // steal the gate from the rightful next holder.
+    while (true) {
+        auto it = _gates[node].find(line);
+        if (it == _gates[node].end())
+            return;
+        GateLine &gate = it->second;
+        if (gate.deferred.empty()) {
+            if (gate.active == kInvalidTransaction)
+                _gates[node].erase(it);
+            return;
+        }
+        // While a holder is active, only its own queued traffic (e.g.
+        // the trailing reply parked behind its request) may be
+        // delivered -- jumping the queue if needed, as a real gateway
+        // consumes a reply on arrival rather than forwarding it. Other
+        // transactions stay queued until release.
+        auto pick = gate.deferred.begin();
+        if (gate.active != kInvalidTransaction) {
+            while (pick != gate.deferred.end() &&
+                   pick->txn != gate.active)
+                ++pick;
+            if (pick == gate.deferred.end())
+                return;
+        }
+        const SnoopMessage next = *pick;
+        gate.deferred.erase(pick);
+        // The reprocessed message may take the gate (SnoopThenForward),
+        // in which case the next loop iteration only delivers its own
+        // traffic; otherwise keep draining.
+        handleIntermediate(node, next, /*from_gate=*/true);
+    }
+}
+
+void
+CoherenceController::complete(CoreId core, Addr line, bool is_write,
+                              Cycle delay)
+{
+    if (!_onComplete)
+        return;
+    FS_LOG(Debug, _queue.now(), "ctrl",
+           "complete core " << core << " line 0x" << std::hex << line
+                            << std::dec << (is_write ? " W" : " R")
+                            << " delay " << delay);
+    _queue.schedule(delay, [this, core, line, is_write]() {
+        _onComplete(core, line, is_write);
+    });
+}
+
+// --------------------------------------------------------------------------
+// Core-facing request entry points
+// --------------------------------------------------------------------------
+
+void
+CoherenceController::coreRead(CoreId core, Addr addr,
+                              unsigned retries)
+{
+    const Addr line = lineAddr(addr);
+    const NodeId n = nodeOf(core);
+    const std::size_t local = localOf(core);
+    CmpNode &node = *_nodes[n];
+
+    _stats.counter("reads").inc();
+
+    // 1. Hit in the core's own L2.
+    if (isValidState(node.coreState(local, line))) {
+        node.l2(local).touch(line);
+        _stats.counter("read_l2_hits").inc();
+        complete(core, line, false, _params.l2RoundTrip);
+        return;
+    }
+
+    // 2. Another L2 in this CMP can supply (SL, SG, E, D, T).
+    if (node.hasLocalSupplier(line)) {
+        node.localSupply(local, line);
+        _stats.counter("read_local_supplies").inc();
+        complete(core, line, false,
+                 _params.l2RoundTrip + _params.localBusRoundTrip);
+        return;
+    }
+
+    // 3. Merge with an outstanding same-line read of this CMP.
+    auto &out = _outstandingByLine[n];
+    if (auto it = out.find(line); it != out.end()) {
+        Transaction *t = findTransaction(it->second);
+        if (t && t->kind == SnoopKind::Read && !t->squashed &&
+            !t->dataArrived) {
+            // Merging onto a transaction whose data already arrived
+            // would miss the delivery; fall through to the delay path.
+            t->waiters.push_back(core);
+            _stats.counter("read_merged").inc();
+            return;
+        }
+        // A conflicting local transaction is in flight; retry shortly.
+        _stats.counter("read_local_conflict_delays").inc();
+        _queue.schedule(_params.retryBackoff, [this, core, addr,
+                                               retries]() {
+            coreRead(core, addr, retries);
+        });
+        return;
+    }
+
+    // 4. Go to the ring.
+    startRingTransaction(core, line, SnoopKind::Read,
+                         _params.l2RoundTrip + _params.localBusRoundTrip,
+                         retries);
+}
+
+void
+CoherenceController::coreWrite(CoreId core, Addr addr,
+                               unsigned retries)
+{
+    const Addr line = lineAddr(addr);
+    const NodeId n = nodeOf(core);
+    const std::size_t local = localOf(core);
+    CmpNode &node = *_nodes[n];
+
+    _stats.counter("writes").inc();
+
+    const LineState st = node.coreState(local, line);
+
+    // 1. Writable already: silent transition.
+    if (isWritableState(st)) {
+        if (st == LineState::Exclusive)
+            node.l2(local).changeState(line, LineState::Dirty);
+        node.l2(local).touch(line);
+        _stats.counter("write_l2_hits").inc();
+        complete(core, line, true, _params.l2RoundTrip);
+        return;
+    }
+
+    // 2. A local transaction on this line is already in flight.
+    auto &out = _outstandingByLine[n];
+    if (out.count(line)) {
+        _stats.counter("write_local_conflict_delays").inc();
+        _queue.schedule(_params.retryBackoff, [this, core, addr,
+                                               retries]() {
+            coreWrite(core, addr, retries);
+        });
+        return;
+    }
+
+    // 3. Invalidate the other local copies over the CMP bus, then launch
+    //    the ring invalidation round.
+    node.invalidateAll(line, local);
+    startRingTransaction(core, line, SnoopKind::Write,
+                         _params.l2RoundTrip + _params.localBusRoundTrip,
+                         retries);
+}
+
+void
+CoherenceController::startRingTransaction(CoreId core, Addr line,
+                                          SnoopKind kind, Cycle extra_delay,
+                                          unsigned retries)
+{
+    const NodeId n = nodeOf(core);
+    const std::size_t local = localOf(core);
+
+    Transaction txn;
+    txn.id = _nextTxnId++;
+    txn.line = line;
+    txn.kind = kind;
+    txn.requester = n;
+    txn.core = core;
+    txn.issued = _queue.now();
+    txn.retries = retries;
+    if (kind == SnoopKind::Write) {
+        txn.writeNeedsData =
+            !isValidState(_nodes[n]->coreState(local, line));
+        txn.dataArrived = !txn.writeNeedsData;
+    }
+
+    const TransactionId id = txn.id;
+    _transactions.emplace(id, std::move(txn));
+    _outstandingByLine[n][line] = id;
+
+    _queue.schedule(extra_delay, [this, id]() {
+        if (Transaction *t = findTransaction(id))
+            issueRingMessage(*t);
+    });
+}
+
+void
+CoherenceController::issueRingMessage(Transaction &txn)
+{
+    if (txn.kind == SnoopKind::Read)
+        _stats.counter("read_ring_requests").inc();
+    else
+        _stats.counter("write_ring_requests").inc();
+
+    SnoopMessage msg;
+    msg.type = MsgType::CombinedRR;
+    msg.kind = txn.kind;
+    msg.txn = txn.id;
+    msg.line = txn.line;
+    msg.requester = txn.requester;
+
+    FS_LOG(Debug, _queue.now(), "ctrl",
+           "issue " << (txn.kind == SnoopKind::Read ? "read" : "write")
+                    << " txn " << txn.id << " line 0x" << std::hex
+                    << txn.line << std::dec << " from node "
+                    << txn.requester);
+
+    forwardMessage(txn.requester, msg);
+}
+
+// --------------------------------------------------------------------------
+// Ring message handling
+// --------------------------------------------------------------------------
+
+void
+CoherenceController::forwardMessage(NodeId node, const SnoopMessage &msg)
+{
+    _energy.record(EnergyEvent::RingLinkMessage);
+    if (msg.kind == SnoopKind::Read)
+        _stats.counter("read_link_messages").inc();
+    else
+        _stats.counter("write_link_messages").inc();
+    _ring.send(node, msg);
+}
+
+void
+CoherenceController::onRingMessage(NodeId node, const SnoopMessage &msg)
+{
+    if (msg.requester == node) {
+        if (Transaction *txn = findTransaction(msg.txn))
+            handleAtRequester(*txn, msg);
+        // else: late traffic of a finished/retried transaction; absorb.
+        return;
+    }
+    handleIntermediate(node, msg);
+}
+
+void
+CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
+                                        bool from_gate)
+{
+    // Home-node prefetch heuristic: a still-unanswered read passing its
+    // home node may trigger a DRAM prefetch (paper §2.2).
+    if (msg.kind == SnoopKind::Read && !msg.found && !msg.squashed &&
+        msg.type != MsgType::SnoopReply &&
+        _memory.homeNode(msg.line) == node) {
+        _memory.notifySnoopAtHome(msg.line, _queue.now());
+    }
+
+    // Strict per-line FIFO at the gateway (any message type): nothing
+    // may overtake a parked same-line message of another transaction.
+    if (!from_gate && deferIfGated(node, msg))
+        return;
+
+    // Found or squashed messages travel the rest of the ring inert. A
+    // passing found reply is also the "snoop reply" a ForwardThenSnoop
+    // node downstream of the supplier was waiting for (Table 2): it
+    // closes that node's pending state.
+    if (msg.found || msg.squashed) {
+        if (NodePending *p = findPending(node, msg.txn)) {
+            if (p->snoopPending) {
+                p->abandoned = true;
+            } else {
+                erasePending(node, msg.txn);
+                releaseGate(node, msg.line, msg.txn);
+            }
+        }
+        forwardMessage(node, msg);
+        return;
+    }
+
+    // Trailing (negative) replies follow their own merge rules.
+    if (msg.type == MsgType::SnoopReply) {
+        handleTrailingReply(node, msg);
+        return;
+    }
+
+    // Active request or combined R/R.
+    if (detectCollision(node, msg)) {
+        forwardMessage(node, msg); // now squashed; circulates back inert
+        return;
+    }
+
+    // Choose the primitive.
+    Primitive prim;
+    Cycle decision_latency = 0;
+    if (msg.kind == SnoopKind::Write) {
+        // Write snoops cannot use supplier predictors (paper §5.3):
+        // every node invalidates, eagerly or lazily per algorithm class
+        // -- unless the optional presence predictor (the extension the
+        // paper sketches) proves this CMP caches no copy at all.
+        prim = _policy.decouplesWrites() ? Primitive::ForwardThenSnoop
+                                         : Primitive::SnoopThenForward;
+        if (PresencePredictor *presence =
+                _nodes[node]->presencePredictor()) {
+            decision_latency = presence->accessLatency();
+            if (!presence->mayBePresent(msg.line)) {
+                prim = Primitive::Forward;
+                // The filter has no false negatives by construction; a
+                // surviving copy here would break coherence.
+                assert(!_nodes[node]->hasAnyCopy(msg.line) &&
+                       "presence predictor false negative");
+            }
+        }
+    } else if (!_policy.usesPredictor()) {
+        prim = _policy.onPrediction(false);
+    } else {
+        SupplierPredictor *pred = _nodes[node]->predictor();
+        assert(pred && "policy requires a predictor");
+        const bool predicted = pred->predict(msg.line);
+        const bool actual = _nodes[node]->hasSupplier(msg.line);
+        pred->recordOutcome(predicted, actual);
+        prim = _policy.onPrediction(predicted);
+        decision_latency = pred->accessLatency();
+        // A predictor with no false negatives must never filter the
+        // supplier node; this is the correctness property of §4.3.4.
+        assert(!(prim == Primitive::Forward && actual) &&
+               "false negative filtered the supplier: protocol violation");
+    }
+
+    if (prim == Primitive::Forward) {
+        _stats.counter(msg.kind == SnoopKind::Read ? "read_filtered"
+                                                   : "write_filtered")
+            .inc();
+        const SnoopMessage out = msg;
+        _queue.schedule(decision_latency, [this, node, out]() {
+            forwardMessage(node, out);
+        });
+        return;
+    }
+
+    NodePending &p = pending(node, msg.txn);
+    p.prim = prim;
+    p.receivedCombined = msg.type == MsgType::CombinedRR;
+    p.snoopPending = true;
+
+    if (prim == Primitive::SnoopThenForward) {
+        // The message is held here until the snoop (and possibly the
+        // trailing-reply fusion) completes: gate the line.
+        acquireGate(node, msg.line, msg.txn);
+    }
+
+    if (prim == Primitive::ForwardThenSnoop) {
+        SnoopMessage req = msg;
+        req.type = MsgType::SnoopRequest; // split: the request races ahead
+        _queue.schedule(decision_latency, [this, node, req]() {
+            forwardMessage(node, req);
+        });
+    }
+    const SnoopMessage captured = msg;
+    _queue.schedule(decision_latency + _params.cmpSnoopTime,
+                    [this, node, captured]() {
+                        snoopComplete(node, captured);
+                    });
+}
+
+bool
+CoherenceController::detectCollision(NodeId node, SnoopMessage &msg)
+{
+    auto &out = _outstandingByLine[node];
+    auto it = out.find(msg.line);
+    if (it == out.end())
+        return false;
+    Transaction *t = findTransaction(it->second);
+    if (!t || t->squashed)
+        return false;
+    if (msg.kind == SnoopKind::Read && t->kind == SnoopKind::Read)
+        return false; // concurrent reads never conflict
+
+    _stats.counter("collisions").inc();
+
+    if (msg.kind == SnoopKind::Read) {
+        // Passing read vs. our write: the read retries after the write.
+        msg.squashed = true;
+        _stats.counter("squashes").inc();
+        return true;
+    }
+
+    // Passing write vs. our read: if our read's data is already on its
+    // way (supplied or memory-bound), it serializes before the write and
+    // the filled copy is invalidated right after delivery; otherwise the
+    // read is squashed and retried after the write.
+    if (t->kind == SnoopKind::Read) {
+        if (t->dataArrived || t->ringDone || t->memoryPending ||
+            t->invalidateOnFill) {
+            t->invalidateOnFill = true;
+        } else {
+            t->squashed = true;
+            _stats.counter("squashes").inc();
+        }
+        return false;
+    }
+
+    // Write vs. write: the older transaction wins.
+    if (t->id < msg.txn) {
+        msg.squashed = true;
+        _stats.counter("squashes").inc();
+        return true;
+    }
+    t->squashed = true;
+    _stats.counter("squashes").inc();
+    return false;
+}
+
+bool
+CoherenceController::ringSnoopRead(NodeId node, Addr line)
+{
+    _stats.counter("read_snoops").inc();
+    _energy.record(EnergyEvent::CmpSnoop);
+    return _nodes[node]->hasSupplier(line);
+}
+
+bool
+CoherenceController::ringSnoopWrite(NodeId node, const SnoopMessage &msg)
+{
+    _stats.counter("write_snoops").inc();
+    _energy.record(EnergyEvent::CmpSnoop);
+    FS_LOG(Debug, _queue.now(), "ctrl",
+           "write snoop txn " << msg.txn << " line 0x" << std::hex
+                              << msg.line << std::dec << " at node "
+                              << node);
+    return _nodes[node]->invalidateAll(msg.line);
+}
+
+void
+CoherenceController::snoopComplete(NodeId node, SnoopMessage msg)
+{
+    NodePending *pp = findPending(node, msg.txn);
+    assert(pp && "snoop completed with no pending state");
+    NodePending &p = *pp;
+    p.snoopPending = false;
+    p.snoopDone = true;
+
+    if (p.abandoned) {
+        // The requester was already served (a found or squashed message
+        // passed us mid-snoop). The snoop itself still happened: count
+        // it, then retire quietly.
+        if (msg.kind == SnoopKind::Read)
+            ringSnoopRead(node, msg.line);
+        else
+            ringSnoopWrite(node, msg);
+        erasePending(node, msg.txn);
+        releaseGate(node, msg.line, msg.txn);
+        return;
+    }
+
+    if (msg.kind == SnoopKind::Read) {
+        const bool found = ringSnoopRead(node, msg.line);
+        if (found) {
+            _nodes[node]->supplyRemote(msg.line);
+            supplierHit(node, msg, p);
+            return;
+        }
+        if (_policy.usesPredictor()) {
+            // The snoop ran after a positive prediction for the
+            // positive-snooping policies; train the Exclude cache on the
+            // contradiction. (Subset's negative-prediction snoops pass a
+            // line that falsePositive() ignores for non-Superset types.)
+            if (_policy.onPrediction(true) == p.prim)
+                _nodes[node]->predictor()->falsePositive(msg.line);
+        }
+    } else {
+        const bool supplied = ringSnoopWrite(node, msg);
+        if (supplied) {
+            // A supplier copy was invalidated: its data travels to the
+            // writer over the data network.
+            Transaction *t = findTransaction(msg.txn);
+            if (t && !t->writeDataSupplied) {
+                t->writeDataSupplied = true;
+                const Cycle lat = _data.transfer(node, msg.requester);
+                const TransactionId id = msg.txn;
+                const Addr line = msg.line;
+                _queue.schedule(lat, [this, id, line]() {
+                    Transaction *txn = findTransaction(id);
+                    if (!txn || txn->squashed) {
+                        // The only dirty copy is in flight and its
+                        // transaction died: preserve it in memory.
+                        _memory.writeback(line);
+                        return;
+                    }
+                    txn->dataArrived = true;
+                    if (txn->ringDone)
+                        completeWrite(*txn);
+                });
+            }
+        }
+    }
+
+    // Negative outcome (or a write, which always continues): merge and
+    // forward per Table 2.
+    if (p.receivedCombined) {
+        // All upstream outcomes were already merged into the message we
+        // received; emit our own message directly.
+        SnoopMessage out = msg;
+        out.acksCollected = msg.acksCollected + 1;
+        out.type = p.prim == Primitive::ForwardThenSnoop
+                       ? MsgType::SnoopReply // the request went ahead
+                       : MsgType::CombinedRR;
+        forwardMessage(node, out);
+        erasePending(node, msg.txn);
+        releaseGate(node, msg.line, msg.txn);
+        return;
+    }
+
+    // We received a plain request: a trailing reply exists upstream.
+    if (p.replyBuffered) {
+        SnoopMessage out = p.bufferedReply;
+        out.acksCollected += 1;
+        out.type = p.prim == Primitive::SnoopThenForward
+                       ? MsgType::CombinedRR
+                       : MsgType::SnoopReply;
+        forwardMessage(node, out);
+        erasePending(node, msg.txn);
+        releaseGate(node, msg.line, msg.txn);
+        return;
+    }
+    p.waitingForReply = true;
+}
+
+void
+CoherenceController::supplierHit(NodeId node, SnoopMessage msg,
+                                 NodePending &p)
+{
+    p.snoopFound = true;
+    p.sentOwn = true;
+
+    _stats.counter("read_cache_supplies").inc();
+    FS_LOG(Debug, _queue.now(), "ctrl",
+           "supplier hit txn " << msg.txn << " line 0x" << std::hex
+                               << msg.line << std::dec << " at node "
+                               << node);
+
+    // Send the found notification around the remainder of the ring. A
+    // node that already forwarded the request (ForwardThenSnoop) owes a
+    // trailing reply; a SnoopThenForward node emits a combined R/R.
+    SnoopMessage out = msg;
+    out.found = true;
+    out.supplier = node;
+    out.acksCollected = msg.acksCollected + 1;
+    out.type = p.prim == Primitive::ForwardThenSnoop ? MsgType::SnoopReply
+                                                     : MsgType::CombinedRR;
+    forwardMessage(node, out);
+
+    // Ship the line to the requester over the data network.
+    const Cycle lat = _data.transfer(node, msg.requester);
+    const TransactionId id = msg.txn;
+    _queue.schedule(lat, [this, id]() {
+        if (Transaction *txn = findTransaction(id)) {
+            if (txn->squashed)
+                return; // the supplier kept its copy; retry refetches
+            txn->dataArrived = true;
+            deliverReadData(*txn, false);
+        }
+    });
+
+    // If a trailing reply can still arrive (we received a plain request
+    // and have not buffered it yet), keep the pending entry to discard
+    // it; otherwise we are done here.
+    if (p.receivedCombined || p.replyBuffered)
+        erasePending(node, msg.txn);
+    releaseGate(node, msg.line, msg.txn);
+}
+
+void
+CoherenceController::handleTrailingReply(NodeId node,
+                                         const SnoopMessage &msg)
+{
+    NodePending *p = findPending(node, msg.txn);
+    if (!p) {
+        // Forward node, or a node that already finished its part.
+        forwardMessage(node, msg);
+        return;
+    }
+    if (p->sentOwn) {
+        // We found the line and already replied; the trailing reply
+        // carries no new information (paper Table 2): discard it.
+        erasePending(node, msg.txn);
+        return;
+    }
+    if (p->snoopPending) {
+        p->replyBuffered = true;
+        p->bufferedReply = msg;
+        return;
+    }
+    if (p->waitingForReply) {
+        SnoopMessage out = msg;
+        out.acksCollected += 1;
+        out.type = p->prim == Primitive::SnoopThenForward
+                       ? MsgType::CombinedRR
+                       : MsgType::SnoopReply;
+        forwardMessage(node, out);
+        erasePending(node, msg.txn);
+        releaseGate(node, msg.line, msg.txn);
+        return;
+    }
+    // Unreachable in a correct protocol; keep traffic flowing.
+    forwardMessage(node, msg);
+    erasePending(node, msg.txn);
+    releaseGate(node, msg.line, msg.txn);
+}
+
+// --------------------------------------------------------------------------
+// Requester side: returns, memory fallback, completion
+// --------------------------------------------------------------------------
+
+void
+CoherenceController::handleAtRequester(Transaction &txn,
+                                       const SnoopMessage &msg)
+{
+    if (msg.squashed || txn.squashed) {
+        if (txn.kind == SnoopKind::Read && txn.dataArrived) {
+            // The request kept moving past the supplier and was
+            // squashed by a colliding write after the data was already
+            // delivered to the core. The load cannot be undone, but the
+            // copy must not outlive the write's invalidation round
+            // (which may already have passed this node): drop it, as in
+            // the invalidate-on-fill case. The found reply still
+            // circulating closes the transaction.
+            _stats.counter("stale_squashes").inc();
+            _nodes[txn.requester]->invalidateAll(txn.line);
+            return;
+        }
+        txn.squashed = true;
+        retryTransaction(txn);
+        finishAndErase(txn.id);
+        return;
+    }
+
+    if (msg.found) {
+        txn.ringDone = true;
+        _stats.counter("ring_rounds_found").inc();
+        if (txn.kind == SnoopKind::Write) {
+            if (txn.dataArrived)
+                completeWrite(txn);
+        } else if (txn.dataArrived) {
+            finishAndErase(txn.id); // data was delivered before the ring
+        }
+        return;
+    }
+
+    if (msg.type == MsgType::SnoopRequest) {
+        // Our own request came back negative; the trailing reply (or a
+        // found reply racing behind it) concludes the round.
+        return;
+    }
+
+    // Negative conclusion: no supplier anywhere on the ring.
+    txn.ringDone = true;
+    _stats.counter("ring_rounds_negative").inc();
+    if (txn.kind == SnoopKind::Read) {
+        goToMemory(txn);
+    } else {
+        if (txn.writeNeedsData && !txn.writeDataSupplied)
+            goToMemory(txn);
+        else if (txn.dataArrived)
+            completeWrite(txn);
+        // else: supplied data still in flight; its arrival completes.
+    }
+}
+
+void
+CoherenceController::goToMemory(Transaction &txn)
+{
+    txn.memoryPending = true;
+    _stats.counter("memory_fetches").inc();
+    FS_LOG(Debug, _queue.now(), "ctrl",
+           "memory fetch txn " << txn.id << " line 0x" << std::hex
+                               << txn.line << std::dec);
+    const Cycle lat =
+        _memory.readLatency(txn.line, txn.requester, _queue.now());
+    // Exact-algorithm energy attribution: a memory read that only exists
+    // because the predictor downgraded the supplier copy (paper §6.1.4).
+    if (consumeDowngradeMarkAnywhere(txn.line))
+        _energy.record(EnergyEvent::DowngradeReRead);
+    const TransactionId id = txn.id;
+    _queue.schedule(lat, [this, id]() {
+        if (Transaction *t = findTransaction(id)) {
+            if (t->squashed) {
+                // Squashed while waiting on memory (an older write won a
+                // collision after our ring round ended): the fetched
+                // data is dropped and the whole transaction reissues,
+                // serializing after the winner.
+                retryTransaction(*t);
+                finishAndErase(id);
+                return;
+            }
+            t->dataArrived = true;
+            t->memoryPending = false;
+            if (t->kind == SnoopKind::Read)
+                deliverReadData(*t, true);
+            else
+                completeWrite(*t);
+        }
+    });
+}
+
+void
+CoherenceController::deliverReadData(Transaction &txn, bool from_memory)
+{
+    assert(txn.kind == SnoopKind::Read);
+    const NodeId n = txn.requester;
+    const std::size_t local = localOf(txn.core);
+    CmpNode &node = *_nodes[n];
+    const Addr line = txn.line;
+
+    if (from_memory) {
+        // Two CMPs may race to memory for the same line (read-read does
+        // not collide). Only one of them may assume the Global Master
+        // role; the home memory controller serializes, so the fill that
+        // settles second takes a non-supplier state.
+        bool supplier_exists = false;
+        for (const auto &other : _nodes)
+            supplier_exists = supplier_exists || other->hasSupplier(line);
+        if (supplier_exists)
+            node.fillFromRemote(local, line);
+        else
+            node.fillFromMemory(local, line);
+        _stats.counter("read_memory_supplies").inc();
+    } else {
+        node.fillFromRemote(local, line);
+    }
+
+    const auto latency = static_cast<double>(_queue.now() - txn.issued);
+    _stats.scalar("read_latency").sample(latency);
+    _stats.histogram("read_latency_hist", 50.0, 80).sample(latency);
+    complete(txn.core, line, false, 0);
+    for (CoreId w : txn.waiters) {
+        const std::size_t wl = localOf(w);
+        if (!isValidState(node.coreState(wl, line)) &&
+            node.hasLocalSupplier(line))
+            node.localSupply(wl, line);
+        complete(w, line, false, _params.waiterBusDelay);
+    }
+    txn.waiters.clear();
+
+    if (txn.invalidateOnFill) {
+        // A write serialized right behind this read: the data reaches
+        // the core(s) but the copies do not persist.
+        node.invalidateAll(line);
+        _stats.counter("invalidate_on_fill").inc();
+    }
+
+    if (txn.ringDone)
+        finishAndErase(txn.id);
+    // else: the found message is still circulating; its absorption at
+    // the requester finishes the record.
+}
+
+void
+CoherenceController::completeWrite(Transaction &txn)
+{
+    assert(txn.kind == SnoopKind::Write);
+    const NodeId n = txn.requester;
+    const std::size_t local = localOf(txn.core);
+    CmpNode &node = *_nodes[n];
+    const Addr line = txn.line;
+
+    // Copies that snuck into other local L2s while the (possibly
+    // retried) invalidation round was in flight must go before ownership
+    // is installed.
+    node.invalidateAll(line, local);
+    if (isValidState(node.coreState(local, line)))
+        node.upgradeToDirty(local, line);
+    else
+        node.fillForWrite(local, line);
+
+    _stats.scalar("write_latency")
+        .sample(static_cast<double>(_queue.now() - txn.issued));
+    complete(txn.core, line, true, 0);
+    finishAndErase(txn.id);
+}
+
+void
+CoherenceController::finishAndErase(TransactionId id)
+{
+    auto it = _transactions.find(id);
+    if (it == _transactions.end())
+        return;
+    Transaction &txn = it->second;
+    auto &out = _outstandingByLine[txn.requester];
+    auto oit = out.find(txn.line);
+    if (oit != out.end() && oit->second == id)
+        out.erase(oit);
+    _transactions.erase(it);
+}
+
+void
+CoherenceController::retryTransaction(const Transaction &txn)
+{
+    _stats.counter("retries").inc();
+    const CoreId core = txn.core;
+    const Addr line = txn.line;
+    const SnoopKind kind = txn.kind;
+    const unsigned retries = txn.retries + 1;
+    const auto waiters = txn.waiters;
+    scheduleRetry(core, line, kind, retries, waiters);
+}
+
+void
+CoherenceController::scheduleRetry(CoreId core, Addr line, SnoopKind kind,
+                                   unsigned retries,
+                                   std::vector<CoreId> waiters)
+{
+    // Exponential backoff keeps retry storms on heavily-contended lines
+    // from compounding (the paper's squash-retry scheme leaves the
+    // backoff policy open).
+    const Cycle backoff =
+        _params.retryBackoff * (Cycle{1} << std::min(retries, 4u));
+    _queue.schedule(backoff, [this, core, line, kind, retries,
+                              waiters]() {
+        // Re-enter through the full request path: the world may have
+        // changed during the backoff -- the line can now be a local L2
+        // hit or locally suppliable (the ring never snoops the
+        // requester's own CMP, so going straight back to the ring would
+        // fetch stale data from memory), or another local transaction
+        // may be mergeable. Former waiters re-issue individually and
+        // merge/hit as appropriate.
+        if (kind == SnoopKind::Read) {
+            coreRead(core, line, retries);
+            for (CoreId w : waiters)
+                coreRead(w, line);
+        } else {
+            coreWrite(core, line, retries);
+        }
+    });
+}
+
+void
+CoherenceController::dumpOutstanding(std::ostream &os) const
+{
+    for (const auto &[id, txn] : _transactions) {
+        os << "txn " << id << " line 0x" << std::hex << txn.line
+           << std::dec << " kind "
+           << (txn.kind == SnoopKind::Read ? "R" : "W") << " node "
+           << txn.requester << " core " << txn.core << " dataArrived "
+           << txn.dataArrived << " ringDone " << txn.ringDone
+           << " squashed " << txn.squashed << " memPending "
+           << txn.memoryPending << " needsData " << txn.writeNeedsData
+           << " supplied " << txn.writeDataSupplied << " waiters "
+           << txn.waiters.size() << '\n';
+    }
+    for (NodeId n = 0; n < _pending.size(); ++n) {
+        for (const auto &[id, p] : _pending[n]) {
+            os << "pending node " << n << " txn " << id << " prim "
+               << toString(p.prim) << " combined " << p.receivedCombined
+               << " snoopPending " << p.snoopPending << " done "
+               << p.snoopDone << " found " << p.snoopFound << " sentOwn "
+               << p.sentOwn << " buffered " << p.replyBuffered
+               << " waiting " << p.waitingForReply << '\n';
+        }
+    }
+    for (NodeId n = 0; n < _gates.size(); ++n) {
+        for (const auto &[line, gate] : _gates[n]) {
+            os << "gate node " << n << " line 0x" << std::hex << line
+               << std::dec << " active " << gate.active << " deferred "
+               << gate.deferred.size() << '\n';
+        }
+    }
+}
+
+bool
+CoherenceController::consumeDowngradeMarkAnywhere(Addr line)
+{
+    bool any = false;
+    for (auto &node : _nodes)
+        any = node->consumeDowngradeMark(line) || any;
+    return any;
+}
+
+} // namespace flexsnoop

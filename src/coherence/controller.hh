@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The coherence protocol controller: drives read/write transactions
+ * through the local CMP, the embedded ring (running the configured
+ * Flexible Snooping algorithm at every gateway), the data network, and
+ * memory.
+ *
+ * This class implements the message semantics of paper Table 2:
+ * splitting a combined request/reply into request + trailing reply at
+ * Forward-Then-Snoop nodes, re-fusing them at Snoop-Then-Forward nodes,
+ * passing them through untouched at Forward nodes, plus collision
+ * detection with squash-and-retry and the home-node prefetch heuristic.
+ */
+
+#ifndef FLEXSNOOP_COHERENCE_CONTROLLER_HH
+#define FLEXSNOOP_COHERENCE_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/cmp_node.hh"
+#include "coherence/coherence_params.hh"
+#include "coherence/request_port.hh"
+#include "coherence/transaction.hh"
+#include "energy/energy_model.hh"
+#include "mem/memory_controller.hh"
+#include "net/data_network.hh"
+#include "net/ring.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "snoop/snoop_policy.hh"
+
+namespace flexsnoop
+{
+
+class CoherenceController : public RequestPort
+{
+  public:
+    /**
+     * All references must outlive the controller.
+     *
+     * @param nodes one CmpNode per ring position, predictors installed
+     */
+    CoherenceController(EventQueue &queue, RingNetwork &ring,
+                        DataNetwork &data, MemoryController &memory,
+                        EnergyModel &energy, SnoopPolicy &policy,
+                        std::vector<std::unique_ptr<CmpNode>> &nodes,
+                        const CoherenceParams &params);
+
+    void
+    setCompletionHandler(CompletionFn fn) override
+    {
+        _onComplete = std::move(fn);
+    }
+
+    /** Number of cores per CMP (uniform). */
+    std::size_t coresPerCmp() const { return _coresPerCmp; }
+    std::size_t numNodes() const { return _nodes.size(); }
+
+    NodeId nodeOf(CoreId core) const
+    {
+        return static_cast<NodeId>(core / _coresPerCmp);
+    }
+    std::size_t localOf(CoreId core) const { return core % _coresPerCmp; }
+
+    /**
+     * Core @p core reads @p addr. Completion is always reported through
+     * the completion handler (even L2 hits, after the L2 round trip).
+     */
+    void coreRead(CoreId core, Addr addr, unsigned retries = 0) override;
+
+    /** Core @p core writes @p addr. */
+    void coreWrite(CoreId core, Addr addr,
+                   unsigned retries = 0) override;
+
+    /** In-flight transactions (for drain checks). */
+    std::size_t outstanding() const { return _transactions.size(); }
+
+    /** Dump every in-flight transaction and pending gateway state. */
+    void dumpOutstanding(std::ostream &os) const;
+
+    CmpNode &node(NodeId n) { return *_nodes[n]; }
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+    // Aggregate metrics used by the benches ------------------------------
+
+    /** Read ring transactions issued (including retries). */
+    std::uint64_t readRequests() const
+    {
+        return _stats.counterValue("read_ring_requests");
+    }
+    /** CMP snoop operations triggered by read requests. */
+    std::uint64_t readSnoops() const
+    {
+        return _stats.counterValue("read_snoops");
+    }
+    /** Ring link traversals by read snoop messages. */
+    std::uint64_t readLinkMessages() const
+    {
+        return _stats.counterValue("read_link_messages");
+    }
+    double
+    snoopsPerReadRequest() const
+    {
+        const auto reqs = readRequests();
+        return reqs ? static_cast<double>(readSnoops()) / reqs : 0.0;
+    }
+    double
+    linkMessagesPerReadRequest() const
+    {
+        const auto reqs = readRequests();
+        return reqs ? static_cast<double>(readLinkMessages()) / reqs : 0.0;
+    }
+
+  private:
+    // --- Requester side -------------------------------------------------
+    void startRingTransaction(CoreId core, Addr line, SnoopKind kind,
+                              Cycle extra_delay, unsigned retries);
+    void issueRingMessage(Transaction &txn);
+    void finishAndErase(TransactionId id);
+    void deliverReadData(Transaction &txn, bool from_memory);
+    void completeWrite(Transaction &txn);
+    void goToMemory(Transaction &txn);
+    void retryTransaction(const Transaction &txn);
+    void scheduleRetry(CoreId core, Addr line, SnoopKind kind,
+                       unsigned retries, std::vector<CoreId> waiters);
+    void complete(CoreId core, Addr line, bool is_write, Cycle delay);
+
+    // --- Ring gateway side ----------------------------------------------
+    void onRingMessage(NodeId node, const SnoopMessage &msg);
+    void handleAtRequester(Transaction &txn, const SnoopMessage &msg);
+    /**
+     * @param from_gate the message was just popped from the line gate's
+     *        deferred queue and must not re-defer behind the messages
+     *        still queued there
+     */
+    void handleIntermediate(NodeId node, SnoopMessage msg,
+                            bool from_gate = false);
+    void snoopComplete(NodeId node, SnoopMessage msg);
+    void handleTrailingReply(NodeId node, const SnoopMessage &msg);
+    void supplierHit(NodeId node, SnoopMessage msg, NodePending &p);
+    void forwardMessage(NodeId node, const SnoopMessage &msg);
+    bool detectCollision(NodeId node, SnoopMessage &msg);
+
+    NodePending &pending(NodeId node, TransactionId txn);
+    NodePending *findPending(NodeId node, TransactionId txn);
+    void erasePending(NodeId node, TransactionId txn);
+
+    /**
+     * Per-line gateway FIFO: while a SnoopThenForward message for a line
+     * is held at a node (snooping, or fused-waiting for its trailing
+     * reply), active messages of *other* transactions to the same line
+     * are deferred so they cannot overtake it -- the ring's
+     * serialization guarantee (paper §2.1.4) depends on this order.
+     */
+    struct GateLine
+    {
+        TransactionId active = kInvalidTransaction;
+        std::deque<SnoopMessage> deferred;
+    };
+
+    /** True if @p msg must wait (and was queued) at @p node. */
+    bool deferIfGated(NodeId node, const SnoopMessage &msg);
+    /** Mark @p txn as holding the line gate at @p node. */
+    void acquireGate(NodeId node, Addr line, TransactionId txn);
+    /** Release the gate and reprocess the next deferred message. */
+    void releaseGate(NodeId node, Addr line, TransactionId txn);
+    /** Pop deferred messages until one takes the gate or none remain. */
+    void drainGate(NodeId node, Addr line);
+
+    /** Ring snoop of @p node for a read: true if it can supply. */
+    bool ringSnoopRead(NodeId node, Addr line);
+    /** Ring snoop for a write: invalidate; true if data is supplied. */
+    bool ringSnoopWrite(NodeId node, const SnoopMessage &msg);
+
+    Transaction *findTransaction(TransactionId id);
+
+    /** Any CMP marked this line as predictor-downgraded? (energy attr.) */
+    bool consumeDowngradeMarkAnywhere(Addr line);
+
+    EventQueue &_queue;
+    RingNetwork &_ring;
+    DataNetwork &_data;
+    MemoryController &_memory;
+    EnergyModel &_energy;
+    SnoopPolicy &_policy;
+    std::vector<std::unique_ptr<CmpNode>> &_nodes;
+    CoherenceParams _params;
+    std::size_t _coresPerCmp;
+
+    CompletionFn _onComplete;
+
+    TransactionId _nextTxnId = 1;
+    std::unordered_map<TransactionId, Transaction> _transactions;
+    /** per node: line -> outstanding local txn (merging + collisions). */
+    std::vector<std::unordered_map<Addr, TransactionId>> _outstandingByLine;
+    /** per node: txn -> pending gateway state. */
+    std::vector<std::unordered_map<TransactionId, NodePending>> _pending;
+    /** per node: line -> gateway FIFO gate. */
+    std::vector<std::unordered_map<Addr, GateLine>> _gates;
+
+    StatGroup _stats;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_COHERENCE_CONTROLLER_HH

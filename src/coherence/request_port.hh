@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The request interface cores drive: issue reads/writes, receive
+ * completions. Implemented by the embedded-ring CoherenceController
+ * and by the directory-protocol comparator, so the same workload
+ * runner exercises both.
+ */
+
+#ifndef FLEXSNOOP_COHERENCE_REQUEST_PORT_HH
+#define FLEXSNOOP_COHERENCE_REQUEST_PORT_HH
+
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+class RequestPort
+{
+  public:
+    /** Completion callback: (core, line, was_write). */
+    using CompletionFn = std::function<void(CoreId, Addr, bool)>;
+
+    virtual ~RequestPort() = default;
+
+    /** Issue a read; completion always arrives via the handler. */
+    virtual void coreRead(CoreId core, Addr addr, unsigned retries = 0) = 0;
+
+    /** Issue a write. */
+    virtual void coreWrite(CoreId core, Addr addr,
+                           unsigned retries = 0) = 0;
+
+    virtual void setCompletionHandler(CompletionFn fn) = 0;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_COHERENCE_REQUEST_PORT_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bookkeeping for in-flight coherence transactions.
+ */
+
+#ifndef FLEXSNOOP_COHERENCE_TRANSACTION_HH
+#define FLEXSNOOP_COHERENCE_TRANSACTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/types.hh"
+#include "snoop/primitives.hh"
+
+namespace flexsnoop
+{
+
+/**
+ * Requester-side record of one outstanding transaction.
+ */
+struct Transaction
+{
+    TransactionId id = kInvalidTransaction;
+    Addr line = kInvalidAddr;
+    SnoopKind kind = SnoopKind::Read;
+    NodeId requester = kInvalidNode;
+    CoreId core = kInvalidCore; ///< machine-wide id of the issuing core
+    Cycle issued = 0;
+
+    /** Same-CMP cores whose identical read merged onto this txn. */
+    std::vector<CoreId> waiters;
+
+    bool dataArrived = false; ///< line (or ownership) available
+    bool ringDone = false;    ///< final ring message returned
+    bool memoryPending = false;
+
+    /** This txn lost a collision; retry when its ring traffic returns. */
+    bool squashed = false;
+    unsigned retries = 0;
+
+    /** Write only: the writer had no valid copy and needs the data. */
+    bool writeNeedsData = false;
+    /** Write only: a remote supplier is sending the data. */
+    bool writeDataSupplied = false;
+
+    /**
+     * Read only: a write serialized immediately behind this read; the
+     * filled copy must be invalidated right after delivery.
+     */
+    bool invalidateOnFill = false;
+
+    bool
+    complete() const
+    {
+        return dataArrived && ringDone;
+    }
+};
+
+/**
+ * Intermediate-node state for one transaction passing through a gateway
+ * (the "pending snoop" of paper Table 2).
+ */
+struct NodePending
+{
+    /** Primitive this node chose for the transaction. */
+    Primitive prim = Primitive::Forward;
+    bool receivedCombined = false; ///< first message arrived as R/R
+    bool snoopPending = false;
+    bool snoopDone = false;
+    bool snoopFound = false;
+    bool sentOwn = false;       ///< node emitted its reply / combined R/R
+    bool replyBuffered = false; ///< trailing reply waiting for our snoop
+    SnoopMessage bufferedReply;
+    bool waitingForReply = false; ///< negative outcome, reply not here yet
+    /**
+     * A found reply already passed this node while its snoop was still
+     * running: the outcome is moot, finish the snoop silently.
+     */
+    bool abandoned = false;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_COHERENCE_TRANSACTION_HH

@@ -1,0 +1,145 @@
+#include "core/config_parser.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+std::uint64_t
+parseUnsigned(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t parsed = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing characters");
+        return parsed;
+    } catch (const std::exception &) {
+        throw std::invalid_argument("bad unsigned value for " + key +
+                                    ": '" + value + "'");
+    }
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "on")
+        return true;
+    if (value == "0" || value == "false" || value == "off")
+        return false;
+    throw std::invalid_argument("bad boolean value for " + key + ": '" +
+                                value + "'");
+}
+
+} // namespace
+
+const std::vector<std::string> &
+configKeys()
+{
+    static const std::vector<std::string> kKeys = {
+        "num_cmps",         "cores_per_cmp",   "l2_entries",
+        "l2_ways",          "num_rings",       "ring_link_latency",
+        "ring_serialization", "mem_local_rt",  "mem_remote_rt",
+        "mem_prefetch_rt",  "prefetch_enabled", "cmp_snoop_time",
+        "retry_backoff",    "max_outstanding", "algorithm",
+        "predictor",        "write_filtering",
+    };
+    return kKeys;
+}
+
+void
+applyOverride(MachineConfig &config, const std::string &assignment)
+{
+    const auto eq = assignment.find('=');
+    if (eq == std::string::npos || eq == 0)
+        throw std::invalid_argument("expected key=value, got '" +
+                                    assignment + "'");
+    const std::string key = assignment.substr(0, eq);
+    const std::string value = assignment.substr(eq + 1);
+
+    if (key == "num_cmps") {
+        config.setNumCmps(
+            static_cast<std::size_t>(parseUnsigned(key, value)));
+    } else if (key == "cores_per_cmp") {
+        config.coresPerCmp =
+            static_cast<std::size_t>(parseUnsigned(key, value));
+    } else if (key == "l2_entries") {
+        config.l2Entries =
+            static_cast<std::size_t>(parseUnsigned(key, value));
+    } else if (key == "l2_ways") {
+        config.l2Ways = static_cast<std::size_t>(parseUnsigned(key, value));
+    } else if (key == "num_rings") {
+        config.numRings =
+            static_cast<std::size_t>(parseUnsigned(key, value));
+    } else if (key == "ring_link_latency") {
+        config.ring.linkLatency = parseUnsigned(key, value);
+    } else if (key == "ring_serialization") {
+        config.ring.serialization = parseUnsigned(key, value);
+    } else if (key == "mem_local_rt") {
+        config.memory.localRoundTrip = parseUnsigned(key, value);
+    } else if (key == "mem_remote_rt") {
+        config.memory.remoteRoundTrip = parseUnsigned(key, value);
+    } else if (key == "mem_prefetch_rt") {
+        config.memory.remotePrefetchRoundTrip = parseUnsigned(key, value);
+    } else if (key == "prefetch_enabled") {
+        config.memory.prefetchEnabled = parseBool(key, value);
+    } else if (key == "cmp_snoop_time") {
+        config.coherence.cmpSnoopTime = parseUnsigned(key, value);
+    } else if (key == "retry_backoff") {
+        config.coherence.retryBackoff = parseUnsigned(key, value);
+    } else if (key == "max_outstanding") {
+        config.core.maxOutstanding =
+            static_cast<std::size_t>(parseUnsigned(key, value));
+    } else if (key == "write_filtering") {
+        config.writeFiltering = parseBool(key, value);
+    } else if (key == "algorithm") {
+        config.algorithm = algorithmFromName(value);
+        config.predictor = defaultPredictorFor(config.algorithm);
+    } else if (key == "predictor") {
+        const PredictorConfig forced = PredictorConfig::fromName(value);
+        if (forced.kind != config.predictor.kind) {
+            throw std::invalid_argument(
+                "predictor '" + value + "' does not match algorithm " +
+                std::string(toString(config.algorithm)));
+        }
+        config.predictor = forced;
+    } else {
+        throw std::invalid_argument("unknown configuration key: " + key);
+    }
+}
+
+void
+applyOverrides(MachineConfig &config,
+               const std::vector<std::string> &assignments)
+{
+    for (const auto &assignment : assignments)
+        applyOverride(config, assignment);
+}
+
+std::string
+describeConfig(const MachineConfig &config)
+{
+    std::ostringstream oss;
+    oss << "algorithm=" << toString(config.algorithm)
+        << " predictor=" << config.predictor.id
+        << " num_cmps=" << config.numCmps
+        << " cores_per_cmp=" << config.coresPerCmp
+        << " l2_entries=" << config.l2Entries << " l2_ways="
+        << config.l2Ways << " num_rings=" << config.numRings
+        << " ring_link_latency=" << config.ring.linkLatency
+        << " ring_serialization=" << config.ring.serialization
+        << " cmp_snoop_time=" << config.coherence.cmpSnoopTime
+        << " mem_local_rt=" << config.memory.localRoundTrip
+        << " mem_remote_rt=" << config.memory.remoteRoundTrip
+        << " mem_prefetch_rt=" << config.memory.remotePrefetchRoundTrip
+        << " prefetch_enabled=" << config.memory.prefetchEnabled
+        << " write_filtering=" << config.writeFiltering
+        << " max_outstanding=" << config.core.maxOutstanding;
+    return oss.str();
+}
+
+} // namespace flexsnoop

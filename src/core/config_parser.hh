@@ -1,0 +1,43 @@
+/**
+ * @file
+ * String-based machine configuration: apply "key=value" overrides to a
+ * MachineConfig, so command-line tools and scripts can explore the
+ * design space without recompiling.
+ *
+ * Supported keys (see applyOverride for the full list): num_cmps,
+ * cores_per_cmp, l2_entries, l2_ways, num_rings, ring_link_latency,
+ * ring_serialization, mem_local_rt, mem_remote_rt, mem_prefetch_rt,
+ * prefetch_enabled, cmp_snoop_time, retry_backoff, max_outstanding,
+ * algorithm, predictor.
+ */
+
+#ifndef FLEXSNOOP_CORE_CONFIG_PARSER_HH
+#define FLEXSNOOP_CORE_CONFIG_PARSER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+
+namespace flexsnoop
+{
+
+/**
+ * Apply one "key=value" override to @p config.
+ * @throws std::invalid_argument for unknown keys or malformed values
+ */
+void applyOverride(MachineConfig &config, const std::string &assignment);
+
+/** Apply several overrides in order. */
+void applyOverrides(MachineConfig &config,
+                    const std::vector<std::string> &assignments);
+
+/** List of keys accepted by applyOverride (for usage messages). */
+const std::vector<std::string> &configKeys();
+
+/** One-line "key=value key=value ..." rendering of @p config. */
+std::string describeConfig(const MachineConfig &config);
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_CORE_CONFIG_PARSER_HH

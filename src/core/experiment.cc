@@ -1,0 +1,151 @@
+#include "core/experiment.hh"
+
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <stdexcept>
+
+#include "workload/synthetic_generator.hh"
+
+namespace flexsnoop
+{
+
+const RunResult &
+SweepResult::byAlgorithm(Algorithm a) const
+{
+    for (const auto &r : runs) {
+        if (r.algorithm == toString(a))
+            return r;
+    }
+    throw std::out_of_range("algorithm not present in sweep: " +
+                            std::string(toString(a)));
+}
+
+RunResult
+runOne(Algorithm algorithm, const WorkloadProfile &profile,
+       const std::string &predictor_name)
+{
+    MachineConfig cfg =
+        MachineConfig::paperDefault(algorithm, profile.coresPerCmp);
+    cfg.setNumCmps(profile.numCmps());
+    if (!predictor_name.empty() &&
+        cfg.predictor.kind != PredictorKind::None &&
+        cfg.predictor.kind != PredictorKind::Perfect) {
+        PredictorConfig forced = PredictorConfig::fromName(predictor_name);
+        if (forced.kind == cfg.predictor.kind)
+            cfg.predictor = forced;
+    }
+    SyntheticGenerator gen(profile);
+    return runSimulation(cfg, gen.generate(), profile.name);
+}
+
+SweepResult
+runSweep(const std::vector<Algorithm> &algorithms,
+         const WorkloadProfile &profile,
+         const std::string &override_predictor)
+{
+    // Generate the traces once; every algorithm replays the same refs
+    // (the paper: "we compare the different snooping algorithms with
+    // exactly the same traces").
+    SyntheticGenerator gen(profile);
+    const CoreTraces traces = gen.generate();
+
+    SweepResult sweep;
+    sweep.workload = profile.name;
+    for (Algorithm a : algorithms) {
+        MachineConfig cfg =
+            MachineConfig::paperDefault(a, profile.coresPerCmp);
+        cfg.setNumCmps(profile.numCmps());
+        if (!override_predictor.empty() &&
+            cfg.predictor.kind != PredictorKind::None &&
+            cfg.predictor.kind != PredictorKind::Perfect) {
+            PredictorConfig forced =
+                PredictorConfig::fromName(override_predictor);
+            if (forced.kind == cfg.predictor.kind)
+                cfg.predictor = forced;
+        }
+        sweep.runs.push_back(runSimulation(cfg, traces, profile.name));
+    }
+    return sweep;
+}
+
+double
+arithMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0 && "geometric mean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+lazyNormalizedGeoMean(const std::vector<SweepResult> &apps,
+                      Algorithm algorithm, const Metric &metric)
+{
+    std::vector<double> ratios;
+    ratios.reserve(apps.size());
+    for (const auto &app : apps) {
+        const double base = metric(app.byAlgorithm(Algorithm::Lazy));
+        const double value = metric(app.byAlgorithm(algorithm));
+        assert(base > 0.0);
+        ratios.push_back(value / base);
+    }
+    return geoMean(ratios);
+}
+
+double
+suiteArithMean(const std::vector<SweepResult> &apps, Algorithm algorithm,
+               const Metric &metric)
+{
+    std::vector<double> values;
+    values.reserve(apps.size());
+    for (const auto &app : apps)
+        values.push_back(metric(app.byAlgorithm(algorithm)));
+    return arithMean(values);
+}
+
+void
+printTable(std::ostream &os, const std::string &title,
+           const std::vector<Algorithm> &algorithms,
+           const std::vector<
+               std::pair<std::string, std::map<Algorithm, double>>> &rows,
+           int precision)
+{
+    os << '\n' << title << '\n';
+    os << std::left << std::setw(14) << "workload";
+    for (Algorithm a : algorithms)
+        os << std::right << std::setw(13) << toString(a);
+    os << '\n';
+    os << std::string(14 + 13 * algorithms.size(), '-') << '\n';
+    for (const auto &[label, values] : rows) {
+        os << std::left << std::setw(14) << label;
+        for (Algorithm a : algorithms) {
+            auto it = values.find(a);
+            if (it == values.end()) {
+                os << std::right << std::setw(13) << "-";
+            } else {
+                os << std::right << std::setw(13) << std::fixed
+                   << std::setprecision(precision) << it->second;
+            }
+        }
+        os << '\n';
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+} // namespace flexsnoop

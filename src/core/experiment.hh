@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment helpers used by the benches: algorithm sweeps over workload
+ * suites, Lazy-normalization, SPLASH-2 aggregation (the paper uses the
+ * arithmetic mean for Fig. 6 and the geometric mean of per-application
+ * Lazy-normalized values for Figs. 7-9), and table printing.
+ */
+
+#ifndef FLEXSNOOP_CORE_EXPERIMENT_HH
+#define FLEXSNOOP_CORE_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "workload/profile.hh"
+
+namespace flexsnoop
+{
+
+/** Extract one metric from a RunResult. */
+using Metric = std::function<double(const RunResult &)>;
+
+/** Results of a full algorithm sweep over one workload. */
+struct SweepResult
+{
+    std::string workload;
+    std::vector<RunResult> runs; ///< one per algorithm, sweep order
+
+    const RunResult &byAlgorithm(Algorithm a) const;
+};
+
+/**
+ * Run @p algorithms (with their §6.1 default predictors) on the
+ * workload described by @p profile.
+ *
+ * @param override_predictor if non-empty, forces this predictor config
+ *        on every algorithm that uses one (sensitivity studies)
+ */
+SweepResult runSweep(const std::vector<Algorithm> &algorithms,
+                     const WorkloadProfile &profile,
+                     const std::string &override_predictor = "");
+
+/** Run one (algorithm, predictor-name) pair on @p profile. */
+RunResult runOne(Algorithm algorithm, const WorkloadProfile &profile,
+                 const std::string &predictor_name = "");
+
+/** Arithmetic mean of @p metric over a set of runs. */
+double arithMean(const std::vector<double> &values);
+
+/** Geometric mean (values must be positive). */
+double geoMean(const std::vector<double> &values);
+
+/**
+ * Aggregate a per-application suite into the paper's SPLASH-2 bar:
+ * metric(app, algo) / metric(app, Lazy), geometric mean over apps.
+ */
+double lazyNormalizedGeoMean(const std::vector<SweepResult> &apps,
+                             Algorithm algorithm, const Metric &metric);
+
+/** Arithmetic mean of a raw metric over apps for one algorithm. */
+double suiteArithMean(const std::vector<SweepResult> &apps,
+                      Algorithm algorithm, const Metric &metric);
+
+/**
+ * Pretty-print a workloads x algorithms table of doubles.
+ *
+ * @param rows (workload label, algorithm -> value)
+ */
+void printTable(std::ostream &os, const std::string &title,
+                const std::vector<Algorithm> &algorithms,
+                const std::vector<std::pair<
+                    std::string, std::map<Algorithm, double>>> &rows,
+                int precision = 3);
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_CORE_EXPERIMENT_HH

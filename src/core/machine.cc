@@ -1,0 +1,150 @@
+#include "core/machine.hh"
+
+#include <cassert>
+
+#include "predictor/exact_predictor.hh"
+
+namespace flexsnoop
+{
+
+Machine::Machine(const MachineConfig &config)
+    : _config(config), _energy(config.energy)
+{
+    assert(config.numCmps >= 2);
+    assert(config.torus.columns * config.torus.rows == config.numCmps &&
+           "torus shape must cover all CMPs");
+
+    _policy = makePolicy(config.algorithm);
+    assert(_policy->predictorKind() == config.predictor.kind &&
+           "predictor family does not match the algorithm's requirement");
+
+    _ring = std::make_unique<RingNetwork>(_queue, config.numCmps,
+                                          config.numRings, config.ring);
+    _data = std::make_unique<DataNetwork>(config.torus);
+    _memory =
+        std::make_unique<MemoryController>(config.numCmps, config.memory);
+
+    _nodes.reserve(config.numCmps);
+    for (NodeId n = 0; n < config.numCmps; ++n) {
+        auto node = std::make_unique<CmpNode>(
+            n, config.coresPerCmp, config.l2Entries, config.l2Ways);
+        CmpNode *raw = node.get();
+        node->setWritebackFn([this](Addr line, bool from_downgrade) {
+            _memory->writeback(line);
+            if (from_downgrade)
+                _energy.record(EnergyEvent::DowngradeWriteback);
+        });
+
+        auto predictor = makePredictor(
+            config.predictor, "cmp" + std::to_string(n) + ".pred",
+            [raw](Addr line) { return raw->hasSupplier(line); });
+        if (auto *exact = dynamic_cast<ExactPredictor *>(predictor.get())) {
+            exact->setDowngradeFn(
+                [raw](Addr line) { raw->downgrade(line); });
+        }
+        node->setPredictor(std::move(predictor));
+        if (config.writeFiltering) {
+            node->setPresencePredictor(
+                std::make_unique<PresencePredictor>(
+                    "cmp" + std::to_string(n) + ".presence",
+                    config.presenceBloomFields));
+        }
+        _nodes.push_back(std::move(node));
+    }
+
+    _controller = std::make_unique<CoherenceController>(
+        _queue, *_ring, *_data, *_memory, _energy, *_policy, _nodes,
+        config.coherence);
+    _checker = std::make_unique<CoherenceChecker>(_nodes);
+}
+
+void
+Machine::resetStats()
+{
+    _energy.reset();
+    _controller->stats().reset();
+    _memory->stats().reset();
+    _data->stats().reset();
+    for (std::size_t r = 0; r < _ring->numRings(); ++r)
+        _ring->ring(r).stats().reset();
+    for (auto &node : _nodes) {
+        node->stats().reset();
+        if (node->predictor())
+            node->predictor()->stats().reset();
+        if (node->presencePredictor())
+            node->presencePredictor()->stats().reset();
+        for (std::size_t c = 0; c < node->numCores(); ++c)
+            node->l2(c).stats().reset();
+    }
+}
+
+void
+Machine::finalizeEnergy()
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t trainings = 0;
+    std::uint64_t downgrade_ops = 0;
+    for (const auto &node : _nodes) {
+        if (const auto *pred = node->predictor()) {
+            lookups += pred->stats().counterValue("lookups");
+            trainings += pred->stats().counterValue("trains") +
+                         pred->stats().counterValue("removals") +
+                         pred->stats().counterValue("exclude_inserts");
+        }
+        if (const auto *presence = node->presencePredictor()) {
+            lookups += presence->stats().counterValue("lookups");
+            trainings += presence->stats().counterValue("trains") +
+                         presence->stats().counterValue("removals");
+        }
+        downgrade_ops += node->stats().counterValue("downgrades");
+    }
+    _energy.record(EnergyEvent::PredictorAccess, lookups);
+    _energy.record(EnergyEvent::PredictorTrain, trainings);
+    _energy.record(EnergyEvent::DowngradeCacheOp, downgrade_ops);
+}
+
+std::uint64_t
+Machine::sumPredictorCounter(const std::string &name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &node : _nodes) {
+        if (const auto *pred = node->predictor())
+            total += pred->stats().counterValue(name);
+    }
+    return total;
+}
+
+std::uint64_t
+Machine::predictorTruePositives() const
+{
+    return sumPredictorCounter("true_positives");
+}
+
+std::uint64_t
+Machine::predictorTrueNegatives() const
+{
+    return sumPredictorCounter("true_negatives");
+}
+
+std::uint64_t
+Machine::predictorFalsePositives() const
+{
+    return sumPredictorCounter("false_positives");
+}
+
+std::uint64_t
+Machine::predictorFalseNegatives() const
+{
+    return sumPredictorCounter("false_negatives");
+}
+
+std::uint64_t
+Machine::downgrades() const
+{
+    std::uint64_t total = 0;
+    for (const auto &node : _nodes)
+        total += node->stats().counterValue("downgrades");
+    return total;
+}
+
+} // namespace flexsnoop

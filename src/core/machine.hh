@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The assembled machine: event queue, ring network, data network,
+ * memory, CMP nodes with predictors, the snooping policy, and the
+ * coherence controller, wired per a MachineConfig.
+ *
+ * This is the main entry point of the library together with
+ * Simulation (simulation.hh), which drives workloads through it.
+ */
+
+#ifndef FLEXSNOOP_CORE_MACHINE_HH
+#define FLEXSNOOP_CORE_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "coherence/checker.hh"
+#include "coherence/controller.hh"
+#include "core/machine_config.hh"
+
+namespace flexsnoop
+{
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    const MachineConfig &config() const { return _config; }
+
+    EventQueue &queue() { return _queue; }
+    RingNetwork &ring() { return *_ring; }
+    DataNetwork &dataNetwork() { return *_data; }
+    MemoryController &memory() { return *_memory; }
+    EnergyModel &energy() { return _energy; }
+    SnoopPolicy &policy() { return *_policy; }
+    CoherenceController &controller() { return *_controller; }
+    CmpNode &node(NodeId n) { return *_nodes[n]; }
+    std::size_t numNodes() const { return _nodes.size(); }
+    const CoherenceChecker &checker() const { return *_checker; }
+
+    /**
+     * Reset all statistics and the energy account (used at the warmup
+     * barrier so only the measured phase is reported).
+     */
+    void resetStats();
+
+    /**
+     * Fold end-of-run event counts that are accounted from statistics
+     * (predictor lookups/training, downgrade cache ops) into the energy
+     * model. Call once, after the run.
+     */
+    void finalizeEnergy();
+
+    // Aggregated predictor accuracy over all nodes -----------------------
+    std::uint64_t predictorTruePositives() const;
+    std::uint64_t predictorTrueNegatives() const;
+    std::uint64_t predictorFalsePositives() const;
+    std::uint64_t predictorFalseNegatives() const;
+
+    /** Total forced downgrades (Exact algorithm) over all nodes. */
+    std::uint64_t downgrades() const;
+
+  private:
+    std::uint64_t sumPredictorCounter(const std::string &name) const;
+
+    MachineConfig _config;
+    EventQueue _queue;
+    EnergyModel _energy;
+    std::unique_ptr<SnoopPolicy> _policy;
+    std::unique_ptr<RingNetwork> _ring;
+    std::unique_ptr<DataNetwork> _data;
+    std::unique_ptr<MemoryController> _memory;
+    std::vector<std::unique_ptr<CmpNode>> _nodes;
+    std::unique_ptr<CoherenceController> _controller;
+    std::unique_ptr<CoherenceChecker> _checker;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_CORE_MACHINE_HH

@@ -1,0 +1,51 @@
+#include "core/machine_config.hh"
+
+#include <cassert>
+
+namespace flexsnoop
+{
+
+void
+MachineConfig::setNumCmps(std::size_t n)
+{
+    assert(n >= 2);
+    numCmps = n;
+    // Pick the most square rows x columns factorization.
+    std::size_t rows = 1;
+    for (std::size_t r = 1; r * r <= n; ++r) {
+        if (n % r == 0)
+            rows = r;
+    }
+    torus.rows = rows;
+    torus.columns = n / rows;
+}
+
+MachineConfig
+MachineConfig::paperDefault(Algorithm a, std::size_t cores_per_cmp)
+{
+    MachineConfig cfg;
+    cfg.coresPerCmp = cores_per_cmp;
+    cfg.algorithm = a;
+    cfg.predictor = defaultPredictorFor(a);
+    cfg.torus.columns = 4;
+    cfg.torus.rows = 2;
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::testDefault(Algorithm a)
+{
+    MachineConfig cfg;
+    cfg.numCmps = 4;
+    cfg.coresPerCmp = 1;
+    cfg.l2Entries = 256;
+    cfg.l2Ways = 4;
+    cfg.numRings = 1;
+    cfg.torus.columns = 2;
+    cfg.torus.rows = 2;
+    cfg.algorithm = a;
+    cfg.predictor = defaultPredictorFor(a);
+    return cfg;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Top-level machine configuration (paper Table 4) and its defaults.
+ */
+
+#ifndef FLEXSNOOP_CORE_MACHINE_CONFIG_HH
+#define FLEXSNOOP_CORE_MACHINE_CONFIG_HH
+
+#include "coherence/coherence_params.hh"
+#include "energy/energy_model.hh"
+#include "mem/memory_controller.hh"
+#include "net/data_network.hh"
+#include "net/ring.hh"
+#include "predictor/predictor_config.hh"
+#include "snoop/snoop_policy.hh"
+#include "workload/core_model.hh"
+
+namespace flexsnoop
+{
+
+/**
+ * Everything needed to instantiate a Machine.
+ *
+ * Defaults reproduce the paper's baseline: 8 CMPs on a 4x2 torus with
+ * two embedded rings, 512 KB 8-way L2s, and the Table 4 latencies.
+ */
+struct MachineConfig
+{
+    std::size_t numCmps = 8;
+    std::size_t coresPerCmp = 4;   ///< 4 for SPLASH-2, 1 for SPECjbb/web
+
+    std::size_t l2Entries = 8192;  ///< 512 KB / 64 B lines
+    std::size_t l2Ways = 8;
+
+    std::size_t numRings = 2;
+    RingParams ring;
+    TorusParams torus;
+    MemoryParams memory;
+    CoherenceParams coherence;
+    EnergyParams energy;
+    CoreParams core;
+
+    Algorithm algorithm = Algorithm::SupersetAgg;
+    PredictorConfig predictor = PredictorConfig::superset(false, 2048);
+
+    /**
+     * Write-snoop filtering extension (paper §2.2/§5.3 sketch): each
+     * gateway additionally hosts a presence predictor (counting Bloom
+     * filter over all cached lines) that lets write invalidations skip
+     * CMPs provably holding no copy.
+     */
+    bool writeFiltering = false;
+    std::vector<unsigned> presenceBloomFields = {12, 8, 10};
+
+    std::size_t numCores() const { return numCmps * coresPerCmp; }
+
+    /**
+     * Resize the machine to @p n CMPs, choosing a matching (roughly
+     * square) torus shape.
+     */
+    void setNumCmps(std::size_t n);
+
+    /**
+     * Paper-default machine for @p a with its §6.1 predictor (Sub2k /
+     * y2k / Exa2k / perfect / none) and @p cores_per_cmp cores.
+     */
+    static MachineConfig paperDefault(Algorithm a,
+                                      std::size_t cores_per_cmp = 4);
+
+    /** Small machine for fast unit tests (4 CMPs, tiny caches). */
+    static MachineConfig testDefault(Algorithm a);
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_CORE_MACHINE_CONFIG_HH

@@ -1,0 +1,174 @@
+#include "core/report.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+struct Field
+{
+    const char *name;
+    std::function<void(std::ostream &, const RunResult &)> emit;
+    bool isString = false;
+};
+
+const std::vector<Field> &
+fields()
+{
+    static const std::vector<Field> kFields = {
+        {"workload",
+         [](std::ostream &os, const RunResult &r) { os << r.workload; },
+         true},
+        {"algorithm",
+         [](std::ostream &os, const RunResult &r) { os << r.algorithm; },
+         true},
+        {"predictor",
+         [](std::ostream &os, const RunResult &r) { os << r.predictor; },
+         true},
+        {"exec_cycles",
+         [](std::ostream &os, const RunResult &r) { os << r.execCycles; }},
+        {"read_ring_requests",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.readRingRequests;
+         }},
+        {"read_snoops",
+         [](std::ostream &os, const RunResult &r) { os << r.readSnoops; }},
+        {"snoops_per_request",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.snoopsPerReadRequest;
+         }},
+        {"read_link_messages",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.readLinkMessages;
+         }},
+        {"link_msgs_per_request",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.readLinkMessagesPerRequest;
+         }},
+        {"energy_nj",
+         [](std::ostream &os, const RunResult &r) { os << r.energyNj; }},
+        {"ring_energy_nj",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.ringEnergyNj;
+         }},
+        {"snoop_energy_nj",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.snoopEnergyNj;
+         }},
+        {"predictor_energy_nj",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.predictorEnergyNj;
+         }},
+        {"downgrade_energy_nj",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.downgradeEnergyNj;
+         }},
+        {"true_positives",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.truePositives;
+         }},
+        {"true_negatives",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.trueNegatives;
+         }},
+        {"false_positives",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.falsePositives;
+         }},
+        {"false_negatives",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.falseNegatives;
+         }},
+        {"cache_supplies",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.cacheSupplies;
+         }},
+        {"memory_fetches",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.memoryFetches;
+         }},
+        {"downgrades",
+         [](std::ostream &os, const RunResult &r) { os << r.downgrades; }},
+        {"collisions",
+         [](std::ostream &os, const RunResult &r) { os << r.collisions; }},
+        {"retries",
+         [](std::ostream &os, const RunResult &r) { os << r.retries; }},
+        {"writebacks",
+         [](std::ostream &os, const RunResult &r) { os << r.writebacks; }},
+        {"avg_read_latency",
+         [](std::ostream &os, const RunResult &r) {
+             os << r.avgReadLatency;
+         }},
+    };
+    return kFields;
+}
+
+} // namespace
+
+void
+writeCsv(std::ostream &os, const std::vector<RunResult> &results)
+{
+    const auto &cols = fields();
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        os << cols[i].name << (i + 1 < cols.size() ? "," : "\n");
+    os << std::setprecision(10);
+    for (const RunResult &r : results) {
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            cols[i].emit(os, r);
+            os << (i + 1 < cols.size() ? "," : "\n");
+        }
+    }
+    if (!os)
+        throw std::runtime_error("failed writing CSV stream");
+}
+
+void
+writeJson(std::ostream &os, const std::vector<RunResult> &results)
+{
+    const auto &cols = fields();
+    os << std::setprecision(10) << "[\n";
+    for (std::size_t r = 0; r < results.size(); ++r) {
+        os << "  {";
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            os << '"' << cols[i].name << "\": ";
+            if (cols[i].isString) {
+                os << '"';
+                cols[i].emit(os, results[r]);
+                os << '"';
+            } else {
+                cols[i].emit(os, results[r]);
+            }
+            if (i + 1 < cols.size())
+                os << ", ";
+        }
+        os << '}' << (r + 1 < results.size() ? "," : "") << '\n';
+    }
+    os << "]\n";
+    if (!os)
+        throw std::runtime_error("failed writing JSON stream");
+}
+
+void
+saveCsv(const std::string &path, const std::vector<RunResult> &results)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("cannot open for writing: " + path);
+    writeCsv(os, results);
+}
+
+void
+saveJson(const std::string &path, const std::vector<RunResult> &results)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("cannot open for writing: " + path);
+    writeJson(os, results);
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Machine-readable result export: RunResult collections as CSV or JSON,
+ * for plotting the reproduced figures outside the simulator.
+ */
+
+#ifndef FLEXSNOOP_CORE_REPORT_HH
+#define FLEXSNOOP_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+
+namespace flexsnoop
+{
+
+/**
+ * Write @p results as CSV with a header row. Columns cover every
+ * figure's metric: workload, algorithm, predictor, exec_cycles,
+ * read_requests, snoops_per_request, link_msgs_per_request, energy_nj
+ * (+ breakdown), predictor accuracy counts, and supporting detail.
+ */
+void writeCsv(std::ostream &os, const std::vector<RunResult> &results);
+
+/** Write @p results as a JSON array of objects (same fields as CSV). */
+void writeJson(std::ostream &os, const std::vector<RunResult> &results);
+
+/** Convenience wrappers over file streams. */
+void saveCsv(const std::string &path,
+             const std::vector<RunResult> &results);
+void saveJson(const std::string &path,
+              const std::vector<RunResult> &results);
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_CORE_REPORT_HH

@@ -1,0 +1,114 @@
+#include "core/simulation.hh"
+
+#include <cassert>
+#include <iomanip>
+
+#include "sim/log.hh"
+
+namespace flexsnoop
+{
+
+void
+RunResult::dump(std::ostream &os) const
+{
+    os << workload << " / " << algorithm << " (" << predictor << ")\n"
+       << "  exec cycles          " << execCycles << '\n'
+       << "  read ring requests   " << readRingRequests << '\n'
+       << "  snoops/request       " << std::fixed << std::setprecision(2)
+       << snoopsPerReadRequest << '\n'
+       << "  link msgs/request    " << readLinkMessagesPerRequest << '\n'
+       << "  energy (uJ)          " << energyNj / 1e3 << '\n'
+       << "  cache supplies       " << cacheSupplies << '\n'
+       << "  memory fetches       " << memoryFetches << '\n'
+       << "  avg read latency     " << avgReadLatency << '\n';
+    if (predictions() > 0) {
+        const double n = static_cast<double>(predictions());
+        os << "  predictor TP/TN/FP/FN  " << truePositives / n << " / "
+           << trueNegatives / n << " / " << falsePositives / n << " / "
+           << falseNegatives / n << '\n';
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+RunResult
+runSimulation(const MachineConfig &config, const CoreTraces &traces,
+              const std::string &workload_name)
+{
+    assert(traces.numCores() == config.numCores() &&
+           "trace core count must match the machine");
+
+    Machine machine(config);
+    WorkloadRunner runner(machine.queue(), machine.controller(), traces,
+                          config.core);
+    runner.setWarmupDoneFn([&machine]() { machine.resetStats(); });
+
+    const Cycle measured = runner.run();
+    machine.finalizeEnergy();
+
+    // The protocol must leave the caches in a coherent state.
+    const auto violations = machine.checker().check();
+    for (const auto &v : violations) {
+        FS_LOG(Error, machine.queue().now(), "checker",
+               "line 0x" << std::hex << v.line << std::dec << ": "
+                         << v.description);
+    }
+    assert(violations.empty() && "coherence invariants violated");
+
+    const auto &cstats = machine.controller().stats();
+    const auto &energy = machine.energy();
+
+    RunResult r;
+    r.workload = workload_name;
+    r.algorithm = std::string(toString(config.algorithm));
+    r.predictor = config.predictor.id;
+    r.execCycles = measured;
+
+    r.readRingRequests = cstats.counterValue("read_ring_requests");
+    r.readSnoops = cstats.counterValue("read_snoops");
+    r.snoopsPerReadRequest =
+        r.readRingRequests
+            ? static_cast<double>(r.readSnoops) / r.readRingRequests
+            : 0.0;
+
+    r.readLinkMessages = cstats.counterValue("read_link_messages");
+    r.readLinkMessagesPerRequest =
+        r.readRingRequests
+            ? static_cast<double>(r.readLinkMessages) / r.readRingRequests
+            : 0.0;
+
+    r.energyNj = energy.totalNj();
+    r.ringEnergyNj = energy.categoryNj(EnergyEvent::RingLinkMessage);
+    r.snoopEnergyNj = energy.categoryNj(EnergyEvent::CmpSnoop);
+    r.predictorEnergyNj = energy.categoryNj(EnergyEvent::PredictorAccess) +
+                          energy.categoryNj(EnergyEvent::PredictorTrain);
+    r.downgradeEnergyNj =
+        energy.categoryNj(EnergyEvent::DowngradeCacheOp) +
+        energy.categoryNj(EnergyEvent::DowngradeWriteback) +
+        energy.categoryNj(EnergyEvent::DowngradeReRead);
+
+    r.writeRingRequests = cstats.counterValue("write_ring_requests");
+    r.writeSnoops = cstats.counterValue("write_snoops");
+    r.writeFiltered = cstats.counterValue("write_filtered");
+
+    r.truePositives = machine.predictorTruePositives();
+    r.trueNegatives = machine.predictorTrueNegatives();
+    r.falsePositives = machine.predictorFalsePositives();
+    r.falseNegatives = machine.predictorFalseNegatives();
+
+    r.cacheSupplies = cstats.counterValue("read_cache_supplies");
+    r.memoryFetches = cstats.counterValue("memory_fetches");
+    r.downgrades = machine.downgrades();
+    r.collisions = cstats.counterValue("collisions");
+    r.retries = cstats.counterValue("retries");
+    r.writebacks = machine.memory().writebacks();
+    r.avgReadLatency = cstats.scalarMean("read_latency");
+    {
+        auto &hist = machine.controller().stats().histogram(
+            "read_latency_hist", 50.0, 80);
+        r.p50ReadLatency = hist.percentile(0.5);
+        r.p95ReadLatency = hist.percentile(0.95);
+    }
+    return r;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Library version.
+ */
+
+#ifndef FLEXSNOOP_CORE_VERSION_HH
+#define FLEXSNOOP_CORE_VERSION_HH
+
+namespace flexsnoop
+{
+
+constexpr int kVersionMajor = 1;
+constexpr int kVersionMinor = 0;
+constexpr int kVersionPatch = 0;
+constexpr const char *kVersionString = "1.0.0";
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_CORE_VERSION_HH

@@ -1,0 +1,318 @@
+#include "directory/directory_machine.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace flexsnoop
+{
+
+DirectoryMachine::DirectoryMachine(std::size_t num_cmps,
+                                   std::size_t cores_per_cmp,
+                                   std::size_t l2_entries,
+                                   std::size_t l2_ways,
+                                   const TorusParams &torus,
+                                   const DirectoryParams &params)
+    : _numCmps(num_cmps), _coresPerCmp(cores_per_cmp), _params(params),
+      _torus(torus), _stats("directory")
+{
+    assert(torus.columns * torus.rows == num_cmps);
+    const std::size_t cores = num_cmps * cores_per_cmp;
+    _l2s.reserve(cores);
+    for (CoreId c = 0; c < cores; ++c) {
+        _l2s.push_back(std::make_unique<L2Cache>(
+            "dir.l2." + std::to_string(c), l2_entries, l2_ways));
+    }
+}
+
+Cycle
+DirectoryMachine::hop(NodeId from, NodeId to)
+{
+    _stats.counter("messages").inc();
+    const auto hops = _torus.hops(from, to);
+    _stats.counter("message_hops").inc(hops);
+    return _torus.lineLatency(from, to);
+}
+
+double
+DirectoryMachine::energyNj() const
+{
+    return _stats.counterValue("message_hops") * _params.messageHopNj +
+           _stats.counterValue("probes") * _params.probeNj +
+           _stats.counterValue("dir_accesses") * _params.directoryNj +
+           _stats.counterValue("dram_accesses") * _params.dramLineNj;
+}
+
+void
+DirectoryMachine::handleEviction(const L2Cache::Eviction &ev, CoreId core)
+{
+    if (!ev.valid)
+        return;
+    // Keep the directory exact: evictions notify the home immediately
+    // (latency is off the critical path; the message is still charged).
+    DirEntry &e = entry(ev.addr);
+    hop(cmpOf(core), homeOf(ev.addr));
+    _stats.counter("dir_accesses").inc();
+    if (isDirtyState(ev.state)) {
+        _stats.counter("dram_accesses").inc(); // writeback
+        _stats.counter("writebacks").inc();
+    }
+    if (e.owner == core)
+        e.owner = kInvalidCore;
+    e.sharers.erase(core);
+}
+
+void
+DirectoryMachine::fill(CoreId core, Addr line, LineState st)
+{
+    const auto ev = _l2s[core]->fill(lineAddr(line), st);
+    handleEviction(ev, core);
+}
+
+void
+DirectoryMachine::finish(Addr line, CoreId core, bool is_write,
+                         Cycle delay)
+{
+    _queue.schedule(delay, [this, line, core, is_write]() {
+        if (_onComplete)
+            _onComplete(core, line, is_write);
+        release(line);
+    });
+}
+
+void
+DirectoryMachine::release(Addr line)
+{
+    DirEntry &e = entry(line);
+    assert(e.busy);
+    e.busy = false;
+    // Keep dispatching waiters until one takes the entry: a queued
+    // request that resolves as a plain hit (the previous transaction
+    // filled its cache) must not strand the requests behind it.
+    while (!e.busy && !e.waiting.empty()) {
+        auto next = std::move(e.waiting.front());
+        e.waiting.pop_front();
+        next();
+    }
+}
+
+void
+DirectoryMachine::coreRead(CoreId core, Addr addr, unsigned)
+{
+    const Addr line = lineAddr(addr);
+    _stats.counter("reads").inc();
+
+    if (isValidState(_l2s[core]->state(line))) {
+        _l2s[core]->touch(line);
+        _stats.counter("read_l2_hits").inc();
+        _queue.schedule(_params.l2RoundTrip, [this, core, line]() {
+            if (_onComplete)
+                _onComplete(core, line, false);
+        });
+        return;
+    }
+    startRead(core, line);
+}
+
+void
+DirectoryMachine::startRead(CoreId core, Addr line)
+{
+    DirEntry &e = entry(line);
+    if (e.busy) {
+        e.waiting.push_back([this, core, line]() {
+            // Re-evaluate: the previous transaction may have filled us.
+            coreRead(core, line);
+        });
+        _stats.counter("dir_queued").inc();
+        return;
+    }
+    e.busy = true;
+    _stats.counter("read_misses").inc();
+
+    const NodeId req_cmp = cmpOf(core);
+    const NodeId home = homeOf(line);
+    // Requester -> home, directory lookup.
+    Cycle lat = _params.l2RoundTrip + hop(req_cmp, home) +
+                _params.directoryAccess;
+    _stats.counter("dir_accesses").inc();
+
+    if (e.owner != kInvalidCore) {
+        // 3-hop intervention: home forwards to the owner, which
+        // downgrades and supplies the requester directly.
+        const CoreId owner = e.owner;
+        const NodeId owner_cmp = cmpOf(owner);
+        lat += hop(home, owner_cmp) + _params.snoopTime +
+               hop(owner_cmp, req_cmp);
+        _stats.counter("probes").inc();
+        _stats.counter("interventions").inc();
+        const LineState owner_state = _l2s[owner]->state(line);
+        assert(isValidState(owner_state));
+        if (isDirtyState(owner_state)) {
+            // Dirty data also goes back to the home's memory (MESI
+            // sharing leaves memory clean).
+            hop(owner_cmp, home);
+            _stats.counter("dram_accesses").inc();
+        }
+        _l2s[owner]->changeState(line, LineState::Shared);
+        e.sharers.insert(owner);
+        e.owner = kInvalidCore;
+        e.sharers.insert(core);
+        fill(core, line, LineState::Shared);
+        finish(line, core, false, lat);
+        return;
+    }
+
+    // Memory supplies; exclusive if nobody shares it.
+    lat += _params.dramAccess + hop(home, req_cmp);
+    _stats.counter("dram_accesses").inc();
+    _stats.counter("memory_supplies").inc();
+    if (e.sharers.empty()) {
+        e.owner = core;
+        fill(core, line, LineState::Exclusive);
+    } else {
+        e.sharers.insert(core);
+        fill(core, line, LineState::Shared);
+    }
+    finish(line, core, false, lat);
+}
+
+void
+DirectoryMachine::coreWrite(CoreId core, Addr addr, unsigned)
+{
+    const Addr line = lineAddr(addr);
+    _stats.counter("writes").inc();
+
+    const LineState st = _l2s[core]->state(line);
+    if (isWritableState(st)) {
+        if (st == LineState::Exclusive)
+            _l2s[core]->changeState(line, LineState::Dirty);
+        _l2s[core]->touch(line);
+        _stats.counter("write_l2_hits").inc();
+        _queue.schedule(_params.l2RoundTrip, [this, core, line]() {
+            if (_onComplete)
+                _onComplete(core, line, true);
+        });
+        return;
+    }
+    startWrite(core, line);
+}
+
+void
+DirectoryMachine::startWrite(CoreId core, Addr line)
+{
+    DirEntry &e = entry(line);
+    if (e.busy) {
+        e.waiting.push_back([this, core, line]() {
+            coreWrite(core, line);
+        });
+        _stats.counter("dir_queued").inc();
+        return;
+    }
+    e.busy = true;
+    _stats.counter("write_misses").inc();
+
+    const NodeId req_cmp = cmpOf(core);
+    const NodeId home = homeOf(line);
+    Cycle lat = _params.l2RoundTrip + hop(req_cmp, home) +
+                _params.directoryAccess;
+    _stats.counter("dir_accesses").inc();
+
+    const bool had_copy = isValidState(_l2s[core]->state(line));
+    Cycle data_lat = 0; // beyond the directory access, in parallel with
+                        // the invalidations
+
+    if (e.owner != kInvalidCore && e.owner != core) {
+        // Transfer ownership: the owner is invalidated and ships the
+        // line straight to the writer.
+        const CoreId owner = e.owner;
+        const NodeId owner_cmp = cmpOf(owner);
+        data_lat = hop(home, owner_cmp) + _params.snoopTime +
+                   hop(owner_cmp, req_cmp);
+        _stats.counter("probes").inc();
+        _stats.counter("interventions").inc();
+        _l2s[owner]->invalidate(line);
+        e.owner = kInvalidCore;
+    } else if (!had_copy) {
+        // Memory provides the data.
+        data_lat = _params.dramAccess + hop(home, req_cmp);
+        _stats.counter("dram_accesses").inc();
+        _stats.counter("memory_supplies").inc();
+    }
+
+    // Parallel invalidations of every sharer; the slowest ack gates the
+    // grant (classic directory write).
+    Cycle inv_lat = 0;
+    for (CoreId sharer : e.sharers) {
+        if (sharer == core)
+            continue;
+        const NodeId scmp = cmpOf(sharer);
+        const Cycle rt = hop(home, scmp) + _params.snoopTime +
+                         hop(scmp, home);
+        _stats.counter("probes").inc();
+        _stats.counter("invalidations").inc();
+        inv_lat = std::max(inv_lat, rt);
+        _l2s[sharer]->invalidate(line);
+    }
+    if (inv_lat > 0)
+        inv_lat += hop(home, req_cmp); // grant after the last ack
+
+    e.sharers.clear();
+    e.owner = core;
+    if (had_copy)
+        _l2s[core]->changeState(line, LineState::Dirty);
+    else
+        fill(core, line, LineState::Dirty);
+
+    finish(line, core, true, lat + std::max(data_lat, inv_lat));
+}
+
+std::vector<std::string>
+DirectoryMachine::validate() const
+{
+    std::vector<std::string> problems;
+    // Cache-side: collect holders per line.
+    std::unordered_map<Addr, std::vector<std::pair<CoreId, LineState>>>
+        holders;
+    for (CoreId c = 0; c < _l2s.size(); ++c) {
+        _l2s[c]->forEachLine([&](Addr line, LineState st) {
+            holders[line].emplace_back(c, st);
+        });
+    }
+    for (const auto &[line, list] : holders) {
+        unsigned exclusive = 0;
+        for (const auto &[core, st] : list)
+            exclusive += isWritableState(st);
+        if (exclusive > 1 || (exclusive == 1 && list.size() > 1)) {
+            std::ostringstream oss;
+            oss << "line 0x" << std::hex << line << std::dec
+                << " has an exclusive copy next to others";
+            problems.push_back(oss.str());
+        }
+        auto dir_it = _directory.find(line);
+        for (const auto &[core, st] : list) {
+            const bool known =
+                dir_it != _directory.end() &&
+                (dir_it->second.owner == core ||
+                 dir_it->second.sharers.count(core));
+            if (!known) {
+                std::ostringstream oss;
+                oss << "line 0x" << std::hex << line << std::dec
+                    << " cached by core " << core
+                    << " but unknown to the directory";
+                problems.push_back(oss.str());
+            }
+        }
+    }
+    // Directory-side: the owner must really hold the line.
+    for (const auto &[line, e] : _directory) {
+        if (e.owner != kInvalidCore &&
+            !isValidState(_l2s[e.owner]->state(line))) {
+            std::ostringstream oss;
+            oss << "line 0x" << std::hex << line << std::dec
+                << " owner " << e.owner << " holds nothing";
+            problems.push_back(oss.str());
+        }
+    }
+    return problems;
+}
+
+} // namespace flexsnoop

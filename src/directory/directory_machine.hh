@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Directory-protocol comparator (paper §2.1.2).
+ *
+ * The paper positions the embedded ring against the classic
+ * alternatives; directories "are scalable, [but] add non-negligible
+ * overhead to a mid-range machine — directories introduce a
+ * time-consuming indirection in all transactions". This module
+ * implements a flat, full-map, home-node MESI directory over the same
+ * substrate (same L2 geometry, 2D-torus network, DRAM timing) so the
+ * claim can be measured: every miss takes requester -> home
+ * (directory) -> owner/memory -> requester, versus the ring's direct
+ * snoop path.
+ *
+ * The directory serializes same-line transactions with a per-entry
+ * busy bit and request queue (its correctness appeal: no squash/retry
+ * machinery is needed).
+ */
+
+#ifndef FLEXSNOOP_DIRECTORY_DIRECTORY_MACHINE_HH
+#define FLEXSNOOP_DIRECTORY_DIRECTORY_MACHINE_HH
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/request_port.hh"
+#include "mem/l2_cache.hh"
+#include "net/data_network.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace flexsnoop
+{
+
+/** Timing/energy parameters of the directory machine. */
+struct DirectoryParams
+{
+    Cycle l2RoundTrip = 11;
+    Cycle directoryAccess = 20; ///< lookup/update of one entry
+    Cycle snoopTime = 55;       ///< probing a remote L2
+    Cycle dramAccess = 300;     ///< array access at the home node
+
+    double messageHopNj = 3.17; ///< per network link traversal
+    double probeNj = 0.69;      ///< remote L2 probe
+    double directoryNj = 0.2;   ///< directory entry access
+    double dramLineNj = 24.0;
+};
+
+/**
+ * A complete machine running the flat directory MESI protocol.
+ *
+ * Drives the same WorkloadRunner as the ring machine through the
+ * RequestPort interface; see bench_comparison_directory.
+ */
+class DirectoryMachine : public RequestPort
+{
+  public:
+    /**
+     * @param num_cmps   home/directory nodes (torus positions)
+     * @param cores_per_cmp cores per node (each with a private L2)
+     */
+    DirectoryMachine(std::size_t num_cmps, std::size_t cores_per_cmp,
+                     std::size_t l2_entries, std::size_t l2_ways,
+                     const TorusParams &torus,
+                     const DirectoryParams &params = DirectoryParams{});
+
+    void coreRead(CoreId core, Addr addr, unsigned retries = 0) override;
+    void coreWrite(CoreId core, Addr addr, unsigned retries = 0) override;
+    void
+    setCompletionHandler(CompletionFn fn) override
+    {
+        _onComplete = std::move(fn);
+    }
+
+    EventQueue &queue() { return _queue; }
+    std::size_t numCores() const { return _l2s.size(); }
+
+    NodeId
+    cmpOf(CoreId core) const
+    {
+        return static_cast<NodeId>(core / _coresPerCmp);
+    }
+
+    NodeId
+    homeOf(Addr line) const
+    {
+        return static_cast<NodeId>(lineIndex(line) % _numCmps);
+    }
+
+    /** Total snoop-protocol energy (nJ), same categories as Fig. 9. */
+    double energyNj() const;
+
+    /** Lines the directory currently tracks (storage footprint). */
+    std::size_t trackedLines() const { return _directory.size(); }
+
+    /**
+     * Directory storage in bits: per tracked line, an owner id plus a
+     * full-map presence bit per core (the cost the paper holds against
+     * directories on mid-range machines).
+     */
+    std::uint64_t
+    storageBits() const
+    {
+        const std::uint64_t per_entry = 16 + numCores();
+        return trackedLines() * per_entry;
+    }
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+    /**
+     * Validate directory/cache consistency: at most one E/D owner per
+     * line, the directory's owner actually holds the line, and no
+     * cache holds a line the directory believes uncached.
+     * @return human-readable violations (empty = consistent)
+     */
+    std::vector<std::string> validate() const;
+
+    LineState
+    coreState(CoreId core, Addr line) const
+    {
+        return _l2s[core]->state(lineAddr(line));
+    }
+
+  private:
+    struct DirEntry
+    {
+        CoreId owner = kInvalidCore; ///< E or D holder
+        std::set<CoreId> sharers;    ///< S holders
+        bool busy = false;
+        std::deque<std::function<void()>> waiting;
+    };
+
+    DirEntry &entry(Addr line) { return _directory[lineAddr(line)]; }
+
+    /** Torus latency between two CMPs plus the message energy/stats. */
+    Cycle hop(NodeId from, NodeId to);
+
+    void startRead(CoreId core, Addr line);
+    void startWrite(CoreId core, Addr line);
+    void finish(Addr line, CoreId core, bool is_write, Cycle delay);
+    void release(Addr line);
+
+    /** Fill @p line into @p core's L2, handling the eviction. */
+    void fill(CoreId core, Addr line, LineState st);
+    void handleEviction(const L2Cache::Eviction &ev, CoreId core);
+
+    std::size_t _numCmps;
+    std::size_t _coresPerCmp;
+    DirectoryParams _params;
+    EventQueue _queue;
+    DataNetwork _torus;
+    std::vector<std::unique_ptr<L2Cache>> _l2s;
+    std::unordered_map<Addr, DirEntry> _directory;
+    CompletionFn _onComplete;
+    StatGroup _stats;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_DIRECTORY_DIRECTORY_MACHINE_HH

@@ -1,0 +1,64 @@
+#include "energy/energy_model.hh"
+
+#include <iomanip>
+
+namespace flexsnoop
+{
+
+std::string_view
+toString(EnergyEvent e)
+{
+    switch (e) {
+      case EnergyEvent::RingLinkMessage: return "ring_link_message";
+      case EnergyEvent::CmpSnoop: return "cmp_snoop";
+      case EnergyEvent::PredictorAccess: return "predictor_access";
+      case EnergyEvent::PredictorTrain: return "predictor_train";
+      case EnergyEvent::DowngradeCacheOp: return "downgrade_cache_op";
+      case EnergyEvent::DowngradeWriteback: return "downgrade_writeback";
+      case EnergyEvent::DowngradeReRead: return "downgrade_reread";
+      case EnergyEvent::NumEvents: break;
+    }
+    return "?";
+}
+
+double
+EnergyParams::perEventNj(EnergyEvent e) const
+{
+    switch (e) {
+      case EnergyEvent::RingLinkMessage: return ringLinkMessageNj;
+      case EnergyEvent::CmpSnoop: return cmpSnoopNj;
+      case EnergyEvent::PredictorAccess: return predictorAccessNj;
+      case EnergyEvent::PredictorTrain: return predictorTrainNj;
+      case EnergyEvent::DowngradeCacheOp: return downgradeCacheOpNj;
+      case EnergyEvent::DowngradeWriteback: return dramLineNj;
+      case EnergyEvent::DowngradeReRead: return dramLineNj;
+      case EnergyEvent::NumEvents: break;
+    }
+    return 0.0;
+}
+
+double
+EnergyModel::totalNj() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < kNumEnergyEvents; ++i) {
+        const auto e = static_cast<EnergyEvent>(i);
+        total += categoryNj(e);
+    }
+    return total;
+}
+
+void
+EnergyModel::dump(std::ostream &os) const
+{
+    os << "energy breakdown (nJ):\n";
+    for (std::size_t i = 0; i < kNumEnergyEvents; ++i) {
+        const auto e = static_cast<EnergyEvent>(i);
+        os << "  " << std::left << std::setw(22) << toString(e)
+           << " count=" << std::setw(12) << count(e)
+           << " energy=" << categoryNj(e) << '\n';
+    }
+    os << "  total = " << totalNj() << " nJ\n";
+}
+
+} // namespace flexsnoop

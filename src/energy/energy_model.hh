@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Snoop-activity energy accounting (paper §6.1.4).
+ *
+ * The paper charges the energy of read and write snoop requests/replies:
+ *  - transmitting a message over one ring link   (3.17 nJ, HyperTransport)
+ *  - snooping all L2s of one CMP                 (0.69 nJ, CACTI)
+ *  - accessing / training the Supplier Predictor (CACTI-scale estimate)
+ *  - for Exact only: the downgrade cache operations plus the resulting
+ *    writebacks to and eventual re-reads from main memory (24 nJ per
+ *    DRAM line access, Micron system-power calculator)
+ *
+ * Regular data transfers and demand memory reads are *not* charged: they
+ * are common to all algorithms and the paper's Figure 9 excludes them.
+ */
+
+#ifndef FLEXSNOOP_ENERGY_ENERGY_MODEL_HH
+#define FLEXSNOOP_ENERGY_ENERGY_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace flexsnoop
+{
+
+enum class EnergyEvent : std::size_t
+{
+    RingLinkMessage = 0, ///< one message over one ring link
+    CmpSnoop,            ///< parallel probe of all L2s in a CMP
+    PredictorAccess,     ///< Supplier Predictor lookup
+    PredictorTrain,      ///< Supplier Predictor insert/remove
+    DowngradeCacheOp,    ///< cache state write for a forced downgrade
+    DowngradeWriteback,  ///< DRAM writeback caused by a downgrade
+    DowngradeReRead,     ///< DRAM read that a downgrade made necessary
+    NumEvents,
+};
+
+constexpr std::size_t kNumEnergyEvents =
+    static_cast<std::size_t>(EnergyEvent::NumEvents);
+
+std::string_view toString(EnergyEvent e);
+
+/** Per-event energies in nanojoules. */
+struct EnergyParams
+{
+    double ringLinkMessageNj = 3.17; ///< paper §6.1.4
+    double cmpSnoopNj = 0.69;        ///< paper §6.1.4
+    double predictorAccessNj = 0.08; ///< CACTI-scale, ~2-8 KB structure
+    double predictorTrainNj = 0.10;
+    double downgradeCacheOpNj = 0.69;
+    double dramLineNj = 24.0;        ///< paper §6.1.4
+
+    double perEventNj(EnergyEvent e) const;
+};
+
+/**
+ * Event-count based energy accumulator; one per simulation.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams{})
+        : _params(params)
+    {
+        _counts.fill(0);
+    }
+
+    void
+    record(EnergyEvent e, std::uint64_t count = 1)
+    {
+        _counts[static_cast<std::size_t>(e)] += count;
+    }
+
+    std::uint64_t
+    count(EnergyEvent e) const
+    {
+        return _counts[static_cast<std::size_t>(e)];
+    }
+
+    double
+    categoryNj(EnergyEvent e) const
+    {
+        return count(e) * _params.perEventNj(e);
+    }
+
+    /** Total snoop-related energy in nanojoules. */
+    double totalNj() const;
+
+    const EnergyParams &params() const { return _params; }
+
+    void reset() { _counts.fill(0); }
+
+    /** Per-category breakdown table. */
+    void dump(std::ostream &os) const;
+
+  private:
+    EnergyParams _params;
+    std::array<std::uint64_t, kNumEnergyEvents> _counts;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_ENERGY_ENERGY_MODEL_HH

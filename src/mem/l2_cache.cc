@@ -1,0 +1,86 @@
+#include "mem/l2_cache.hh"
+
+#include <cassert>
+
+namespace flexsnoop
+{
+
+L2Cache::L2Cache(const std::string &name, std::size_t entries,
+                 std::size_t ways)
+    : _array(entries, ways), _stats(name)
+{
+}
+
+LineState
+L2Cache::state(Addr line) const
+{
+    const auto *way = _array.lookup(lineAddr(line));
+    return way ? way->data : LineState::Invalid;
+}
+
+L2Cache::Eviction
+L2Cache::fill(Addr line, LineState st)
+{
+    assert(isValidState(st));
+    line = lineAddr(line);
+    Eviction ev;
+    // A racing transaction may have installed the line already (e.g. a
+    // retried write completing after a merged read): treat the fill as a
+    // state change so observers see the true old state.
+    if (auto *way = _array.lookup(line, true)) {
+        const LineState from = way->data;
+        way->data = st;
+        _stats.counter("refills").inc();
+        notify(line, from, st);
+        return ev;
+    }
+    const auto result = _array.insert(line, st);
+    if (result.evicted) {
+        ev.valid = true;
+        ev.addr = result.evictedAddr;
+        ev.state = result.evictedPayload;
+        _stats.counter("evictions").inc();
+        notify(ev.addr, ev.state, LineState::Invalid);
+    }
+    _stats.counter("fills").inc();
+    notify(line, LineState::Invalid, st);
+    return ev;
+}
+
+void
+L2Cache::changeState(Addr line, LineState to)
+{
+    line = lineAddr(line);
+    auto *way = _array.lookup(line, false);
+    assert(way != nullptr && "changeState on a non-resident line");
+    const LineState from = way->data;
+    if (to == LineState::Invalid) {
+        _array.erase(line);
+        _stats.counter("invalidations").inc();
+    } else {
+        way->data = to;
+    }
+    notify(line, from, to);
+}
+
+LineState
+L2Cache::invalidate(Addr line)
+{
+    line = lineAddr(line);
+    auto *way = _array.lookup(line, false);
+    if (!way)
+        return LineState::Invalid;
+    const LineState from = way->data;
+    _array.erase(line);
+    _stats.counter("invalidations").inc();
+    notify(line, from, LineState::Invalid);
+    return from;
+}
+
+void
+L2Cache::touch(Addr line)
+{
+    _array.lookup(lineAddr(line), true);
+}
+
+} // namespace flexsnoop

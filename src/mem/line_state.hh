@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Coherence line states of the embedded-ring protocol (paper §2.2).
+ *
+ * The protocol is MESI extended with:
+ *  - SL: Shared, Local Master  — the one cache per CMP that brought the
+ *        line into the CMP; supplies the line to reads from the same CMP.
+ *  - SG: Shared, Global Master — the one cache in the machine that brought
+ *        the line from memory; supplies the line to reads from other CMPs.
+ *  - T:  Tagged — dirty but shared; the T holder supplies the line and
+ *        writes it back on eviction.
+ *
+ * Supplier states (can answer a ring snoop): SG, E, D, T.
+ * Local-supplier states (can answer an intra-CMP probe): SL + supplier set.
+ */
+
+#ifndef FLEXSNOOP_MEM_LINE_STATE_HH
+#define FLEXSNOOP_MEM_LINE_STATE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace flexsnoop
+{
+
+enum class LineState : std::uint8_t
+{
+    Invalid = 0,      ///< I
+    Shared,           ///< S  — plain shared copy
+    SharedLocal,      ///< SL — shared, local master within its CMP
+    SharedGlobal,     ///< SG — shared, global master
+    Exclusive,        ///< E  — clean exclusive
+    Dirty,            ///< D  — modified exclusive
+    Tagged,           ///< T  — modified but shared (owner)
+};
+
+constexpr std::size_t kNumLineStates = 7;
+
+/** True if a cache in this state answers a ring snoop (paper: SG,E,D,T). */
+constexpr bool
+isSupplierState(LineState s)
+{
+    return s == LineState::SharedGlobal || s == LineState::Exclusive ||
+           s == LineState::Dirty || s == LineState::Tagged;
+}
+
+/** True if this state can satisfy a read from a core in the same CMP. */
+constexpr bool
+isLocalSupplierState(LineState s)
+{
+    return s == LineState::SharedLocal || isSupplierState(s);
+}
+
+/** True if the line holds data newer than memory (writeback on eviction). */
+constexpr bool
+isDirtyState(LineState s)
+{
+    return s == LineState::Dirty || s == LineState::Tagged;
+}
+
+/** True if the holder may write without a coherence transaction. */
+constexpr bool
+isWritableState(LineState s)
+{
+    return s == LineState::Exclusive || s == LineState::Dirty;
+}
+
+constexpr bool
+isValidState(LineState s)
+{
+    return s != LineState::Invalid;
+}
+
+/** Short mnemonic used in logs and test failure messages. */
+constexpr std::string_view
+toString(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid: return "I";
+      case LineState::Shared: return "S";
+      case LineState::SharedLocal: return "SL";
+      case LineState::SharedGlobal: return "SG";
+      case LineState::Exclusive: return "E";
+      case LineState::Dirty: return "D";
+      case LineState::Tagged: return "T";
+    }
+    return "?";
+}
+
+/**
+ * Compatibility matrix from paper Figure 2-(b).
+ *
+ * Returns true when two *different* caches may simultaneously hold the
+ * same line in states @p a and @p b. @p same_cmp selects the intra-CMP
+ * column variants: SL/SG marked "*" in the paper are compatible with a
+ * second SL/SG only if the two caches are in different CMPs.
+ */
+constexpr bool
+statesCompatible(LineState a, LineState b, bool same_cmp)
+{
+    using LS = LineState;
+    // Invalid goes with everything.
+    if (a == LS::Invalid || b == LS::Invalid)
+        return true;
+    // Exclusive and Dirty tolerate no other valid copy.
+    if (a == LS::Exclusive || a == LS::Dirty || b == LS::Exclusive ||
+        b == LS::Dirty)
+        return false;
+    // At most one global master / owner in the machine.
+    if ((a == LS::SharedGlobal && b == LS::SharedGlobal) ||
+        (a == LS::Tagged && b == LS::Tagged))
+        return false;
+    // SG and T are both "the" supplier; they cannot coexist.
+    if ((a == LS::SharedGlobal && b == LS::Tagged) ||
+        (a == LS::Tagged && b == LS::SharedGlobal))
+        return false;
+    // At most one local master per CMP.
+    if (same_cmp && a == LS::SharedLocal && b == LS::SharedLocal)
+        return false;
+    // The paper's "*" entries: a second SL or SG next to an SL/SG holder
+    // must live in a different CMP (the local/global master roles are
+    // unique within a CMP).
+    if (same_cmp && ((a == LS::SharedLocal && b == LS::SharedGlobal) ||
+                     (a == LS::SharedGlobal && b == LS::SharedLocal)))
+        return false;
+    if (same_cmp && ((a == LS::Tagged && b == LS::SharedLocal) ||
+                     (a == LS::SharedLocal && b == LS::Tagged)))
+        return false;
+    return true;
+}
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_MEM_LINE_STATE_HH

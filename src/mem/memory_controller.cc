@@ -1,0 +1,80 @@
+#include "mem/memory_controller.hh"
+
+#include <cassert>
+
+namespace flexsnoop
+{
+
+MemoryController::MemoryController(std::size_t num_nodes,
+                                   const MemoryParams &params)
+    : _numNodes(num_nodes), _params(params), _buffers(num_nodes),
+      _stats("memory")
+{
+    assert(num_nodes > 0);
+}
+
+void
+MemoryController::notifySnoopAtHome(Addr line, Cycle now)
+{
+    if (!_params.prefetchEnabled)
+        return;
+    line = lineAddr(line);
+    PrefetchBuffer &buf = _buffers[homeNode(line)];
+    if (buf.ready.count(line))
+        return; // already being prefetched
+    while (buf.fifo.size() >= _params.prefetchBufferEntries) {
+        buf.ready.erase(buf.fifo.front().line);
+        buf.fifo.pop_front();
+        _stats.counter("prefetch_displaced").inc();
+    }
+    const Cycle ready = now + _params.dramAccess;
+    buf.fifo.push_back(PrefetchEntry{line, ready});
+    buf.ready.emplace(line, ready);
+    _stats.counter("prefetches").inc();
+}
+
+Cycle
+MemoryController::readLatency(Addr line, NodeId requester, Cycle now)
+{
+    line = lineAddr(line);
+    _stats.counter("reads").inc();
+    const NodeId home = homeNode(line);
+    if (home == requester) {
+        _stats.counter("reads_local").inc();
+        return _params.localRoundTrip;
+    }
+    PrefetchBuffer &buf = _buffers[home];
+    auto it = buf.ready.find(line);
+    if (it != buf.ready.end()) {
+        const Cycle ready = it->second;
+        // Consume the buffered line.
+        buf.ready.erase(it);
+        for (auto fifo_it = buf.fifo.begin(); fifo_it != buf.fifo.end();
+             ++fifo_it) {
+            if (fifo_it->line == line) {
+                buf.fifo.erase(fifo_it);
+                break;
+            }
+        }
+        if (ready <= now + _params.remotePrefetchRoundTrip) {
+            // Data is (or will be) in the buffer by the time the request
+            // message reaches the home node: reduced round trip.
+            _stats.counter("reads_prefetched").inc();
+            Cycle latency = _params.remotePrefetchRoundTrip;
+            if (ready > now)
+                latency += (ready - now) / 2; // partial overlap
+            return latency;
+        }
+    }
+    _stats.counter("reads_remote").inc();
+    return _params.remoteRoundTrip;
+}
+
+void
+MemoryController::writeback(Addr line)
+{
+    (void)line;
+    _stats.counter("writebacks").inc();
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Main-memory model: home-node mapping, access latency, and the
+ * home-node prefetch heuristic of paper §2.2.
+ *
+ * Shared memory is distributed across CMPs; a line's home node is derived
+ * from its address. When a read snoop request passes its home node on the
+ * ring, the home may start a DRAM prefetch into a small buffer so that a
+ * later explicit memory read (issued after the snoop came back negative)
+ * completes with the reduced "with prefetch" round trip (paper Table 4:
+ * 312 vs 710 cycles remote).
+ */
+
+#ifndef FLEXSNOOP_MEM_MEMORY_CONTROLLER_HH
+#define FLEXSNOOP_MEM_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+/** Latency configuration for the memory model (processor cycles). */
+struct MemoryParams
+{
+    Cycle localRoundTrip = 350;          ///< requester == home
+    Cycle remoteRoundTrip = 710;         ///< no prefetch available
+    Cycle remotePrefetchRoundTrip = 312; ///< prefetched data ready at home
+    Cycle dramAccess = 300;              ///< DRAM array access (50 ns @6GHz)
+    std::size_t prefetchBufferEntries = 64; ///< per home node
+    bool prefetchEnabled = true;
+};
+
+class MemoryController
+{
+  public:
+    MemoryController(std::size_t num_nodes, const MemoryParams &params);
+
+    /** Home CMP of @p line (line-interleaved across nodes). */
+    NodeId
+    homeNode(Addr line) const
+    {
+        return static_cast<NodeId>(lineIndex(line) % _numNodes);
+    }
+
+    /**
+     * A read snoop request for @p line passed its home node at @p now;
+     * start a prefetch if the heuristic allows.
+     */
+    void notifySnoopAtHome(Addr line, Cycle now);
+
+    /**
+     * Latency of an explicit memory read for @p line issued by
+     * @p requester at cycle @p now. Consumes a matching prefetch-buffer
+     * entry when one is ready.
+     */
+    Cycle readLatency(Addr line, NodeId requester, Cycle now);
+
+    /** Account a writeback of a dirty line (posted; no latency). */
+    void writeback(Addr line);
+
+    std::uint64_t reads() const { return _stats.counterValue("reads"); }
+    std::uint64_t writebacks() const
+    {
+        return _stats.counterValue("writebacks");
+    }
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    struct PrefetchEntry
+    {
+        Addr line;
+        Cycle ready;
+    };
+
+    /** FIFO prefetch buffer of one home node. */
+    struct PrefetchBuffer
+    {
+        std::deque<PrefetchEntry> fifo;
+        std::unordered_map<Addr, Cycle> ready;
+    };
+
+    std::size_t _numNodes;
+    MemoryParams _params;
+    std::vector<PrefetchBuffer> _buffers;
+    StatGroup _stats;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_MEM_MEMORY_CONTROLLER_HH

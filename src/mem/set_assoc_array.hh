@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Generic set-associative tag array with true-LRU replacement.
+ *
+ * Reused by the L2 caches (payload = LineState) and by the address-only
+ * predictor structures (payload = empty). Addresses are line addresses;
+ * the array derives the set index from the line index bits.
+ */
+
+#ifndef FLEXSNOOP_MEM_SET_ASSOC_ARRAY_HH
+#define FLEXSNOOP_MEM_SET_ASSOC_ARRAY_HH
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+/**
+ * Result of an insertion: where the line landed and what was evicted.
+ */
+template <typename Payload>
+struct InsertResult
+{
+    bool evicted = false;   ///< a valid victim was displaced
+    Addr evictedAddr = kInvalidAddr;
+    Payload evictedPayload{};
+};
+
+template <typename Payload>
+class SetAssocArray
+{
+  public:
+    struct Way
+    {
+        Addr tag = kInvalidAddr; ///< full line address (not just tag bits)
+        bool valid = false;
+        std::uint64_t lru = 0;   ///< larger = more recently used
+        Payload data{};
+    };
+
+    /**
+     * @param num_entries total entries (must be a multiple of @p ways)
+     * @param ways        associativity
+     */
+    SetAssocArray(std::size_t num_entries, std::size_t ways)
+        : _ways(ways), _sets(num_entries / ways),
+          _array(num_entries)
+    {
+        assert(ways > 0);
+        assert(num_entries % ways == 0);
+        assert(_sets > 0);
+    }
+
+    std::size_t numEntries() const { return _array.size(); }
+    std::size_t numSets() const { return _sets; }
+    std::size_t associativity() const { return _ways; }
+
+    /** Number of currently valid entries (O(n); for stats/tests). */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const auto &w : _array)
+            n += w.valid;
+        return n;
+    }
+
+    /** Set index for a line address. */
+    std::size_t
+    setIndex(Addr line) const
+    {
+        return static_cast<std::size_t>(lineIndex(line)) % _sets;
+    }
+
+    /**
+     * Look up @p line; returns the way or nullptr. Updates LRU when
+     * @p touch is true.
+     */
+    Way *
+    lookup(Addr line, bool touch = true)
+    {
+        line = lineAddr(line);
+        const std::size_t base = setIndex(line) * _ways;
+        for (std::size_t i = 0; i < _ways; ++i) {
+            Way &w = _array[base + i];
+            if (w.valid && w.tag == line) {
+                if (touch)
+                    w.lru = ++_clock;
+                return &w;
+            }
+        }
+        return nullptr;
+    }
+
+    const Way *
+    lookup(Addr line) const
+    {
+        return const_cast<SetAssocArray *>(this)->lookup(line, false);
+    }
+
+    /**
+     * Insert @p line with @p data, evicting the LRU way if the set is
+     * full. If the line is already present its payload is overwritten.
+     */
+    InsertResult<Payload>
+    insert(Addr line, Payload data = Payload{})
+    {
+        line = lineAddr(line);
+        InsertResult<Payload> result;
+        if (Way *hit = lookup(line, true)) {
+            hit->data = std::move(data);
+            return result;
+        }
+        const std::size_t base = setIndex(line) * _ways;
+        Way *victim = &_array[base];
+        for (std::size_t i = 0; i < _ways; ++i) {
+            Way &w = _array[base + i];
+            if (!w.valid) {
+                victim = &w;
+                break;
+            }
+            if (w.lru < victim->lru)
+                victim = &w;
+        }
+        if (victim->valid) {
+            result.evicted = true;
+            result.evictedAddr = victim->tag;
+            result.evictedPayload = std::move(victim->data);
+        }
+        victim->tag = line;
+        victim->valid = true;
+        victim->lru = ++_clock;
+        victim->data = std::move(data);
+        return result;
+    }
+
+    /** Remove @p line if present; @return true if it was there. */
+    bool
+    erase(Addr line)
+    {
+        if (Way *w = lookup(line, false)) {
+            w->valid = false;
+            w->tag = kInvalidAddr;
+            w->data = Payload{};
+            return true;
+        }
+        return false;
+    }
+
+    /** Invalidate every entry. */
+    void
+    clear()
+    {
+        for (auto &w : _array) {
+            w.valid = false;
+            w.tag = kInvalidAddr;
+            w.data = Payload{};
+        }
+    }
+
+    /** Visit every valid way (tag, payload ref). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (auto &w : _array) {
+            if (w.valid)
+                fn(w.tag, w.data);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &w : _array) {
+            if (w.valid)
+                fn(w.tag, w.data);
+        }
+    }
+
+  private:
+    std::size_t _ways;
+    std::size_t _sets;
+    std::vector<Way> _array;
+    std::uint64_t _clock = 0;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_MEM_SET_ASSOC_ARRAY_HH

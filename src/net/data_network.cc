@@ -1,0 +1,47 @@
+#include "net/data_network.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flexsnoop
+{
+
+DataNetwork::DataNetwork(const TorusParams &params)
+    : _params(params), _stats("torus")
+{
+    assert(params.columns >= 1 && params.rows >= 1);
+}
+
+std::uint32_t
+DataNetwork::hops(NodeId from, NodeId to) const
+{
+    assert(from < numNodes() && to < numNodes());
+    const auto cols = static_cast<std::uint32_t>(_params.columns);
+    const auto rows = static_cast<std::uint32_t>(_params.rows);
+    const std::uint32_t fx = from % cols, fy = from / cols;
+    const std::uint32_t tx = to % cols, ty = to / cols;
+    const std::uint32_t dx = fx > tx ? fx - tx : tx - fx;
+    const std::uint32_t dy = fy > ty ? fy - ty : ty - fy;
+    // Wrap-around links: the torus distance is the smaller way round.
+    const std::uint32_t wx = std::min(dx, cols - dx);
+    const std::uint32_t wy = std::min(dy, rows - dy);
+    return wx + wy;
+}
+
+Cycle
+DataNetwork::lineLatency(NodeId from, NodeId to) const
+{
+    return _params.perHopLatency * hops(from, to) +
+           _params.lineSerialization;
+}
+
+Cycle
+DataNetwork::transfer(NodeId from, NodeId to)
+{
+    _stats.counter("transfers").inc();
+    const Cycle lat = lineLatency(from, to);
+    _stats.scalar("transfer_latency").sample(static_cast<double>(lat));
+    return lat;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * 2D-torus data network latency model.
+ *
+ * Data lines (cache-to-cache transfers and memory replies) do not use the
+ * snoop ring; they travel the underlying physical network with regular
+ * routing (paper §2.2). We model the torus as a latency calculator:
+ * per-hop latency times the minimal torus distance, plus the time to
+ * serialize a 64 B line onto a 32 GB/s link. The torus is wide enough in
+ * the studied configurations that queueing is negligible, so links are
+ * not occupancy-tracked (unlike the snoop ring, which is the contended
+ * resource under study).
+ */
+
+#ifndef FLEXSNOOP_NET_DATA_NETWORK_HH
+#define FLEXSNOOP_NET_DATA_NETWORK_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+/** Shape and timing of the torus. */
+struct TorusParams
+{
+    std::size_t columns = 4;  ///< 8 CMPs laid out 4x2
+    std::size_t rows = 2;
+    Cycle perHopLatency = 20; ///< router + link traversal
+    Cycle lineSerialization = 12; ///< 64 B at 32 GB/s, 6 GHz
+};
+
+class DataNetwork
+{
+  public:
+    explicit DataNetwork(const TorusParams &params);
+
+    std::size_t numNodes() const { return _params.columns * _params.rows; }
+
+    /** Minimal hop count between two nodes on the torus. */
+    std::uint32_t hops(NodeId from, NodeId to) const;
+
+    /** One-way latency of a 64 B line transfer from @p from to @p to. */
+    Cycle lineLatency(NodeId from, NodeId to) const;
+
+    /**
+     * Account + compute the latency of a data transfer (the caller
+     * schedules the delivery event).
+     */
+    Cycle transfer(NodeId from, NodeId to);
+
+    std::uint64_t transfers() const
+    {
+        return _stats.counterValue("transfers");
+    }
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    TorusParams _params;
+    StatGroup _stats;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_NET_DATA_NETWORK_HH

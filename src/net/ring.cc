@@ -1,0 +1,80 @@
+#include "net/ring.hh"
+
+#include <cassert>
+#include <memory>
+
+#include "sim/log.hh"
+
+namespace flexsnoop
+{
+
+Ring::Ring(EventQueue &queue, std::size_t num_nodes,
+           const RingParams &params, const std::string &name)
+    : _queue(queue), _numNodes(num_nodes), _params(params),
+      _handlers(num_nodes), _linkFree(num_nodes, 0), _stats(name)
+{
+    assert(num_nodes >= 2);
+}
+
+void
+Ring::setHandler(NodeId n, Handler h)
+{
+    assert(n < _numNodes);
+    _handlers[n] = std::move(h);
+}
+
+void
+Ring::send(NodeId from, const SnoopMessage &msg)
+{
+    assert(from < _numNodes);
+    const NodeId to = successor(from);
+    const Cycle now = _queue.now();
+    const Cycle start = std::max(now, _linkFree[from]);
+    _linkFree[from] = start + _params.serialization;
+    const Cycle arrive = start + _params.linkLatency;
+
+    _stats.counter("link_traversals").inc();
+    if (start > now)
+        _stats.scalar("link_queueing").sample(
+            static_cast<double>(start - now));
+
+    FS_LOG(Trace, now, _stats.name(),
+           toString(msg.type) << " txn " << msg.txn << " line 0x"
+                              << std::hex << msg.line << std::dec << " "
+                              << from << "->" << to << " arr " << arrive);
+
+    _queue.scheduleAt(arrive, [this, to, msg]() {
+        assert(_handlers[to] && "message arrived at node with no handler");
+        _handlers[to](msg);
+    });
+}
+
+RingNetwork::RingNetwork(EventQueue &queue, std::size_t num_nodes,
+                         std::size_t num_rings, const RingParams &params)
+    : _numNodes(num_nodes)
+{
+    assert(num_rings >= 1);
+    _rings.reserve(num_rings);
+    for (std::size_t i = 0; i < num_rings; ++i) {
+        _rings.push_back(std::make_unique<Ring>(
+            queue, num_nodes, params, "ring" + std::to_string(i)));
+    }
+}
+
+void
+RingNetwork::setHandler(NodeId n, Ring::Handler h)
+{
+    for (auto &ring : _rings)
+        ring->setHandler(n, h);
+}
+
+std::uint64_t
+RingNetwork::linkTraversals() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ring : _rings)
+        total += ring->linkTraversals();
+    return total;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Embedded unidirectional ring(s) for snoop messages (paper §2.2).
+ *
+ * Each ring is a cycle of point-to-point links with fixed latency and a
+ * serialization time per message; links model occupancy, so heavy snoop
+ * traffic queues. Several rings may be embedded; addresses are
+ * interleaved across them to balance load. Every CMP registers a handler
+ * that is invoked when a message arrives at that node.
+ */
+
+#ifndef FLEXSNOOP_NET_RING_HH
+#define FLEXSNOOP_NET_RING_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+/** Timing configuration of one embedded ring. */
+struct RingParams
+{
+    Cycle linkLatency = 39;       ///< CMP-to-CMP latency (Table 4)
+    Cycle serialization = 8;      ///< link occupancy per message
+                                  ///< (~11 B msg at 8 GB/s, 6 GHz)
+};
+
+/**
+ * One unidirectional ring over @p numNodes CMPs.
+ *
+ * send() puts a message on the link leaving @p from; it arrives at
+ * (from+1) % N after the link latency, later if the link is busy.
+ */
+class Ring
+{
+  public:
+    using Handler = std::function<void(const SnoopMessage &)>;
+
+    Ring(EventQueue &queue, std::size_t num_nodes, const RingParams &params,
+         const std::string &name);
+
+    std::size_t numNodes() const { return _numNodes; }
+
+    /** Next node downstream of @p n. */
+    NodeId
+    successor(NodeId n) const
+    {
+        return static_cast<NodeId>((n + 1) % _numNodes);
+    }
+
+    /**
+     * Ring distance from @p from to @p to travelling downstream
+     * (0 when equal).
+     */
+    std::uint32_t
+    distance(NodeId from, NodeId to) const
+    {
+        return static_cast<std::uint32_t>(
+            (to + _numNodes - from) % _numNodes);
+    }
+
+    /** Register the arrival handler of node @p n. */
+    void setHandler(NodeId n, Handler h);
+
+    /**
+     * Transmit @p msg on the link leaving node @p from; it is delivered
+     * to the successor node. Accounts one link-message (energy/stats).
+     */
+    void send(NodeId from, const SnoopMessage &msg);
+
+    /** Total messages that traversed any link of this ring. */
+    std::uint64_t linkTraversals() const
+    {
+        return _stats.counterValue("link_traversals");
+    }
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    EventQueue &_queue;
+    std::size_t _numNodes;
+    RingParams _params;
+    std::vector<Handler> _handlers;
+    std::vector<Cycle> _linkFree; ///< next cycle each outgoing link is idle
+    StatGroup _stats;
+};
+
+/**
+ * The set of rings embedded in the machine's network.
+ *
+ * Snoop requests are mapped to a ring by line address (paper: "snoop
+ * requests may be mapped to different rings according to their memory
+ * address").
+ */
+class RingNetwork
+{
+  public:
+    RingNetwork(EventQueue &queue, std::size_t num_nodes,
+                std::size_t num_rings, const RingParams &params);
+
+    std::size_t numRings() const { return _rings.size(); }
+    std::size_t numNodes() const { return _numNodes; }
+
+    /** Ring used by @p line. */
+    std::size_t
+    ringIndex(Addr line) const
+    {
+        return static_cast<std::size_t>(lineIndex(line)) % _rings.size();
+    }
+
+    Ring &ring(std::size_t i) { return *_rings[i]; }
+    Ring &ringFor(Addr line) { return *_rings[ringIndex(line)]; }
+
+    /** Register node @p n's handler on every ring. */
+    void setHandler(NodeId n, Ring::Handler h);
+
+    /** Send @p msg (routed by its line address) out of node @p from. */
+    void
+    send(NodeId from, const SnoopMessage &msg)
+    {
+        ringFor(msg.line).send(from, msg);
+    }
+
+    /** Aggregate link traversals over all rings. */
+    std::uint64_t linkTraversals() const;
+
+  private:
+    std::size_t _numNodes;
+    std::vector<std::unique_ptr<Ring>> _rings;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_NET_RING_HH

@@ -1,0 +1,79 @@
+#include "predictor/bloom_filter.hh"
+
+#include <cassert>
+
+namespace flexsnoop
+{
+
+CountingBloomFilter::CountingBloomFilter(std::vector<unsigned> field_bits)
+{
+    assert(!field_bits.empty());
+    unsigned shift = 0;
+    _fields.reserve(field_bits.size());
+    for (unsigned bits : field_bits) {
+        assert(bits >= 1 && bits <= 20);
+        Field f;
+        f.shift = shift;
+        f.bits = bits;
+        f.counters.assign(std::size_t{1} << bits, 0);
+        _fields.push_back(std::move(f));
+        shift += bits;
+    }
+}
+
+std::size_t
+CountingBloomFilter::indexOf(const Field &f, Addr line) const
+{
+    const std::uint64_t idx = lineIndex(line);
+    return static_cast<std::size_t>(
+        (idx >> f.shift) & ((std::uint64_t{1} << f.bits) - 1));
+}
+
+void
+CountingBloomFilter::insert(Addr line)
+{
+    for (auto &f : _fields)
+        ++f.counters[indexOf(f, line)];
+    ++_population;
+}
+
+void
+CountingBloomFilter::remove(Addr line)
+{
+    for (auto &f : _fields) {
+        auto &c = f.counters[indexOf(f, line)];
+        assert(c > 0 && "bloom counter underflow: unbalanced remove");
+        --c;
+    }
+    assert(_population > 0);
+    --_population;
+}
+
+bool
+CountingBloomFilter::mayContain(Addr line) const
+{
+    for (const auto &f : _fields) {
+        if (f.counters[indexOf(f, line)] == 0)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+CountingBloomFilter::storageBits() const
+{
+    std::uint64_t entries = 0;
+    for (const auto &f : _fields)
+        entries += f.counters.size();
+    return entries * 17; // 16-bit counter + zero bit (paper Table 4)
+}
+
+void
+CountingBloomFilter::clear()
+{
+    for (auto &f : _fields)
+        std::fill(f.counters.begin(), f.counters.end(), 0);
+    _population = 0;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Counting Bloom filter (paper §4.3.2, after JETTY).
+ *
+ * The line address is broken into P bit-fields; each field indexes a
+ * separate table of counters. Insert increments the P counters, remove
+ * decrements them, and a query is positive only when all P counters are
+ * non-zero. Aliasing can produce false positives; with balanced
+ * insert/remove calls there are never false negatives.
+ *
+ * Paper configurations:
+ *  - "y" filter: fields of 10, 4 and 7 bits (2.5 KB)
+ *  - "n" filter: fields of 9, 9 and 6 bits (2.3 KB)
+ */
+
+#ifndef FLEXSNOOP_PREDICTOR_BLOOM_FILTER_HH
+#define FLEXSNOOP_PREDICTOR_BLOOM_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+class CountingBloomFilter
+{
+  public:
+    /**
+     * @param field_bits widths of the consecutive index fields, applied
+     *                   to the line index starting at bit 0
+     */
+    explicit CountingBloomFilter(std::vector<unsigned> field_bits);
+
+    /** Number of fields / tables. */
+    std::size_t numFields() const { return _fields.size(); }
+
+    /** Add one line to the tracked multiset. */
+    void insert(Addr line);
+
+    /**
+     * Remove one line previously inserted. Counters must never
+     * underflow; the caller guarantees insert/remove balance.
+     */
+    void remove(Addr line);
+
+    /** True when the line *may* be present (all counters non-zero). */
+    bool mayContain(Addr line) const;
+
+    /** Number of elements currently inserted. */
+    std::uint64_t population() const { return _population; }
+
+    /** Storage in bits: 16-bit counter + zero bit per entry (Table 4). */
+    std::uint64_t storageBits() const;
+
+    /** Reset all counters. */
+    void clear();
+
+  private:
+    struct Field
+    {
+        unsigned shift; ///< first line-index bit of this field
+        unsigned bits;
+        std::vector<std::uint32_t> counters;
+    };
+
+    std::size_t indexOf(const Field &f, Addr line) const;
+
+    std::vector<Field> _fields;
+    std::uint64_t _population = 0;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_PREDICTOR_BLOOM_FILTER_HH

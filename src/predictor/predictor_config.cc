@@ -1,0 +1,188 @@
+#include "predictor/predictor_config.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "predictor/exact_predictor.hh"
+#include "predictor/subset_predictor.hh"
+#include "predictor/superset_predictor.hh"
+
+namespace flexsnoop
+{
+
+std::string_view
+toString(PredictorKind k)
+{
+    switch (k) {
+      case PredictorKind::None: return "none";
+      case PredictorKind::Subset: return "subset";
+      case PredictorKind::Superset: return "superset";
+      case PredictorKind::Exact: return "exact";
+      case PredictorKind::Perfect: return "perfect";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Entry bits / latency by cache size, from Table 4. */
+void
+cacheGeometry(std::size_t entries, unsigned &entry_bits, Cycle &latency)
+{
+    if (entries <= 512) {
+        entry_bits = 20;
+        latency = 2;
+    } else if (entries <= 2048) {
+        entry_bits = 18;
+        latency = 2;
+    } else {
+        entry_bits = 16;
+        latency = 3;
+    }
+}
+
+} // namespace
+
+PredictorConfig
+PredictorConfig::none()
+{
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::None;
+    cfg.id = "none";
+    return cfg;
+}
+
+PredictorConfig
+PredictorConfig::subset(std::size_t entries)
+{
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::Subset;
+    cfg.entries = entries;
+    cfg.ways = 8;
+    cacheGeometry(entries, cfg.entryBits, cfg.latency);
+    cfg.id = "Sub" + (entries >= 1024 ? std::to_string(entries / 1024) + "k"
+                                      : std::to_string(entries));
+    return cfg;
+}
+
+PredictorConfig
+PredictorConfig::exact(std::size_t entries)
+{
+    PredictorConfig cfg = subset(entries);
+    cfg.kind = PredictorKind::Exact;
+    cfg.id = "Exa" + (entries >= 1024 ? std::to_string(entries / 1024) + "k"
+                                      : std::to_string(entries));
+    return cfg;
+}
+
+PredictorConfig
+PredictorConfig::superset(bool y, std::size_t exclude_entries)
+{
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::Superset;
+    cfg.bloomFields = y ? std::vector<unsigned>{10, 4, 7}
+                        : std::vector<unsigned>{9, 9, 6};
+    cfg.entries = exclude_entries;
+    cfg.ways = 8;
+    if (exclude_entries > 0)
+        cacheGeometry(exclude_entries, cfg.entryBits, cfg.latency);
+    else
+        cfg.latency = 2;
+    cfg.id = std::string(y ? "y" : "n") +
+             (exclude_entries >= 1024
+                  ? std::to_string(exclude_entries / 1024) + "k"
+                  : std::to_string(exclude_entries));
+    return cfg;
+}
+
+PredictorConfig
+PredictorConfig::perfect()
+{
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::Perfect;
+    cfg.id = "perfect";
+    return cfg;
+}
+
+PredictorConfig
+PredictorConfig::fromName(const std::string &name)
+{
+    std::string n = name;
+    std::transform(n.begin(), n.end(), n.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (n == "none")
+        return none();
+    if (n == "perfect")
+        return perfect();
+    if (n == "sub512")
+        return subset(512);
+    if (n == "sub2k")
+        return subset(2048);
+    if (n == "sub8k")
+        return subset(8192);
+    if (n == "exa512")
+        return exact(512);
+    if (n == "exa2k")
+        return exact(2048);
+    if (n == "exa8k")
+        return exact(8192);
+    if (n == "y512")
+        return superset(true, 512);
+    if (n == "y2k")
+        return superset(true, 2048);
+    if (n == "n2k")
+        return superset(false, 2048);
+    if (n == "y0")
+        return superset(true, 0); // ablation: no Exclude cache
+    if (n == "n0")
+        return superset(false, 0);
+    throw std::invalid_argument("unknown predictor config: " + name);
+}
+
+std::uint64_t
+PredictorConfig::storageBits() const
+{
+    switch (kind) {
+      case PredictorKind::None:
+      case PredictorKind::Perfect:
+        return 0;
+      case PredictorKind::Subset:
+      case PredictorKind::Exact:
+        return static_cast<std::uint64_t>(entries) * entryBits;
+      case PredictorKind::Superset: {
+        std::uint64_t bits = static_cast<std::uint64_t>(entries) * entryBits;
+        for (unsigned f : bloomFields)
+            bits += (std::uint64_t{1} << f) * 17;
+        return bits;
+      }
+    }
+    return 0;
+}
+
+std::unique_ptr<SupplierPredictor>
+makePredictor(const PredictorConfig &cfg, const std::string &name,
+              PerfectPredictor::TruthFn truth)
+{
+    switch (cfg.kind) {
+      case PredictorKind::None:
+        return nullptr;
+      case PredictorKind::Subset:
+        return std::make_unique<SubsetPredictor>(
+            name, cfg.entries, cfg.ways, cfg.entryBits, cfg.latency);
+      case PredictorKind::Superset:
+        return std::make_unique<SupersetPredictor>(
+            name, cfg.bloomFields, cfg.entries, cfg.ways, cfg.entryBits,
+            cfg.latency);
+      case PredictorKind::Exact:
+        return std::make_unique<ExactPredictor>(
+            name, cfg.entries, cfg.ways, cfg.entryBits, cfg.latency);
+      case PredictorKind::Perfect:
+        assert(truth && "Perfect predictor requires a ground-truth query");
+        return std::make_unique<PerfectPredictor>(name, std::move(truth));
+    }
+    return nullptr;
+}
+
+} // namespace flexsnoop

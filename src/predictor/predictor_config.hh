@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Named Supplier Predictor configurations from paper Table 4 / §5.2 and a
+ * factory that instantiates them.
+ *
+ * Paper names: Sub512, Sub2k, Sub8k; SupCy512/SupCy2k/SupCn2k and
+ * SupAy512/SupAy2k/SupAn2k (same structures, different algorithm);
+ * Exa512, Exa2k, Exa8k. Since the Conservative and Aggressive Superset
+ * algorithms share predictors, the configs here are named by structure:
+ * "y512", "y2k", "n2k".
+ */
+
+#ifndef FLEXSNOOP_PREDICTOR_PREDICTOR_CONFIG_HH
+#define FLEXSNOOP_PREDICTOR_PREDICTOR_CONFIG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predictor/perfect_predictor.hh"
+#include "predictor/supplier_predictor.hh"
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+enum class PredictorKind
+{
+    None,    ///< algorithm needs no predictor (Lazy, Eager)
+    Subset,  ///< set-associative cache of supplier addresses
+    Superset,///< counting Bloom filter + Exclude cache
+    Exact,   ///< Subset structure + forced downgrades
+    Perfect, ///< consults actual state (Oracle / Fig. 11 "perfect")
+};
+
+std::string_view toString(PredictorKind k);
+
+/** Full description of one predictor instance. */
+struct PredictorConfig
+{
+    PredictorKind kind = PredictorKind::None;
+    std::string id;            ///< paper-style short name, e.g. "Sub2k"
+
+    // Subset / Exact cache (also the Exclude cache for Superset).
+    std::size_t entries = 2048;
+    std::size_t ways = 8;
+    unsigned entryBits = 18;
+    Cycle latency = 2;
+
+    // Superset only.
+    std::vector<unsigned> bloomFields; ///< e.g. {10, 4, 7} for "y"
+
+    /** Table 4 presets. */
+    static PredictorConfig none();
+    static PredictorConfig subset(std::size_t entries);   ///< 512/2k/8k
+    static PredictorConfig exact(std::size_t entries);    ///< 512/2k/8k
+    /**
+     * @param y true selects the "y" filter (10,4,7), false the "n"
+     *          filter (9,9,6)
+     * @param exclude_entries 512 or 2048; 0 disables the Exclude cache
+     */
+    static PredictorConfig superset(bool y, std::size_t exclude_entries);
+    static PredictorConfig perfect();
+
+    /**
+     * Parse a paper-style name: "none", "perfect", "sub512", "sub2k",
+     * "sub8k", "y512", "y2k", "n2k", "exa512", "exa2k", "exa8k".
+     * Throws std::invalid_argument on unknown names.
+     */
+    static PredictorConfig fromName(const std::string &name);
+
+    /** Reported structure size in bits. */
+    std::uint64_t storageBits() const;
+};
+
+/**
+ * Instantiate a predictor.
+ *
+ * @param cfg    configuration preset
+ * @param name   stat-group name for this instance
+ * @param truth  ground-truth query, required for PredictorKind::Perfect
+ * @return nullptr for PredictorKind::None
+ */
+std::unique_ptr<SupplierPredictor>
+makePredictor(const PredictorConfig &cfg, const std::string &name,
+              PerfectPredictor::TruthFn truth = nullptr);
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_PREDICTOR_PREDICTOR_CONFIG_HH

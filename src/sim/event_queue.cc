@@ -1,0 +1,52 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace flexsnoop
+{
+
+void
+EventQueue::scheduleAt(Cycle when, EventFn fn)
+{
+    assert(when >= _now && "cannot schedule into the past");
+    _heap.push(Entry{when, _nextSeq++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (_heap.empty())
+        return false;
+    // priority_queue::top returns const&; the function object must be
+    // moved out before pop, so copy the POD fields and steal the callable.
+    Entry entry = std::move(const_cast<Entry &>(_heap.top()));
+    _heap.pop();
+    assert(entry.when >= _now);
+    _now = entry.when;
+    ++_executed;
+    entry.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Cycle limit)
+{
+    std::uint64_t fired = 0;
+    while (!_heap.empty() && _heap.top().when <= limit) {
+        step();
+        ++fired;
+    }
+    if (_heap.empty() && limit != ~Cycle{0} && _now < limit)
+        _now = limit;
+    return fired;
+}
+
+void
+EventQueue::clear()
+{
+    while (!_heap.empty())
+        _heap.pop();
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives the whole machine. Events are arbitrary
+ * callables scheduled at absolute cycles; ties are broken by insertion
+ * order so simulation is fully deterministic.
+ */
+
+#ifndef FLEXSNOOP_SIM_EVENT_QUEUE_HH
+#define FLEXSNOOP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+/** Callback executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Deterministic priority queue of timed events.
+ *
+ * Events scheduled for the same cycle fire in the order they were
+ * scheduled (FIFO), which keeps runs reproducible across platforms.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Cycle now() const { return _now; }
+
+    /** Number of events not yet fired. */
+    std::size_t pending() const { return _heap.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Schedule @p fn to run @p delay cycles from now.
+     *
+     * A delay of zero is legal: the event runs after all events already
+     * scheduled for the current cycle.
+     */
+    void
+    schedule(Cycle delay, EventFn fn)
+    {
+        scheduleAt(_now + delay, std::move(fn));
+    }
+
+    /** Schedule @p fn at the absolute cycle @p when (>= now). */
+    void scheduleAt(Cycle when, EventFn fn);
+
+    /**
+     * Run until the queue drains or @p limit cycles have elapsed.
+     *
+     * @param limit absolute cycle bound; events scheduled past it stay
+     *              queued. Defaults to "no bound".
+     * @return number of events executed by this call.
+     */
+    std::uint64_t run(Cycle limit = ~Cycle{0});
+
+    /** Fire a single event; @return false if the queue is empty. */
+    bool step();
+
+    /** Drop all pending events (used between experiment repetitions). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Cycle _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,39 @@
+#include "sim/log.hh"
+
+#include <iostream>
+
+namespace flexsnoop
+{
+
+LogLevel Log::_level = LogLevel::Warn;
+std::ostream *Log::_sink = &std::cerr;
+
+namespace
+{
+
+const char *
+levelName(LogLevel l)
+{
+    switch (l) {
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Trace: return "TRACE";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Log::write(LogLevel l, Cycle cycle, const std::string &tag,
+           const std::string &msg)
+{
+    if (!_sink)
+        return;
+    (*_sink) << '[' << cycle << "] " << levelName(l) << ' ' << tag << ": "
+             << msg << '\n';
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal leveled logging with per-component tags.
+ *
+ * Logging is off by default (level Warn) so simulation runs are quiet; the
+ * tests and examples raise the level when tracing protocol activity.
+ */
+
+#ifndef FLEXSNOOP_SIM_LOG_HH
+#define FLEXSNOOP_SIM_LOG_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+enum class LogLevel
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+/** Global logging configuration (process wide, tests may adjust). */
+class Log
+{
+  public:
+    static LogLevel level() { return _level; }
+    static void setLevel(LogLevel l) { _level = l; }
+
+    static std::ostream *sink() { return _sink; }
+    static void setSink(std::ostream *os) { _sink = os; }
+
+    static bool
+    enabled(LogLevel l)
+    {
+        return _sink != nullptr && static_cast<int>(l) <=
+            static_cast<int>(_level);
+    }
+
+    /** Emit one formatted line: "[cycle] tag: message". */
+    static void write(LogLevel l, Cycle cycle, const std::string &tag,
+                      const std::string &msg);
+
+  private:
+    static LogLevel _level;
+    static std::ostream *_sink;
+};
+
+/**
+ * Build a message lazily; the stream body only runs when the level is on.
+ *
+ * Usage: FS_LOG(Debug, queue.now(), "ring", "fwd req " << id);
+ */
+#define FS_LOG(lvl, cycle, tag, expr)                                       \
+    do {                                                                    \
+        if (::flexsnoop::Log::enabled(::flexsnoop::LogLevel::lvl)) {        \
+            std::ostringstream _fs_log_oss;                                 \
+            _fs_log_oss << expr;                                            \
+            ::flexsnoop::Log::write(::flexsnoop::LogLevel::lvl, (cycle),    \
+                                    (tag), _fs_log_oss.str());              \
+        }                                                                   \
+    } while (0)
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SIM_LOG_HH

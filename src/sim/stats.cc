@@ -1,0 +1,140 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+
+namespace flexsnoop
+{
+
+void
+ScalarStat::sample(double v)
+{
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    ++_count;
+    _sum += v;
+}
+
+void
+ScalarStat::reset()
+{
+    _count = 0;
+    _sum = 0.0;
+    _min = 0.0;
+    _max = 0.0;
+}
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : _width(bucket_width), _buckets(num_buckets, 0)
+{
+    assert(bucket_width > 0.0);
+    assert(num_buckets > 0);
+}
+
+void
+Histogram::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    const auto idx = static_cast<std::size_t>(v / _width);
+    if (v < 0.0 || idx >= _buckets.size())
+        ++_overflow;
+    else
+        ++_buckets[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _overflow = 0;
+    _count = 0;
+    _sum = 0.0;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(q * _count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (seen >= target)
+            return (i + 1) * _width;
+    }
+    return _buckets.size() * _width;
+}
+
+Counter &
+StatGroup::counter(const std::string &stat)
+{
+    return _counters[stat];
+}
+
+ScalarStat &
+StatGroup::scalar(const std::string &stat)
+{
+    return _scalars[stat];
+}
+
+Histogram &
+StatGroup::histogram(const std::string &stat, double width,
+                     std::size_t buckets)
+{
+    auto it = _histograms.find(stat);
+    if (it == _histograms.end())
+        it = _histograms.emplace(stat, Histogram(width, buckets)).first;
+    return it->second;
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &stat) const
+{
+    auto it = _counters.find(stat);
+    return it == _counters.end() ? 0 : it->second.value();
+}
+
+double
+StatGroup::scalarMean(const std::string &stat) const
+{
+    auto it = _scalars.find(stat);
+    return it == _scalars.end() ? 0.0 : it->second.mean();
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, c] : _counters)
+        c.reset();
+    for (auto &[name, s] : _scalars)
+        s.reset();
+    for (auto &[name, h] : _histograms)
+        h.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : _counters)
+        os << _name << '.' << name << " = " << c.value() << '\n';
+    for (const auto &[name, s] : _scalars) {
+        os << _name << '.' << name << " = mean " << std::setprecision(6)
+           << s.mean() << " (n=" << s.count() << ", min=" << s.min()
+           << ", max=" << s.max() << ")\n";
+    }
+    for (const auto &[name, h] : _histograms) {
+        os << _name << '.' << name << " = mean " << std::setprecision(6)
+           << h.mean() << " (n=" << h.count() << ", p50="
+           << h.percentile(0.5) << ", p99=" << h.percentile(0.99) << ")\n";
+    }
+}
+
+} // namespace flexsnoop

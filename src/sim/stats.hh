@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Lightweight statistics package: named counters, scalar averages, and
+ * histograms, grouped per component and dumped in a uniform format.
+ *
+ * Every model object owns a StatGroup; the benches pull raw values out of
+ * groups to assemble the paper's tables and figures.
+ */
+
+#ifndef FLEXSNOOP_SIM_STATS_HH
+#define FLEXSNOOP_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flexsnoop
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    void reset() { _value = 0; }
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running mean/min/max of a stream of samples. */
+class ScalarStat
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double total() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Fixed-bucket histogram with an overflow bucket. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket
+     * @param num_buckets  number of regular buckets before overflow
+     */
+    explicit Histogram(double bucket_width = 1.0,
+                       std::size_t num_buckets = 64);
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t bucket(std::size_t i) const { return _buckets.at(i); }
+    std::uint64_t overflow() const { return _overflow; }
+    std::size_t numBuckets() const { return _buckets.size(); }
+    double bucketWidth() const { return _width; }
+
+    /** Value below which fraction @p q of the samples fall. */
+    double percentile(double q) const;
+
+  private:
+    double _width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * Named collection of statistics belonging to one component.
+ *
+ * Stats are created on first use and live for the group's lifetime, so
+ * call sites can keep references.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    /** Find-or-create a counter named @p stat. */
+    Counter &counter(const std::string &stat);
+
+    /** Find-or-create a scalar stat named @p stat. */
+    ScalarStat &scalar(const std::string &stat);
+
+    /** Find-or-create a histogram named @p stat. */
+    Histogram &histogram(const std::string &stat, double width = 1.0,
+                         std::size_t buckets = 64);
+
+    /** Value of a counter, 0 if absent (read-only convenience). */
+    std::uint64_t counterValue(const std::string &stat) const;
+
+    /** Mean of a scalar stat, 0 if absent. */
+    double scalarMean(const std::string &stat) const;
+
+    /** Reset every stat in the group. */
+    void reset();
+
+    /** Dump all stats as "<group>.<stat> = <value>" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::map<std::string, Counter> _counters;
+    std::map<std::string, ScalarStat> _scalars;
+    std::map<std::string, Histogram> _histograms;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SIM_STATS_HH

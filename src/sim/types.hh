@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every flexsnoop subsystem.
+ *
+ * The simulator is cycle resolved: every timestamp is a processor cycle at
+ * the nominal core frequency (6 GHz in the paper's Table 4 configuration).
+ */
+
+#ifndef FLEXSNOOP_SIM_TYPES_HH
+#define FLEXSNOOP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace flexsnoop
+{
+
+/** Simulated time in processor cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Identifier of a CMP node on the ring (0 .. numCmps-1). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a core within the whole machine (0 .. numCores-1). */
+using CoreId = std::uint32_t;
+
+/** Identifier of an in-flight coherence transaction. */
+using TransactionId = std::uint64_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "no core". */
+constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+
+/** Sentinel for "no transaction". */
+constexpr TransactionId kInvalidTransaction =
+    std::numeric_limits<TransactionId>::max();
+
+/** Sentinel for "no address". */
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Cache line size used throughout (paper Table 4: 64 B lines). */
+constexpr unsigned kLineSizeBytes = 64;
+
+/** Shift that converts a byte address to a line address. */
+constexpr unsigned kLineShift = 6;
+static_assert((1u << kLineShift) == kLineSizeBytes);
+
+/** Strip the block offset from a byte address. */
+constexpr Addr
+lineAddr(Addr byte_addr)
+{
+    return byte_addr >> kLineShift << kLineShift;
+}
+
+/** Line-granular index of an address (address / 64). */
+constexpr Addr
+lineIndex(Addr byte_addr)
+{
+    return byte_addr >> kLineShift;
+}
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SIM_TYPES_HH

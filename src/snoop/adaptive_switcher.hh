@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Dynamic Superset Con <-> Agg switching (paper §6.1.5 extension).
+ *
+ * The paper observes that Superset Con and Superset Agg share the same
+ * Supplier Predictor and differ only in the action taken on a positive
+ * prediction, and "envisions an adaptive system where the action is
+ * chosen dynamically: typically Agg, but Con when the system needs to
+ * save energy". This module implements that system: an
+ * AdaptiveSupersetPolicy whose positive-prediction primitive is selected
+ * by an EnergyBudgetController with hysteresis.
+ */
+
+#ifndef FLEXSNOOP_SNOOP_ADAPTIVE_SWITCHER_HH
+#define FLEXSNOOP_SNOOP_ADAPTIVE_SWITCHER_HH
+
+#include <cstdint>
+
+#include "snoop/snoop_policy.hh"
+
+namespace flexsnoop
+{
+
+/**
+ * Superset policy with a runtime-selectable positive-prediction action.
+ */
+class AdaptiveSupersetPolicy : public SnoopPolicy
+{
+  public:
+    enum class Mode
+    {
+        Aggressive,   ///< positive -> ForwardThenSnoop (performance)
+        Conservative, ///< positive -> SnoopThenForward (energy)
+    };
+
+    explicit AdaptiveSupersetPolicy(Mode initial = Mode::Aggressive)
+        : _mode(initial)
+    {
+    }
+
+    Mode mode() const { return _mode; }
+    void setMode(Mode m) { _mode = m; }
+
+    Algorithm algorithm() const override
+    {
+        return Algorithm::AdaptiveSuperset;
+    }
+
+    PredictorKind predictorKind() const override
+    {
+        return PredictorKind::Superset;
+    }
+
+    Primitive
+    onPrediction(bool positive) const override
+    {
+        if (!positive)
+            return Primitive::Forward;
+        return _mode == Mode::Aggressive ? Primitive::ForwardThenSnoop
+                                         : Primitive::SnoopThenForward;
+    }
+
+    /**
+     * Write decoupling follows the current mode: decoupled (parallel
+     * invalidation) while aggressive, combined while conservative.
+     */
+    bool decouplesWrites() const override
+    {
+        return _mode == Mode::Aggressive;
+    }
+
+  private:
+    Mode _mode;
+};
+
+/**
+ * Hysteretic controller that picks the mode from the observed snoop
+ * energy per read request.
+ *
+ * The caller feeds it (energy, requests) deltas each epoch; when the
+ * per-request energy exceeds @p highWatermark the policy is switched to
+ * Conservative, and back to Aggressive when it falls below
+ * @p lowWatermark.
+ */
+class EnergyBudgetController
+{
+  public:
+    /**
+     * @param policy         policy instance to steer (not owned)
+     * @param high_watermark nJ/request above which to save energy
+     * @param low_watermark  nJ/request below which to favor speed
+     */
+    EnergyBudgetController(AdaptiveSupersetPolicy &policy,
+                           double high_watermark, double low_watermark)
+        : _policy(policy), _high(high_watermark), _low(low_watermark)
+    {
+    }
+
+    /**
+     * Feed one epoch of measurements.
+     * @param energy_nj snoop energy consumed during the epoch
+     * @param requests  read snoop requests completed during the epoch
+     * @return the mode in force for the next epoch
+     */
+    AdaptiveSupersetPolicy::Mode
+    sampleEpoch(double energy_nj, std::uint64_t requests)
+    {
+        if (requests > 0) {
+            const double per_request = energy_nj / requests;
+            if (per_request > _high)
+                _policy.setMode(AdaptiveSupersetPolicy::Mode::Conservative);
+            else if (per_request < _low)
+                _policy.setMode(AdaptiveSupersetPolicy::Mode::Aggressive);
+            ++_epochs;
+            if (_policy.mode() ==
+                AdaptiveSupersetPolicy::Mode::Conservative)
+                ++_conservativeEpochs;
+        }
+        return _policy.mode();
+    }
+
+    std::uint64_t epochs() const { return _epochs; }
+    std::uint64_t conservativeEpochs() const { return _conservativeEpochs; }
+
+  private:
+    AdaptiveSupersetPolicy &_policy;
+    double _high;
+    double _low;
+    std::uint64_t _epochs = 0;
+    std::uint64_t _conservativeEpochs = 0;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SNOOP_ADAPTIVE_SWITCHER_HH

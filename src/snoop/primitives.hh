@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The three primitive operations of Flexible Snooping (paper Table 2).
+ *
+ * On each arriving snoop message, a CMP gateway performs exactly one of:
+ *  - ForwardThenSnoop: forward a snoop request immediately, snoop in
+ *    parallel, and emit/augment a trailing snoop reply.
+ *  - SnoopThenForward: snoop first, then forward a single combined
+ *    request/reply carrying the outcome.
+ *  - Forward: pass the message through without snooping.
+ */
+
+#ifndef FLEXSNOOP_SNOOP_PRIMITIVES_HH
+#define FLEXSNOOP_SNOOP_PRIMITIVES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace flexsnoop
+{
+
+enum class Primitive : std::uint8_t
+{
+    ForwardThenSnoop,
+    SnoopThenForward,
+    Forward,
+};
+
+constexpr std::string_view
+toString(Primitive p)
+{
+    switch (p) {
+      case Primitive::ForwardThenSnoop: return "ForwardThenSnoop";
+      case Primitive::SnoopThenForward: return "SnoopThenForward";
+      case Primitive::Forward: return "Forward";
+    }
+    return "?";
+}
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SNOOP_PRIMITIVES_HH

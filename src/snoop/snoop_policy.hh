@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Snooping algorithm policies (paper Tables 1 and 3).
+ *
+ * A policy maps a Supplier Predictor outcome to a primitive operation at
+ * each intermediate ring node. The seven algorithms of the paper:
+ *
+ * | Algorithm    | Predictor | Positive         | Negative          |
+ * |--------------|-----------|------------------|-------------------|
+ * | Lazy         | none      | SnoopThenForward (always)            |
+ * | Eager        | none      | ForwardThenSnoop (always)            |
+ * | Oracle       | perfect   | SnoopThenForward | Forward           |
+ * | Subset       | subset    | SnoopThenForward | ForwardThenSnoop  |
+ * | Superset Con | superset  | SnoopThenForward | Forward           |
+ * | Superset Agg | superset  | ForwardThenSnoop | Forward           |
+ * | Exact        | exact     | SnoopThenForward | Forward           |
+ *
+ * Write snoops cannot use supplier predictors (§5.3): algorithms that
+ * decouple read messages (Eager, Subset, Superset Agg, Oracle) also
+ * decouple writes for parallel invalidation; the others keep writes as a
+ * single combined message.
+ */
+
+#ifndef FLEXSNOOP_SNOOP_SNOOP_POLICY_HH
+#define FLEXSNOOP_SNOOP_SNOOP_POLICY_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "predictor/predictor_config.hh"
+#include "snoop/primitives.hh"
+
+namespace flexsnoop
+{
+
+enum class Algorithm
+{
+    Lazy,
+    Eager,
+    Oracle,
+    Subset,
+    SupersetCon,
+    SupersetAgg,
+    Exact,
+    AdaptiveSuperset, ///< §6.1.5 extension: dynamic Con/Agg switching
+};
+
+std::string_view toString(Algorithm a);
+
+/** All algorithms evaluated in the paper's figures, in figure order. */
+const std::vector<Algorithm> &paperAlgorithms();
+
+/** Parse "lazy", "eager", "oracle", "subset", "supersetcon", ... */
+Algorithm algorithmFromName(const std::string &name);
+
+class SnoopPolicy
+{
+  public:
+    virtual ~SnoopPolicy() = default;
+
+    virtual Algorithm algorithm() const = 0;
+
+    /** Predictor family this policy consults (None for Lazy/Eager). */
+    virtual PredictorKind predictorKind() const = 0;
+
+    bool usesPredictor() const
+    {
+        return predictorKind() != PredictorKind::None;
+    }
+
+    /**
+     * Primitive to perform at an intermediate node for a *read* snoop,
+     * given the predictor outcome (ignored when usesPredictor() is
+     * false).
+     */
+    virtual Primitive onPrediction(bool positive) const = 0;
+
+    /** Whether write snoops split into request + trailing reply (§5.3). */
+    virtual bool decouplesWrites() const = 0;
+
+    std::string_view name() const { return toString(algorithm()); }
+};
+
+/**
+ * Instantiate the policy for @p a.
+ *
+ * AdaptiveSuperset policies keep per-instance state; all others are
+ * stateless and the factory may hand out shared immutable instances.
+ */
+std::unique_ptr<SnoopPolicy> makePolicy(Algorithm a);
+
+/**
+ * Default predictor configuration the paper pairs with each algorithm in
+ * §6.1 (Sub2k / y2k / Exa2k / perfect / none).
+ */
+PredictorConfig defaultPredictorFor(Algorithm a);
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SNOOP_SNOOP_POLICY_HH

@@ -1,0 +1,154 @@
+#include "workload/profile.hh"
+
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+WorkloadProfile
+splashBase()
+{
+    WorkloadProfile p;
+    p.numCores = 32;
+    p.coresPerCmp = 4;
+    p.refsPerCore = 12000;
+    p.warmupRefs = 4000;
+    p.meanGap = 180.0;
+    p.privateLines = 768;
+    p.sharedLines = 6144;
+    p.sharedFraction = 0.35;
+    p.zipfTheta = 0.65;
+    p.sharedZipfTheta = 0.65;
+    p.privateWriteFraction = 0.25;
+    p.readMostlyFraction = 0.5;
+    p.producerConsumerFraction = 0.3;
+    p.migratoryFraction = 0.2;
+    return p;
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+splash2Profiles()
+{
+    std::vector<WorkloadProfile> apps;
+
+    // Per-application character, loosely following the SPLASH-2
+    // characterization study (Woo et al., ISCA'95): communication-to-
+    // computation ratio, working-set size, and store behaviour.
+    auto add = [&](const std::string &name, double shared_frac,
+                   std::size_t shared_lines, std::size_t private_lines,
+                   double rm, double pc, double mig, double gap,
+                   std::uint64_t seed) {
+        WorkloadProfile p = splashBase();
+        p.name = name;
+        p.sharedFraction = shared_frac;
+        p.sharedLines = shared_lines;
+        p.privateLines = private_lines;
+        p.readMostlyFraction = rm;
+        p.producerConsumerFraction = pc;
+        p.migratoryFraction = mig;
+        p.meanGap = gap;
+        p.seed = seed;
+        apps.push_back(p);
+    };
+
+    //  name        shr    shrLn  privLn rm    pc    mig   gap  seed
+    add("barnes",    0.40,  4096,  1024, 0.50, 0.20, 0.30, 150, 11);
+    add("cholesky",  0.35,  4096,  1280, 0.45, 0.35, 0.20, 175, 12);
+    add("fft",       0.30,  6144,  1536, 0.30, 0.55, 0.15, 185, 13);
+    add("fmm",       0.38,  4096,  1152, 0.50, 0.25, 0.25, 155, 14);
+    add("lu",        0.32,  5120,  1280, 0.35, 0.50, 0.15, 180, 15);
+    add("ocean",     0.42,  6144,  1280, 0.30, 0.50, 0.20, 165, 16);
+    add("radiosity", 0.45,  3072,   896, 0.45, 0.20, 0.35, 140, 17);
+    add("radix",     0.28,  6144,  1536, 0.25, 0.60, 0.15, 190, 18);
+    add("raytrace",  0.48,  3072,  1024, 0.60, 0.15, 0.25, 150, 19);
+    add("water-nsq", 0.36,  3072,  1024, 0.45, 0.25, 0.30, 165, 20);
+    add("water-sp",  0.30,  2048,  1024, 0.50, 0.25, 0.25, 175, 21);
+    return apps;
+}
+
+WorkloadProfile
+specJbbProfile()
+{
+    WorkloadProfile p;
+    p.name = "specjbb";
+    p.numCores = 8;
+    p.coresPerCmp = 1;
+    p.refsPerCore = 16000;
+    p.warmupRefs = 4000;
+    p.meanGap = 170.0;
+    // A warehouse's working set dwarfs the 8K-line L2: most misses are
+    // capacity misses to memory, and threads share very little (paper:
+    // Lazy snoops ~7 of 7 nodes because there is rarely a supplier).
+    p.privateLines = 40000;
+    p.sharedLines = 2048;
+    p.sharedFraction = 0.04;
+    p.zipfTheta = 0.3;
+    p.privateWriteFraction = 0.30;
+    p.readMostlyFraction = 0.70;
+    p.producerConsumerFraction = 0.20;
+    p.migratoryFraction = 0.10;
+    p.seed = 101;
+    return p;
+}
+
+WorkloadProfile
+specWebProfile()
+{
+    WorkloadProfile p;
+    p.name = "specweb";
+    p.numCores = 8;
+    p.coresPerCmp = 1;
+    p.refsPerCore = 16000;
+    p.warmupRefs = 4000;
+    p.meanGap = 160.0;
+    // Moderate sharing of cached content and connection state; working
+    // set somewhat above L2 capacity.
+    p.privateLines = 9000;
+    p.sharedLines = 5120;
+    p.sharedFraction = 0.40;
+    p.zipfTheta = 0.7;
+    p.privateWriteFraction = 0.22;
+    p.readMostlyFraction = 0.65;
+    p.producerConsumerFraction = 0.25;
+    p.migratoryFraction = 0.10;
+    p.seed = 202;
+    return p;
+}
+
+WorkloadProfile
+miniProfile()
+{
+    WorkloadProfile p = splashBase();
+    p.name = "mini";
+    p.numCores = 8;
+    p.coresPerCmp = 1;
+    p.refsPerCore = 1500;
+    p.warmupRefs = 400;
+    p.privateLines = 512;
+    p.sharedLines = 1024;
+    p.seed = 7;
+    return p;
+}
+
+WorkloadProfile
+profileByName(const std::string &name)
+{
+    if (name == "specjbb")
+        return specJbbProfile();
+    if (name == "specweb")
+        return specWebProfile();
+    if (name == "mini")
+        return miniProfile();
+    for (const auto &p : splash2Profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    throw std::invalid_argument("unknown workload profile: " + name);
+}
+
+} // namespace flexsnoop

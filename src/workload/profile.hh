@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Workload profiles: parameterized synthetic equivalents of the paper's
+ * workloads (11 SPLASH-2 applications, SPECjbb 2000, SPECweb 2005).
+ *
+ * The paper's figure shapes depend on three workload properties, which
+ * the profiles control directly:
+ *  - how often a read miss finds a cache supplier (vs. going to memory),
+ *  - how far away (in ring hops) the supplier typically is,
+ *  - the rate and kind of stores (invalidation pressure, T-state churn).
+ *
+ * SPLASH-2-like profiles share heavily and fit in the aggregate caches
+ * (frequent cache-to-cache transfers, supplier ~4-5 hops away on
+ * average, matching the paper's Fig. 11 perfect-predictor bars).
+ * SPECjbb-like threads share almost nothing and exceed their L2
+ * (capacity misses to memory; the paper: "in SPECjbb, threads do not
+ * share much data, and many requests go to memory"). SPECweb-like sits
+ * in between.
+ */
+
+#ifndef FLEXSNOOP_WORKLOAD_PROFILE_HH
+#define FLEXSNOOP_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexsnoop
+{
+
+/** Sharing pattern of a shared line. */
+enum class SharePattern : std::uint8_t
+{
+    ReadMostly,       ///< many readers, rare writer
+    ProducerConsumer, ///< one writer core, many readers
+    Migratory,        ///< read-modify-write moving between cores
+};
+
+struct WorkloadProfile
+{
+    std::string name;
+
+    std::size_t numCores = 32;
+    std::size_t coresPerCmp = 4;
+
+    std::size_t refsPerCore = 20000;  ///< measured refs per core
+    std::size_t warmupRefs = 4000;    ///< warmup refs per core
+
+    double meanGap = 40.0;            ///< mean compute cycles between refs
+
+    // Footprint (in 64 B lines).
+    std::size_t privateLines = 4096;  ///< per-core private working set
+    std::size_t sharedLines = 8192;   ///< global shared pool
+    double sharedFraction = 0.35;     ///< P(ref targets the shared pool)
+    double zipfTheta = 0.6;           ///< skew within the private pool
+    double sharedZipfTheta = 0.65;    ///< skew within the shared pool
+
+    double privateWriteFraction = 0.25;
+
+    // Composition of the shared pool by pattern.
+    double readMostlyFraction = 0.50;
+    double producerConsumerFraction = 0.30;
+    double migratoryFraction = 0.20;
+
+    double readMostlyWriteProb = 0.02; ///< writer prob on read-mostly refs
+
+    std::uint64_t seed = 1;
+
+    std::size_t numCmps() const { return numCores / coresPerCmp; }
+};
+
+/**
+ * The 11 SPLASH-2 applications the paper runs (all except Volrend),
+ * as synthetic profiles with per-application sharing character.
+ */
+std::vector<WorkloadProfile> splash2Profiles();
+
+/** SPECjbb 2000-like profile (8 single-core CMPs, little sharing). */
+WorkloadProfile specJbbProfile();
+
+/** SPECweb 2005-like profile (8 single-core CMPs, moderate sharing). */
+WorkloadProfile specWebProfile();
+
+/** Small SPLASH-2-like profile for fast tests/examples. */
+WorkloadProfile miniProfile();
+
+/** Look up a profile by name ("barnes", "specjbb", "mini", ...). */
+WorkloadProfile profileByName(const std::string &name);
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_WORKLOAD_PROFILE_HH

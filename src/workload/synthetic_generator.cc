@@ -1,0 +1,139 @@
+#include "workload/synthetic_generator.hh"
+
+#include <cassert>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+/** Base of the private regions (keeps pools disjoint). */
+constexpr Addr kPrivateBase = Addr{1} << 32;
+/** Stride between per-core private regions, in lines. */
+constexpr Addr kPrivateStride = Addr{1} << 20;
+/** Base of the shared region. */
+constexpr Addr kSharedBase = Addr{1} << 40;
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+SyntheticGenerator::SyntheticGenerator(const WorkloadProfile &profile)
+    : _profile(profile)
+{
+    assert(profile.numCores >= 1);
+    assert(profile.privateLines >= 1);
+    assert(profile.sharedLines >= 1);
+}
+
+Addr
+SyntheticGenerator::privateAddr(std::size_t core, std::size_t idx) const
+{
+    return (kPrivateBase + (core * kPrivateStride + idx) * kLineSizeBytes);
+}
+
+Addr
+SyntheticGenerator::sharedAddr(std::size_t idx) const
+{
+    return kSharedBase + idx * kLineSizeBytes;
+}
+
+SharePattern
+SyntheticGenerator::patternOf(std::size_t idx) const
+{
+    // Stable pseudo-random assignment by line index.
+    const double u =
+        static_cast<double>(mix(idx * 2654435761u + _profile.seed) >> 11) *
+        0x1.0p-53;
+    if (u < _profile.readMostlyFraction)
+        return SharePattern::ReadMostly;
+    if (u < _profile.readMostlyFraction +
+                _profile.producerConsumerFraction)
+        return SharePattern::ProducerConsumer;
+    return SharePattern::Migratory;
+}
+
+std::size_t
+SyntheticGenerator::producerOf(std::size_t idx) const
+{
+    return static_cast<std::size_t>(mix(idx ^ 0x9e3779b97f4a7c15ull)) %
+           _profile.numCores;
+}
+
+Trace
+SyntheticGenerator::generateCore(std::size_t core, Rng &rng,
+                                 const ZipfSampler &priv_zipf,
+                                 const ZipfSampler &shared_zipf) const
+{
+    const std::size_t total = _profile.warmupRefs + _profile.refsPerCore;
+    Trace trace;
+    trace.reserve(total + total / 8);
+
+    while (trace.size() < total) {
+        MemRef ref;
+        ref.gap = static_cast<std::uint32_t>(
+            rng.nextGeometric(_profile.meanGap));
+
+        if (rng.chance(_profile.sharedFraction)) {
+            const std::size_t idx = shared_zipf.sample(rng);
+            ref.addr = sharedAddr(idx);
+            switch (patternOf(idx)) {
+              case SharePattern::ReadMostly:
+                ref.isWrite = rng.chance(_profile.readMostlyWriteProb);
+                break;
+              case SharePattern::ProducerConsumer:
+                // The designated producer updates; everyone else reads.
+                ref.isWrite = producerOf(idx) == core && rng.chance(0.6);
+                break;
+              case SharePattern::Migratory: {
+                // Read-modify-write: emit the read, then the write.
+                ref.isWrite = false;
+                trace.push_back(ref);
+                MemRef wr = ref;
+                wr.isWrite = true;
+                wr.gap = 1 + static_cast<std::uint32_t>(rng.nextBelow(4));
+                trace.push_back(wr);
+                continue;
+              }
+            }
+        } else {
+            const std::size_t idx = priv_zipf.sample(rng);
+            ref.addr = privateAddr(core, idx);
+            ref.isWrite = rng.chance(_profile.privateWriteFraction);
+        }
+        trace.push_back(ref);
+    }
+    trace.resize(total);
+    return trace;
+}
+
+CoreTraces
+SyntheticGenerator::generate() const
+{
+    CoreTraces out;
+    out.warmupRefs = _profile.warmupRefs;
+    out.traces.reserve(_profile.numCores);
+
+    const ZipfSampler priv_zipf(_profile.privateLines, _profile.zipfTheta);
+    const ZipfSampler shared_zipf(_profile.sharedLines,
+                                  _profile.sharedZipfTheta);
+
+    for (std::size_t core = 0; core < _profile.numCores; ++core) {
+        Rng rng(mix(_profile.seed * 0x100000001b3ull + core));
+        out.traces.push_back(
+            generateCore(core, rng, priv_zipf, shared_zipf));
+    }
+    return out;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic trace generator: turns a WorkloadProfile into per-core
+ * reference traces with the profile's sharing structure.
+ *
+ * Address map (line granular):
+ *  - private pool of core c: distinct region per core
+ *  - shared pool: one global region; each line carries a SharePattern
+ *    derived from its index (stable across cores)
+ */
+
+#ifndef FLEXSNOOP_WORKLOAD_SYNTHETIC_GENERATOR_HH
+#define FLEXSNOOP_WORKLOAD_SYNTHETIC_GENERATOR_HH
+
+#include "sim/random.hh"
+#include "workload/profile.hh"
+#include "workload/trace.hh"
+
+namespace flexsnoop
+{
+
+class SyntheticGenerator
+{
+  public:
+    explicit SyntheticGenerator(const WorkloadProfile &profile);
+
+    /** Generate all per-core traces (deterministic per profile.seed). */
+    CoreTraces generate() const;
+
+    /** Pattern assigned to shared-pool line index @p idx. */
+    SharePattern patternOf(std::size_t idx) const;
+
+    /** Producer core of a producer-consumer line. */
+    std::size_t producerOf(std::size_t idx) const;
+
+    /** Byte address of private line @p idx of core @p core. */
+    Addr privateAddr(std::size_t core, std::size_t idx) const;
+
+    /** Byte address of shared line @p idx. */
+    Addr sharedAddr(std::size_t idx) const;
+
+  private:
+    Trace generateCore(std::size_t core, Rng &rng,
+                       const ZipfSampler &priv_zipf,
+                       const ZipfSampler &shared_zipf) const;
+
+    WorkloadProfile _profile;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_WORKLOAD_SYNTHETIC_GENERATOR_HH

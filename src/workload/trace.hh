@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory reference traces that drive the cores.
+ *
+ * Each reference is an L2-level access (L1 misses; L1 hit traffic never
+ * reaches the coherence fabric and is folded into the inter-reference
+ * gaps). Traces are generated synthetically per workload profile.
+ */
+
+#ifndef FLEXSNOOP_WORKLOAD_TRACE_HH
+#define FLEXSNOOP_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+/** One L2 access of one core. */
+struct MemRef
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    /** Compute cycles separating this access from the previous issue. */
+    std::uint32_t gap = 1;
+};
+
+using Trace = std::vector<MemRef>;
+
+/** Per-core traces plus the warmup boundary. */
+struct CoreTraces
+{
+    std::vector<Trace> traces;  ///< one per core
+    std::size_t warmupRefs = 0; ///< per-core refs before the barrier
+
+    std::size_t numCores() const { return traces.size(); }
+
+    std::size_t
+    totalRefs() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : traces)
+            n += t.size();
+        return n;
+    }
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_WORKLOAD_TRACE_HH

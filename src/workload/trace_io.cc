@@ -1,0 +1,120 @@
+#include "workload/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'F', 'S', 'T', 'R'};
+
+/** Bound against absurd headers from corrupt files. */
+constexpr std::uint64_t kMaxCores = 1 << 16;
+constexpr std::uint64_t kMaxRefsPerCore = std::uint64_t{1} << 32;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        throw std::runtime_error("trace file truncated");
+    return value;
+}
+
+} // namespace
+
+void
+writeTraces(std::ostream &os, const CoreTraces &traces)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writePod(os, kTraceFormatVersion);
+    writePod(os, static_cast<std::uint64_t>(traces.traces.size()));
+    writePod(os, static_cast<std::uint64_t>(traces.warmupRefs));
+    for (const Trace &trace : traces.traces) {
+        writePod(os, static_cast<std::uint64_t>(trace.size()));
+        for (const MemRef &ref : trace) {
+            writePod(os, static_cast<std::uint64_t>(ref.addr));
+            writePod(os, static_cast<std::uint8_t>(ref.isWrite));
+            writePod(os, ref.gap);
+        }
+    }
+    if (!os)
+        throw std::runtime_error("failed writing trace stream");
+}
+
+CoreTraces
+readTraces(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("not a flexsnoop trace file");
+    const auto version = readPod<std::uint32_t>(is);
+    if (version != kTraceFormatVersion)
+        throw std::runtime_error("unsupported trace format version " +
+                                 std::to_string(version));
+    const auto num_cores = readPod<std::uint64_t>(is);
+    if (num_cores == 0 || num_cores > kMaxCores)
+        throw std::runtime_error("implausible core count in trace file");
+    CoreTraces traces;
+    traces.warmupRefs =
+        static_cast<std::size_t>(readPod<std::uint64_t>(is));
+    traces.traces.resize(static_cast<std::size_t>(num_cores));
+    for (Trace &trace : traces.traces) {
+        const auto num_refs = readPod<std::uint64_t>(is);
+        if (num_refs > kMaxRefsPerCore)
+            throw std::runtime_error("implausible ref count in trace "
+                                     "file");
+        trace.reserve(static_cast<std::size_t>(num_refs));
+        for (std::uint64_t i = 0; i < num_refs; ++i) {
+            MemRef ref;
+            ref.addr = readPod<std::uint64_t>(is);
+            ref.isWrite = readPod<std::uint8_t>(is) != 0;
+            ref.gap = readPod<std::uint32_t>(is);
+            trace.push_back(ref);
+        }
+    }
+    if (traces.warmupRefs > 0) {
+        for (const Trace &trace : traces.traces) {
+            if (trace.size() < traces.warmupRefs)
+                throw std::runtime_error(
+                    "warmupRefs exceeds a core's trace length");
+        }
+    }
+    return traces;
+}
+
+void
+saveTraces(const std::string &path, const CoreTraces &traces)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open for writing: " + path);
+    writeTraces(os, traces);
+}
+
+CoreTraces
+loadTraces(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot open for reading: " + path);
+    return readTraces(is);
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace persistence: save and load CoreTraces in a compact binary
+ * format, so externally-captured reference streams (or expensive
+ * generated ones) can be replayed across runs and shared between
+ * machines.
+ *
+ * Format (little-endian, host-order integers):
+ *   magic "FSTR" | u32 version | u64 numCores | u64 warmupRefs
+ *   per core: u64 numRefs | numRefs x { u64 addr | u8 isWrite | u32 gap }
+ */
+
+#ifndef FLEXSNOOP_WORKLOAD_TRACE_IO_HH
+#define FLEXSNOOP_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace flexsnoop
+{
+
+/** Current trace file format version. */
+constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/**
+ * Write @p traces to @p os.
+ * @throws std::runtime_error on stream failure
+ */
+void writeTraces(std::ostream &os, const CoreTraces &traces);
+
+/**
+ * Read traces from @p is.
+ * @throws std::runtime_error on malformed input or stream failure
+ */
+CoreTraces readTraces(std::istream &is);
+
+/** Convenience wrappers over file streams. */
+void saveTraces(const std::string &path, const CoreTraces &traces);
+CoreTraces loadTraces(const std::string &path);
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,88 @@
+#include "workload/uniform_generator.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+constexpr Addr kUniformBase = Addr{1} << 36;
+
+} // namespace
+
+Addr
+UniformGenerator::addrOf(std::size_t owner, std::size_t reader,
+                         std::size_t idx) const
+{
+    const std::size_t per_owner =
+        _params.numCores * _params.linesPerReader;
+    const std::size_t line =
+        owner * per_owner + reader * _params.linesPerReader + idx;
+    return kUniformBase + line * kLineSizeBytes;
+}
+
+CoreTraces
+UniformGenerator::generate() const
+{
+    const std::size_t n = _params.numCores;
+    assert(n >= 2);
+    CoreTraces out;
+    out.traces.resize(n);
+
+    // Warmup: every core writes every line it owns (all reader slices),
+    // establishing itself as the Dirty supplier.
+    for (std::size_t owner = 0; owner < n; ++owner) {
+        Trace &t = out.traces[owner];
+        for (std::size_t reader = 0; reader < n; ++reader) {
+            if (reader == owner)
+                continue;
+            for (std::size_t i = 0; i < _params.linesPerReader; ++i) {
+                MemRef ref;
+                ref.addr = addrOf(owner, reader, i);
+                ref.isWrite = true;
+                ref.gap = 4;
+                t.push_back(ref);
+            }
+        }
+    }
+    out.warmupRefs = out.traces.front().size();
+
+    // Measurement: each core reads its dedicated slice of every other
+    // owner's pool, one line at a time, owners interleaved uniformly at
+    // random. Every read is a fresh line -> guaranteed ring transaction
+    // with a uniformly-distributed supplier.
+    for (std::size_t reader = 0; reader < n; ++reader) {
+        Rng rng(_params.seed * 1000003 + reader);
+        Trace &t = out.traces[reader];
+
+        std::vector<std::pair<std::size_t, std::size_t>> reads;
+        for (std::size_t owner = 0; owner < n; ++owner) {
+            if (owner == reader)
+                continue;
+            for (std::size_t i = 0; i < _params.linesPerReader; ++i)
+                reads.emplace_back(owner, i);
+        }
+        // Fisher-Yates shuffle with our deterministic RNG.
+        for (std::size_t i = reads.size(); i > 1; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(rng.nextBelow(i));
+            std::swap(reads[i - 1], reads[j]);
+        }
+
+        for (const auto &[owner, idx] : reads) {
+            MemRef ref;
+            ref.addr = addrOf(owner, reader, idx);
+            ref.isWrite = false;
+            ref.gap = static_cast<std::uint32_t>(
+                rng.nextGeometric(_params.meanGap));
+            t.push_back(ref);
+        }
+    }
+    return out;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Uniform-supplier workload for the analytic comparison of paper
+ * Table 1.
+ *
+ * Table 1 assumes "a perfectly-uniform distribution of the accesses and
+ * that one of the nodes can supply the data". This generator arranges
+ * exactly that: during warmup each core dirties a pool of lines it owns
+ * (becoming their supplier); during measurement each core reads lines
+ * owned by uniformly-chosen other nodes, each line at most once per
+ * reader, so every measured read is a ring transaction whose supplier
+ * sits at a uniformly-distributed ring distance.
+ */
+
+#ifndef FLEXSNOOP_WORKLOAD_UNIFORM_GENERATOR_HH
+#define FLEXSNOOP_WORKLOAD_UNIFORM_GENERATOR_HH
+
+#include "sim/random.hh"
+#include "workload/trace.hh"
+
+namespace flexsnoop
+{
+
+struct UniformWorkloadParams
+{
+    std::size_t numCores = 8;
+    std::size_t coresPerCmp = 1;
+    /** Lines each core dedicates to each possible reader. */
+    std::size_t linesPerReader = 96;
+    /** Mean compute gap between references. */
+    double meanGap = 60.0;
+    std::uint64_t seed = 42;
+};
+
+class UniformGenerator
+{
+  public:
+    explicit UniformGenerator(const UniformWorkloadParams &params)
+        : _params(params)
+    {
+    }
+
+    CoreTraces generate() const;
+
+    /** Byte address of owner @p o's line @p idx in reader @p r's slice. */
+    Addr addrOf(std::size_t owner, std::size_t reader,
+                std::size_t idx) const;
+
+  private:
+    UniformWorkloadParams _params;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_WORKLOAD_UNIFORM_GENERATOR_HH

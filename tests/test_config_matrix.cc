@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Configuration-matrix robustness: random traffic must complete and
+ * stay coherent across machine shapes (CMP counts, cores per CMP, ring
+ * counts, prefetch on/off, write filtering) — guarding against
+ * configuration-dependent protocol corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "sim/random.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+Addr
+lineAt(std::uint64_t idx)
+{
+    return idx * kLineSizeBytes;
+}
+
+struct MatrixCase
+{
+    std::size_t numCmps;
+    std::size_t coresPerCmp;
+    std::size_t numRings;
+    bool prefetch;
+    bool writeFiltering;
+    Algorithm algorithm;
+};
+
+class ConfigMatrix : public ::testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(ConfigMatrix, RandomTrafficCompletesCoherently)
+{
+    const MatrixCase &mc = GetParam();
+    MachineConfig cfg = MachineConfig::testDefault(mc.algorithm);
+    cfg.setNumCmps(mc.numCmps);
+    cfg.coresPerCmp = mc.coresPerCmp;
+    cfg.numRings = mc.numRings;
+    cfg.memory.prefetchEnabled = mc.prefetch;
+    cfg.writeFiltering = mc.writeFiltering;
+
+    Machine machine(cfg);
+    std::size_t issued = 0, completed = 0;
+    machine.controller().setCompletionHandler(
+        [&](CoreId, Addr, bool) { ++completed; });
+
+    Rng rng(0xC0FFEE ^ (mc.numCmps * 131) ^ (mc.coresPerCmp * 17));
+    const auto cores = static_cast<CoreId>(cfg.numCores());
+    Cycle when = 0;
+    for (int i = 0; i < 400; ++i) {
+        const auto core = static_cast<CoreId>(rng.nextBelow(cores));
+        const Addr line = lineAt(rng.nextBelow(12));
+        const bool write = rng.chance(0.4);
+        ++issued;
+        when += rng.nextBelow(35);
+        machine.queue().scheduleAt(when, [&machine, core, line,
+                                          write]() {
+            if (write)
+                machine.controller().coreWrite(core, line);
+            else
+                machine.controller().coreRead(core, line);
+        });
+    }
+    machine.queue().run();
+
+    EXPECT_EQ(completed, issued);
+    EXPECT_EQ(machine.controller().outstanding(), 0u);
+    const auto violations = machine.checker().check();
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " violations; first: "
+        << (violations.empty() ? "" : violations[0].description);
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<MatrixCase> &info)
+{
+    const MatrixCase &mc = info.param;
+    return std::string(toString(mc.algorithm)) + "_cmps" +
+           std::to_string(mc.numCmps) + "_cores" +
+           std::to_string(mc.coresPerCmp) + "_rings" +
+           std::to_string(mc.numRings) + (mc.prefetch ? "_pf" : "_nopf") +
+           (mc.writeFiltering ? "_wf" : "_nowf");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConfigMatrix,
+    ::testing::Values(
+        MatrixCase{2, 1, 1, true, false, Algorithm::Lazy},
+        MatrixCase{3, 2, 1, true, false, Algorithm::SupersetAgg},
+        MatrixCase{4, 2, 2, true, false, Algorithm::Eager},
+        MatrixCase{6, 1, 2, false, false, Algorithm::SupersetCon},
+        MatrixCase{8, 4, 2, true, false, Algorithm::Exact},
+        MatrixCase{8, 1, 4, true, true, Algorithm::SupersetAgg},
+        MatrixCase{12, 1, 2, true, false, Algorithm::Subset},
+        MatrixCase{16, 2, 2, false, true, Algorithm::Lazy},
+        MatrixCase{5, 3, 3, true, false, Algorithm::Oracle},
+        MatrixCase{8, 2, 2, true, true, Algorithm::Exact}),
+    caseName);
+
+} // namespace
+} // namespace flexsnoop

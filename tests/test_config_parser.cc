@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the string-based configuration overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config_parser.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TEST(ConfigParser, NumericOverrides)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);
+    applyOverride(cfg, "l2_entries=4096");
+    applyOverride(cfg, "l2_ways=16");
+    applyOverride(cfg, "num_rings=1");
+    applyOverride(cfg, "ring_link_latency=50");
+    applyOverride(cfg, "mem_remote_rt=900");
+    applyOverride(cfg, "max_outstanding=8");
+    EXPECT_EQ(cfg.l2Entries, 4096u);
+    EXPECT_EQ(cfg.l2Ways, 16u);
+    EXPECT_EQ(cfg.numRings, 1u);
+    EXPECT_EQ(cfg.ring.linkLatency, 50u);
+    EXPECT_EQ(cfg.memory.remoteRoundTrip, 900u);
+    EXPECT_EQ(cfg.core.maxOutstanding, 8u);
+}
+
+TEST(ConfigParser, NumCmpsAdjustsTorus)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);
+    applyOverride(cfg, "num_cmps=16");
+    EXPECT_EQ(cfg.numCmps, 16u);
+    EXPECT_EQ(cfg.torus.rows * cfg.torus.columns, 16u);
+    EXPECT_EQ(cfg.torus.rows, 4u); // most square factorization
+    applyOverride(cfg, "num_cmps=6");
+    EXPECT_EQ(cfg.torus.rows, 2u);
+    EXPECT_EQ(cfg.torus.columns, 3u);
+}
+
+TEST(ConfigParser, BooleanOverrides)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);
+    applyOverride(cfg, "prefetch_enabled=false");
+    EXPECT_FALSE(cfg.memory.prefetchEnabled);
+    applyOverride(cfg, "prefetch_enabled=on");
+    EXPECT_TRUE(cfg.memory.prefetchEnabled);
+    EXPECT_THROW(applyOverride(cfg, "prefetch_enabled=maybe"),
+                 std::invalid_argument);
+}
+
+TEST(ConfigParser, AlgorithmSwitchesPredictorDefault)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);
+    applyOverride(cfg, "algorithm=supersetagg");
+    EXPECT_EQ(cfg.algorithm, Algorithm::SupersetAgg);
+    EXPECT_EQ(cfg.predictor.id, "n2k");
+    applyOverride(cfg, "predictor=n2k");
+    EXPECT_EQ(cfg.predictor.id, "n2k");
+}
+
+TEST(ConfigParser, PredictorMismatchRejected)
+{
+    MachineConfig cfg =
+        MachineConfig::paperDefault(Algorithm::SupersetCon);
+    EXPECT_THROW(applyOverride(cfg, "predictor=sub2k"),
+                 std::invalid_argument);
+}
+
+TEST(ConfigParser, MalformedInputsRejected)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);
+    EXPECT_THROW(applyOverride(cfg, "l2_entries"), std::invalid_argument);
+    EXPECT_THROW(applyOverride(cfg, "=5"), std::invalid_argument);
+    EXPECT_THROW(applyOverride(cfg, "l2_entries=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyOverride(cfg, "l2_entries=12x"),
+                 std::invalid_argument);
+    EXPECT_THROW(applyOverride(cfg, "bogus_key=1"),
+                 std::invalid_argument);
+}
+
+TEST(ConfigParser, ApplyOverridesInOrder)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);
+    applyOverrides(cfg, {"l2_ways=2", "l2_ways=4"});
+    EXPECT_EQ(cfg.l2Ways, 4u);
+}
+
+TEST(ConfigParser, DescribeRoundTripsThroughApply)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Exact);
+    cfg.l2Entries = 1234 * 2; // arbitrary tweaks
+    cfg.ring.linkLatency = 77;
+    const std::string desc = describeConfig(cfg);
+
+    // Re-apply every key=value from the description to a fresh config.
+    MachineConfig rebuilt = MachineConfig::paperDefault(Algorithm::Lazy);
+    std::istringstream iss(desc);
+    std::string token;
+    while (iss >> token)
+        applyOverride(rebuilt, token);
+    EXPECT_EQ(rebuilt.algorithm, cfg.algorithm);
+    EXPECT_EQ(rebuilt.predictor.id, cfg.predictor.id);
+    EXPECT_EQ(rebuilt.l2Entries, cfg.l2Entries);
+    EXPECT_EQ(rebuilt.ring.linkLatency, cfg.ring.linkLatency);
+}
+
+TEST(ConfigParser, KeyListIsNonEmptyAndAccepted)
+{
+    const auto &keys = configKeys();
+    EXPECT_GE(keys.size(), 10u);
+}
+
+} // namespace
+} // namespace flexsnoop

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the 2D-torus data network latency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/data_network.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TorusParams
+paper4x2()
+{
+    TorusParams p;
+    p.columns = 4;
+    p.rows = 2;
+    p.perHopLatency = 20;
+    p.lineSerialization = 12;
+    return p;
+}
+
+TEST(DataNetwork, SelfTransferHasZeroHops)
+{
+    DataNetwork net(paper4x2());
+    for (NodeId n = 0; n < 8; ++n)
+        EXPECT_EQ(net.hops(n, n), 0u);
+}
+
+TEST(DataNetwork, NeighborIsOneHop)
+{
+    DataNetwork net(paper4x2());
+    EXPECT_EQ(net.hops(0, 1), 1u);
+    EXPECT_EQ(net.hops(0, 4), 1u); // same column, next row
+}
+
+TEST(DataNetwork, WrapAroundShortensPaths)
+{
+    DataNetwork net(paper4x2());
+    // Columns 0 and 3 are adjacent through the wrap link.
+    EXPECT_EQ(net.hops(0, 3), 1u);
+    // Rows wrap too (only 2 rows: always <= 1 vertical hop).
+    EXPECT_EQ(net.hops(0, 7), 2u); // (0,0) -> (3,1): 1 + 1
+}
+
+TEST(DataNetwork, HopsAreSymmetric)
+{
+    DataNetwork net(paper4x2());
+    for (NodeId a = 0; a < 8; ++a) {
+        for (NodeId b = 0; b < 8; ++b)
+            EXPECT_EQ(net.hops(a, b), net.hops(b, a));
+    }
+}
+
+TEST(DataNetwork, MaxDistanceOn4x2IsThree)
+{
+    DataNetwork net(paper4x2());
+    std::uint32_t max_hops = 0;
+    for (NodeId a = 0; a < 8; ++a) {
+        for (NodeId b = 0; b < 8; ++b)
+            max_hops = std::max(max_hops, net.hops(a, b));
+    }
+    EXPECT_EQ(max_hops, 3u);
+}
+
+TEST(DataNetwork, LatencyIsHopsTimesPerHopPlusSerialization)
+{
+    DataNetwork net(paper4x2());
+    EXPECT_EQ(net.lineLatency(0, 1), 20u + 12u);
+    EXPECT_EQ(net.lineLatency(0, 6), 20u * net.hops(0, 6) + 12u);
+    EXPECT_EQ(net.lineLatency(2, 2), 12u); // local: serialization only
+}
+
+TEST(DataNetwork, TransferCountsAndSamples)
+{
+    DataNetwork net(paper4x2());
+    net.transfer(0, 5);
+    net.transfer(1, 2);
+    EXPECT_EQ(net.transfers(), 2u);
+    EXPECT_GT(net.stats().scalarMean("transfer_latency"), 0.0);
+}
+
+TEST(DataNetwork, SingleRowTorus)
+{
+    TorusParams p;
+    p.columns = 4;
+    p.rows = 1;
+    DataNetwork net(p);
+    EXPECT_EQ(net.numNodes(), 4u);
+    EXPECT_EQ(net.hops(0, 2), 2u);
+    EXPECT_EQ(net.hops(0, 3), 1u); // wrap
+}
+
+} // namespace
+} // namespace flexsnoop

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the energy model (paper §6.1.4 constants).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "energy/energy_model.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TEST(EnergyModel, StartsEmpty)
+{
+    EnergyModel model;
+    EXPECT_DOUBLE_EQ(model.totalNj(), 0.0);
+    for (std::size_t i = 0; i < kNumEnergyEvents; ++i)
+        EXPECT_EQ(model.count(static_cast<EnergyEvent>(i)), 0u);
+}
+
+TEST(EnergyModel, PaperConstantsAreDefault)
+{
+    EnergyParams params;
+    EXPECT_DOUBLE_EQ(params.ringLinkMessageNj, 3.17);
+    EXPECT_DOUBLE_EQ(params.cmpSnoopNj, 0.69);
+    EXPECT_DOUBLE_EQ(params.dramLineNj, 24.0);
+}
+
+TEST(EnergyModel, RecordAccumulates)
+{
+    EnergyModel model;
+    model.record(EnergyEvent::RingLinkMessage);
+    model.record(EnergyEvent::RingLinkMessage, 9);
+    EXPECT_EQ(model.count(EnergyEvent::RingLinkMessage), 10u);
+    EXPECT_DOUBLE_EQ(model.categoryNj(EnergyEvent::RingLinkMessage),
+                     10 * 3.17);
+}
+
+TEST(EnergyModel, TotalSumsCategories)
+{
+    EnergyModel model;
+    model.record(EnergyEvent::RingLinkMessage, 2); // 6.34
+    model.record(EnergyEvent::CmpSnoop, 3);        // 2.07
+    model.record(EnergyEvent::DowngradeWriteback); // 24
+    EXPECT_NEAR(model.totalNj(), 6.34 + 2.07 + 24.0, 1e-9);
+}
+
+TEST(EnergyModel, RingDominatesSnoops)
+{
+    // Paper: "a lot of the energy is dissipated in the ring links" --
+    // one link message costs ~4.6x a CMP snoop.
+    EnergyParams params;
+    EXPECT_GT(params.ringLinkMessageNj, 4.0 * params.cmpSnoopNj);
+}
+
+TEST(EnergyModel, DowngradeEventsUseDramEnergy)
+{
+    EnergyParams params;
+    EXPECT_DOUBLE_EQ(params.perEventNj(EnergyEvent::DowngradeWriteback),
+                     params.dramLineNj);
+    EXPECT_DOUBLE_EQ(params.perEventNj(EnergyEvent::DowngradeReRead),
+                     params.dramLineNj);
+}
+
+TEST(EnergyModel, CustomParameters)
+{
+    EnergyParams params;
+    params.ringLinkMessageNj = 1.0;
+    params.cmpSnoopNj = 2.0;
+    EnergyModel model(params);
+    model.record(EnergyEvent::RingLinkMessage, 5);
+    model.record(EnergyEvent::CmpSnoop, 5);
+    EXPECT_DOUBLE_EQ(model.totalNj(), 15.0);
+}
+
+TEST(EnergyModel, ResetClearsCounts)
+{
+    EnergyModel model;
+    model.record(EnergyEvent::CmpSnoop, 100);
+    model.reset();
+    EXPECT_DOUBLE_EQ(model.totalNj(), 0.0);
+}
+
+TEST(EnergyModel, DumpListsEveryCategory)
+{
+    EnergyModel model;
+    model.record(EnergyEvent::PredictorAccess, 7);
+    std::ostringstream oss;
+    model.dump(oss);
+    const std::string out = oss.str();
+    for (std::size_t i = 0; i < kNumEnergyEvents; ++i) {
+        EXPECT_NE(out.find(toString(static_cast<EnergyEvent>(i))),
+                  std::string::npos);
+    }
+    EXPECT_NE(out.find("total"), std::string::npos);
+}
+
+TEST(EnergyModel, EventNamesAreDistinct)
+{
+    for (std::size_t i = 0; i < kNumEnergyEvents; ++i) {
+        for (std::size_t j = i + 1; j < kNumEnergyEvents; ++j) {
+            EXPECT_NE(toString(static_cast<EnergyEvent>(i)),
+                      toString(static_cast<EnergyEvent>(j)));
+        }
+    }
+}
+
+} // namespace
+} // namespace flexsnoop

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtCycleZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, ExecutesEventAtScheduledCycle)
+{
+    EventQueue q;
+    Cycle fired_at = 0;
+    q.schedule(42, [&]() { fired_at = q.now(); });
+    q.run();
+    EXPECT_EQ(fired_at, 42u);
+    EXPECT_EQ(q.now(), 42u);
+}
+
+TEST(EventQueue, ZeroDelayEventRunsAtCurrentCycle)
+{
+    EventQueue q;
+    bool fired = false;
+    q.schedule(0, [&]() { fired = true; });
+    q.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(q.now(), 0u);
+}
+
+TEST(EventQueue, EventsFireInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleEventsFireFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i]() { order.push_back(i); });
+    q.run();
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        ++count;
+        if (count < 5)
+            q.schedule(10, chain);
+    };
+    q.schedule(10, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, RunHonorsCycleLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&]() { ++fired; });
+    q.schedule(100, [&]() { ++fired; });
+    q.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepExecutesExactlyOneEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&]() { ++fired; });
+    q.schedule(2, [&]() { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ClearDropsPendingEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&]() { ++fired; });
+    q.clear();
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, ExecutedCountsAllFiredEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 17; ++i)
+        q.schedule(i, []() {});
+    q.run();
+    EXPECT_EQ(q.executed(), 17u);
+}
+
+TEST(EventQueue, ScheduleAtAbsoluteCycle)
+{
+    EventQueue q;
+    q.schedule(10, []() {});
+    q.run();
+    Cycle fired_at = 0;
+    q.scheduleAt(25, [&]() { fired_at = q.now(); });
+    q.run();
+    EXPECT_EQ(fired_at, 25u);
+}
+
+TEST(EventQueue, NestedZeroDelayPreservesFifoWithinCycle)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&]() {
+        order.push_back(1);
+        q.schedule(0, [&]() { order.push_back(3); });
+    });
+    q.schedule(5, [&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+} // namespace
+} // namespace flexsnoop

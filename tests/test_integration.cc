@@ -1,0 +1,205 @@
+/**
+ * @file
+ * End-to-end integration tests: full workloads through every snooping
+ * algorithm, checking protocol invariants, drain, and the qualitative
+ * relationships the paper establishes between the algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/simulation.hh"
+#include "workload/synthetic_generator.hh"
+#include "workload/uniform_generator.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+class AlgorithmIntegration : public ::testing::TestWithParam<Algorithm>
+{
+};
+
+TEST_P(AlgorithmIntegration, MiniWorkloadRunsToCompletion)
+{
+    const Algorithm algo = GetParam();
+    MachineConfig cfg = MachineConfig::paperDefault(algo, 1);
+    WorkloadProfile profile = miniProfile();
+    SyntheticGenerator gen(profile);
+    const RunResult r = runSimulation(cfg, gen.generate(), profile.name);
+
+    EXPECT_GT(r.execCycles, 0u);
+    EXPECT_GT(r.readRingRequests, 0u) << "expected ring traffic";
+    EXPECT_EQ(r.algorithm, toString(algo));
+}
+
+TEST_P(AlgorithmIntegration, MultiCorePerCmpRunsToCompletion)
+{
+    const Algorithm algo = GetParam();
+    MachineConfig cfg = MachineConfig::paperDefault(algo, 4);
+    WorkloadProfile profile = miniProfile();
+    profile.numCores = 32;
+    profile.coresPerCmp = 4;
+    profile.refsPerCore = 600;
+    profile.warmupRefs = 150;
+    SyntheticGenerator gen(profile);
+    const RunResult r = runSimulation(cfg, gen.generate(), profile.name);
+    EXPECT_GT(r.execCycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmIntegration,
+    ::testing::Values(Algorithm::Lazy, Algorithm::Eager, Algorithm::Oracle,
+                      Algorithm::Subset, Algorithm::SupersetCon,
+                      Algorithm::SupersetAgg, Algorithm::Exact,
+                      Algorithm::AdaptiveSuperset),
+    [](const ::testing::TestParamInfo<Algorithm> &info) {
+        return std::string(toString(info.param));
+    });
+
+/** Shared uniform-workload sweep for the relationship tests. */
+class UniformSweep : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        UniformWorkloadParams params;
+        params.numCores = 8;
+        params.linesPerReader = 48;
+        const CoreTraces traces = UniformGenerator(params).generate();
+        results = new std::map<Algorithm, RunResult>();
+        for (Algorithm a : paperAlgorithms()) {
+            MachineConfig cfg = MachineConfig::paperDefault(a, 1);
+            (*results)[a] = runSimulation(cfg, traces, "uniform");
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete results;
+        results = nullptr;
+    }
+
+    static const RunResult &get(Algorithm a) { return results->at(a); }
+
+    static std::map<Algorithm, RunResult> *results;
+};
+
+std::map<Algorithm, RunResult> *UniformSweep::results = nullptr;
+
+TEST_F(UniformSweep, EagerSnoopsAllNodes)
+{
+    // Table 1: Eager performs N-1 snoop operations per request.
+    EXPECT_NEAR(get(Algorithm::Eager).snoopsPerReadRequest, 7.0, 0.1);
+}
+
+TEST_F(UniformSweep, LazySnoopsAboutHalfTheNodes)
+{
+    // Table 1 says (N-1)/2 = 3.5; with the supplier uniformly 1..7 hops
+    // away the exact mean snoop count is 4.0.
+    EXPECT_NEAR(get(Algorithm::Lazy).snoopsPerReadRequest, 4.0, 0.3);
+}
+
+TEST_F(UniformSweep, OracleSnoopsExactlyOnce)
+{
+    EXPECT_NEAR(get(Algorithm::Oracle).snoopsPerReadRequest, 1.0, 0.05);
+}
+
+TEST_F(UniformSweep, EagerUsesAboutTwiceTheMessagesOfLazy)
+{
+    const double lazy = get(Algorithm::Lazy).readLinkMessagesPerRequest;
+    const double eager = get(Algorithm::Eager).readLinkMessagesPerRequest;
+    EXPECT_GT(eager, 1.6 * lazy);
+    EXPECT_LT(eager, 2.1 * lazy);
+}
+
+TEST_F(UniformSweep, LazyIsSlowestOracleIsFastest)
+{
+    const auto lazy = get(Algorithm::Lazy).execCycles;
+    const auto eager = get(Algorithm::Eager).execCycles;
+    const auto oracle = get(Algorithm::Oracle).execCycles;
+    EXPECT_GT(lazy, eager);
+    EXPECT_LE(oracle, eager * 101 / 100);
+}
+
+TEST_F(UniformSweep, EagerConsumesTheMostEnergy)
+{
+    for (Algorithm a : paperAlgorithms()) {
+        if (a == Algorithm::Eager)
+            continue;
+        EXPECT_GT(get(Algorithm::Eager).energyNj, get(a).energyNj)
+            << "Eager should out-consume " << toString(a);
+    }
+}
+
+TEST_F(UniformSweep, EveryReadFindsACacheSupplier)
+{
+    // The uniform workload is built so that a supplier always exists.
+    for (Algorithm a : paperAlgorithms()) {
+        const auto &r = get(a);
+        EXPECT_EQ(r.memoryFetches, 0u)
+            << toString(a) << " sent reads to memory";
+        EXPECT_GT(r.cacheSupplies, 0u);
+    }
+}
+
+TEST_F(UniformSweep, SupersetConHasLazyMessageCount)
+{
+    // Table 3: Superset Con (and Exact) use a single combined message.
+    const double lazy = get(Algorithm::Lazy).readLinkMessagesPerRequest;
+    EXPECT_NEAR(get(Algorithm::SupersetCon).readLinkMessagesPerRequest,
+                lazy, 0.05 * lazy);
+    EXPECT_NEAR(get(Algorithm::Exact).readLinkMessagesPerRequest, lazy,
+                0.05 * lazy);
+}
+
+TEST(IntegrationJbbLike, MostReadsGoToMemory)
+{
+    WorkloadProfile profile = specJbbProfile();
+    profile.refsPerCore = 3000;
+    profile.warmupRefs = 800;
+    SyntheticGenerator gen(profile);
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy, 1);
+    const RunResult r = runSimulation(cfg, gen.generate(), profile.name);
+    EXPECT_GT(r.memoryFetches, r.cacheSupplies)
+        << "SPECjbb-like traffic should be memory-bound";
+    // Paper: Lazy snoops close to all 7 nodes on SPECjbb.
+    EXPECT_GT(r.snoopsPerReadRequest, 5.5);
+}
+
+TEST(IntegrationSplashLike, CacheSuppliesAreCommon)
+{
+    WorkloadProfile profile = splash2Profiles().front(); // barnes
+    profile.refsPerCore = 1500;
+    profile.warmupRefs = 400;
+    SyntheticGenerator gen(profile);
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy, 4);
+    const RunResult r = runSimulation(cfg, gen.generate(), profile.name);
+    EXPECT_GT(r.cacheSupplies, 0u);
+    const double supply_rate =
+        static_cast<double>(r.cacheSupplies) /
+        (r.cacheSupplies + r.memoryFetches);
+    EXPECT_GT(supply_rate, 0.3)
+        << "SPLASH-like sharing should produce cache-to-cache transfers";
+}
+
+TEST(IntegrationDeterminism, SameSeedSameResult)
+{
+    WorkloadProfile profile = miniProfile();
+    SyntheticGenerator gen(profile);
+    const CoreTraces traces = gen.generate();
+    MachineConfig cfg =
+        MachineConfig::paperDefault(Algorithm::SupersetAgg, 1);
+    const RunResult a = runSimulation(cfg, traces, "mini");
+    const RunResult b = runSimulation(cfg, traces, "mini");
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.readSnoops, b.readSnoops);
+    EXPECT_EQ(a.readLinkMessages, b.readLinkMessages);
+    EXPECT_DOUBLE_EQ(a.energyNj, b.energyNj);
+}
+
+} // namespace
+} // namespace flexsnoop

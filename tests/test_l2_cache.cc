@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the L2 cache model: fills, evictions, state changes,
+ * and the transition hook contract the CMP node relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/l2_cache.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+using LS = LineState;
+
+Addr
+line(std::uint64_t idx)
+{
+    return idx * kLineSizeBytes;
+}
+
+struct Transition
+{
+    Addr addr;
+    LS from;
+    LS to;
+};
+
+class L2CacheTest : public ::testing::Test
+{
+  protected:
+    L2CacheTest() : cache("l2", 8, 2)
+    {
+        cache.setTransitionHook([this](Addr a, LS f, LS t) {
+            transitions.push_back(Transition{a, f, t});
+        });
+    }
+
+    L2Cache cache;
+    std::vector<Transition> transitions;
+};
+
+TEST_F(L2CacheTest, MissingLineIsInvalid)
+{
+    EXPECT_EQ(cache.state(line(1)), LS::Invalid);
+    EXPECT_FALSE(cache.contains(line(1)));
+}
+
+TEST_F(L2CacheTest, FillInstallsState)
+{
+    const auto ev = cache.fill(line(1), LS::Dirty);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_EQ(cache.state(line(1)), LS::Dirty);
+    EXPECT_TRUE(cache.contains(line(1)));
+    ASSERT_EQ(transitions.size(), 1u);
+    EXPECT_EQ(transitions[0].from, LS::Invalid);
+    EXPECT_EQ(transitions[0].to, LS::Dirty);
+}
+
+TEST_F(L2CacheTest, FillReportsEvictionWithOldState)
+{
+    // 4 sets x 2 ways; lines 0, 4, 8 collide in set 0.
+    cache.fill(line(0), LS::Dirty);
+    cache.fill(line(4), LS::Shared);
+    cache.touch(line(4));
+    const auto ev = cache.fill(line(8), LS::Shared);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.addr, line(0));
+    EXPECT_EQ(ev.state, LS::Dirty);
+    EXPECT_EQ(cache.state(line(0)), LS::Invalid);
+}
+
+TEST_F(L2CacheTest, EvictionFiresHookBeforeFill)
+{
+    cache.fill(line(0), LS::Exclusive);
+    cache.fill(line(4), LS::Shared);
+    transitions.clear();
+    cache.fill(line(8), LS::Shared); // evicts LRU = line 0
+    ASSERT_EQ(transitions.size(), 2u);
+    EXPECT_EQ(transitions[0].addr, line(0));
+    EXPECT_EQ(transitions[0].from, LS::Exclusive);
+    EXPECT_EQ(transitions[0].to, LS::Invalid);
+    EXPECT_EQ(transitions[1].addr, line(8));
+    EXPECT_EQ(transitions[1].from, LS::Invalid);
+}
+
+TEST_F(L2CacheTest, RefillOfResidentLineReportsTrueOldState)
+{
+    cache.fill(line(1), LS::Dirty);
+    transitions.clear();
+    const auto ev = cache.fill(line(1), LS::Shared);
+    EXPECT_FALSE(ev.valid);
+    ASSERT_EQ(transitions.size(), 1u);
+    // The hook must see Dirty -> Shared, not Invalid -> Shared; the
+    // supplier bookkeeping depends on it.
+    EXPECT_EQ(transitions[0].from, LS::Dirty);
+    EXPECT_EQ(transitions[0].to, LS::Shared);
+}
+
+TEST_F(L2CacheTest, ChangeStateUpdatesAndNotifies)
+{
+    cache.fill(line(2), LS::Exclusive);
+    transitions.clear();
+    cache.changeState(line(2), LS::SharedGlobal);
+    EXPECT_EQ(cache.state(line(2)), LS::SharedGlobal);
+    ASSERT_EQ(transitions.size(), 1u);
+    EXPECT_EQ(transitions[0].from, LS::Exclusive);
+    EXPECT_EQ(transitions[0].to, LS::SharedGlobal);
+}
+
+TEST_F(L2CacheTest, ChangeToInvalidFreesEntry)
+{
+    cache.fill(line(2), LS::Shared);
+    cache.changeState(line(2), LS::Invalid);
+    EXPECT_FALSE(cache.contains(line(2)));
+    EXPECT_EQ(cache.occupancy(), 0u);
+}
+
+TEST_F(L2CacheTest, SameStateChangeDoesNotNotify)
+{
+    cache.fill(line(2), LS::Shared);
+    transitions.clear();
+    cache.changeState(line(2), LS::Shared);
+    EXPECT_TRUE(transitions.empty());
+}
+
+TEST_F(L2CacheTest, InvalidateReturnsOldState)
+{
+    cache.fill(line(3), LS::Tagged);
+    EXPECT_EQ(cache.invalidate(line(3)), LS::Tagged);
+    EXPECT_EQ(cache.invalidate(line(3)), LS::Invalid);
+    EXPECT_FALSE(cache.contains(line(3)));
+}
+
+TEST_F(L2CacheTest, TouchKeepsLineResidentUnderPressure)
+{
+    cache.fill(line(0), LS::Shared);
+    cache.fill(line(4), LS::Shared);
+    cache.touch(line(0)); // line 4 becomes LRU
+    cache.fill(line(8), LS::Shared);
+    EXPECT_TRUE(cache.contains(line(0)));
+    EXPECT_FALSE(cache.contains(line(4)));
+}
+
+TEST_F(L2CacheTest, ForEachLineVisitsResidentLines)
+{
+    cache.fill(line(0), LS::Shared);
+    cache.fill(line(1), LS::Dirty);
+    std::size_t count = 0;
+    cache.forEachLine([&](Addr, LS) { ++count; });
+    EXPECT_EQ(count, 2u);
+}
+
+TEST_F(L2CacheTest, StatsCountFillsAndEvictions)
+{
+    cache.fill(line(0), LS::Shared);
+    cache.fill(line(4), LS::Shared);
+    cache.fill(line(8), LS::Shared); // eviction
+    cache.invalidate(line(8));
+    EXPECT_EQ(cache.stats().counterValue("fills"), 3u);
+    EXPECT_EQ(cache.stats().counterValue("evictions"), 1u);
+    EXPECT_EQ(cache.stats().counterValue("invalidations"), 1u);
+}
+
+TEST_F(L2CacheTest, WorksWithoutHook)
+{
+    L2Cache bare("bare", 8, 2);
+    bare.fill(line(0), LS::Shared);
+    bare.changeState(line(0), LS::Invalid);
+    EXPECT_FALSE(bare.contains(line(0)));
+}
+
+} // namespace
+} // namespace flexsnoop

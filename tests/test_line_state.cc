@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the protocol line states and the compatibility matrix
+ * of paper Figure 2-(b).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/line_state.hh"
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+using LS = LineState;
+
+const std::vector<LS> kAllStates = {
+    LS::Invalid,     LS::Shared, LS::SharedLocal, LS::SharedGlobal,
+    LS::Exclusive,   LS::Dirty,  LS::Tagged,
+};
+
+TEST(LineState, SupplierStatesAreSgEDT)
+{
+    EXPECT_TRUE(isSupplierState(LS::SharedGlobal));
+    EXPECT_TRUE(isSupplierState(LS::Exclusive));
+    EXPECT_TRUE(isSupplierState(LS::Dirty));
+    EXPECT_TRUE(isSupplierState(LS::Tagged));
+    EXPECT_FALSE(isSupplierState(LS::Invalid));
+    EXPECT_FALSE(isSupplierState(LS::Shared));
+    EXPECT_FALSE(isSupplierState(LS::SharedLocal));
+}
+
+TEST(LineState, LocalSupplierAddsSl)
+{
+    EXPECT_TRUE(isLocalSupplierState(LS::SharedLocal));
+    for (LS s : kAllStates) {
+        if (isSupplierState(s)) {
+            EXPECT_TRUE(isLocalSupplierState(s));
+        }
+    }
+    EXPECT_FALSE(isLocalSupplierState(LS::Shared));
+    EXPECT_FALSE(isLocalSupplierState(LS::Invalid));
+}
+
+TEST(LineState, DirtyStatesNeedWriteback)
+{
+    EXPECT_TRUE(isDirtyState(LS::Dirty));
+    EXPECT_TRUE(isDirtyState(LS::Tagged));
+    EXPECT_FALSE(isDirtyState(LS::Exclusive));
+    EXPECT_FALSE(isDirtyState(LS::SharedGlobal));
+}
+
+TEST(LineState, WritableStatesAreED)
+{
+    EXPECT_TRUE(isWritableState(LS::Exclusive));
+    EXPECT_TRUE(isWritableState(LS::Dirty));
+    EXPECT_FALSE(isWritableState(LS::Tagged));
+    EXPECT_FALSE(isWritableState(LS::SharedGlobal));
+    EXPECT_FALSE(isWritableState(LS::Shared));
+}
+
+TEST(LineState, ToStringIsDistinct)
+{
+    std::vector<std::string_view> names;
+    for (LS s : kAllStates)
+        names.push_back(toString(s));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j)
+            EXPECT_NE(names[i], names[j]);
+    }
+}
+
+TEST(Compatibility, InvalidGoesWithEverything)
+{
+    for (LS s : kAllStates) {
+        EXPECT_TRUE(statesCompatible(LS::Invalid, s, false));
+        EXPECT_TRUE(statesCompatible(LS::Invalid, s, true));
+    }
+}
+
+TEST(Compatibility, MatrixIsSymmetric)
+{
+    for (LS a : kAllStates) {
+        for (LS b : kAllStates) {
+            for (bool same : {false, true}) {
+                EXPECT_EQ(statesCompatible(a, b, same),
+                          statesCompatible(b, a, same))
+                    << toString(a) << " vs " << toString(b);
+            }
+        }
+    }
+}
+
+TEST(Compatibility, ExclusiveAndDirtyTolerateNothing)
+{
+    for (LS other : kAllStates) {
+        if (other == LS::Invalid)
+            continue;
+        EXPECT_FALSE(statesCompatible(LS::Exclusive, other, false));
+        EXPECT_FALSE(statesCompatible(LS::Dirty, other, false));
+    }
+}
+
+TEST(Compatibility, PaperRowShared)
+{
+    // S row: I, S, SL, SG, T.
+    EXPECT_TRUE(statesCompatible(LS::Shared, LS::Shared, false));
+    EXPECT_TRUE(statesCompatible(LS::Shared, LS::SharedLocal, false));
+    EXPECT_TRUE(statesCompatible(LS::Shared, LS::SharedGlobal, false));
+    EXPECT_TRUE(statesCompatible(LS::Shared, LS::Tagged, false));
+    EXPECT_TRUE(statesCompatible(LS::Shared, LS::SharedLocal, true));
+    EXPECT_TRUE(statesCompatible(LS::Shared, LS::SharedGlobal, true));
+    EXPECT_TRUE(statesCompatible(LS::Shared, LS::Tagged, true));
+    EXPECT_FALSE(statesCompatible(LS::Shared, LS::Exclusive, false));
+    EXPECT_FALSE(statesCompatible(LS::Shared, LS::Dirty, false));
+}
+
+TEST(Compatibility, PaperRowSharedLocal)
+{
+    // SL row: I, S, SL*, SG*, T* ("*" = different CMP only).
+    EXPECT_TRUE(statesCompatible(LS::SharedLocal, LS::SharedLocal, false));
+    EXPECT_FALSE(statesCompatible(LS::SharedLocal, LS::SharedLocal, true));
+    EXPECT_TRUE(statesCompatible(LS::SharedLocal, LS::SharedGlobal,
+                                 false));
+    EXPECT_FALSE(statesCompatible(LS::SharedLocal, LS::SharedGlobal,
+                                  true));
+    EXPECT_TRUE(statesCompatible(LS::SharedLocal, LS::Tagged, false));
+    EXPECT_FALSE(statesCompatible(LS::SharedLocal, LS::Tagged, true));
+}
+
+TEST(Compatibility, PaperRowSharedGlobal)
+{
+    // SG row: I, S, SL*. Two global masters never coexist.
+    EXPECT_FALSE(statesCompatible(LS::SharedGlobal, LS::SharedGlobal,
+                                  false));
+    EXPECT_FALSE(statesCompatible(LS::SharedGlobal, LS::SharedGlobal,
+                                  true));
+    EXPECT_FALSE(statesCompatible(LS::SharedGlobal, LS::Tagged, false));
+}
+
+TEST(Compatibility, PaperRowTagged)
+{
+    // T row: I, S, SL*.
+    EXPECT_FALSE(statesCompatible(LS::Tagged, LS::Tagged, false));
+    EXPECT_TRUE(statesCompatible(LS::Tagged, LS::Shared, true));
+    EXPECT_TRUE(statesCompatible(LS::Tagged, LS::SharedLocal, false));
+    EXPECT_FALSE(statesCompatible(LS::Tagged, LS::SharedLocal, true));
+}
+
+TEST(Compatibility, AtMostOneSupplierFollowsFromMatrix)
+{
+    // Any pair of supplier states must be incompatible (in any CMP
+    // arrangement): this is what makes "at most one cache can supply"
+    // a consequence of the state design.
+    for (LS a : kAllStates) {
+        for (LS b : kAllStates) {
+            if (isSupplierState(a) && isSupplierState(b)) {
+                EXPECT_FALSE(statesCompatible(a, b, false))
+                    << toString(a) << " + " << toString(b);
+                EXPECT_FALSE(statesCompatible(a, b, true));
+            }
+        }
+    }
+}
+
+TEST(LineAddr, HelpersStripOffset)
+{
+    EXPECT_EQ(lineAddr(0x1234), 0x1200u);
+    EXPECT_EQ(lineAddr(0x1000), 0x1000u);
+    EXPECT_EQ(lineAddr(0x103F), 0x1000u);
+    EXPECT_EQ(lineAddr(0x1040), 0x1040u);
+    EXPECT_EQ(lineIndex(0x1040), 0x41u);
+}
+
+} // namespace
+} // namespace flexsnoop

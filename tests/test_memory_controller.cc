@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the memory model: home mapping, latencies, and the
+ * home-node prefetch buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_controller.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+Addr
+lineAt(std::uint64_t idx)
+{
+    return idx * kLineSizeBytes;
+}
+
+TEST(MemoryController, HomeNodesInterleaveByLine)
+{
+    MemoryController mem(8, MemoryParams{});
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(mem.homeNode(lineAt(i)), i % 8);
+    // Offset bits within the line do not change the home.
+    EXPECT_EQ(mem.homeNode(lineAt(5) + 63), mem.homeNode(lineAt(5)));
+}
+
+TEST(MemoryController, LocalReadUsesLocalLatency)
+{
+    MemoryParams params;
+    MemoryController mem(8, params);
+    const Addr line = lineAt(3); // home node 3
+    EXPECT_EQ(mem.readLatency(line, 3, 1000), params.localRoundTrip);
+    EXPECT_EQ(mem.stats().counterValue("reads_local"), 1u);
+}
+
+TEST(MemoryController, RemoteReadWithoutPrefetchIsSlow)
+{
+    MemoryParams params;
+    MemoryController mem(8, params);
+    const Addr line = lineAt(3);
+    EXPECT_EQ(mem.readLatency(line, 0, 1000), params.remoteRoundTrip);
+    EXPECT_EQ(mem.stats().counterValue("reads_remote"), 1u);
+}
+
+TEST(MemoryController, PrefetchCutsRemoteLatency)
+{
+    MemoryParams params;
+    MemoryController mem(8, params);
+    const Addr line = lineAt(3);
+    mem.notifySnoopAtHome(line, 0);
+    // By cycle 1000 the prefetched data has long been in the buffer.
+    const Cycle lat = mem.readLatency(line, 0, 1000);
+    EXPECT_EQ(lat, params.remotePrefetchRoundTrip);
+    EXPECT_EQ(mem.stats().counterValue("reads_prefetched"), 1u);
+}
+
+TEST(MemoryController, PrefetchEntryIsConsumedOnce)
+{
+    MemoryParams params;
+    MemoryController mem(8, params);
+    const Addr line = lineAt(3);
+    mem.notifySnoopAtHome(line, 0);
+    mem.readLatency(line, 0, 1000);
+    // Second read: buffer entry gone, back to the slow path.
+    EXPECT_EQ(mem.readLatency(line, 0, 2000), params.remoteRoundTrip);
+}
+
+TEST(MemoryController, PrefetchDisabledByConfig)
+{
+    MemoryParams params;
+    params.prefetchEnabled = false;
+    MemoryController mem(8, params);
+    const Addr line = lineAt(3);
+    mem.notifySnoopAtHome(line, 0);
+    EXPECT_EQ(mem.readLatency(line, 0, 1000), params.remoteRoundTrip);
+    EXPECT_EQ(mem.stats().counterValue("prefetches"), 0u);
+}
+
+TEST(MemoryController, DuplicatePrefetchIsIgnored)
+{
+    MemoryController mem(8, MemoryParams{});
+    const Addr line = lineAt(3);
+    mem.notifySnoopAtHome(line, 0);
+    mem.notifySnoopAtHome(line, 10);
+    EXPECT_EQ(mem.stats().counterValue("prefetches"), 1u);
+}
+
+TEST(MemoryController, PrefetchBufferDisplacesFifo)
+{
+    MemoryParams params;
+    params.prefetchBufferEntries = 2;
+    MemoryController mem(2, params);
+    // All lines with even index live at home node 0.
+    mem.notifySnoopAtHome(lineAt(0), 0);
+    mem.notifySnoopAtHome(lineAt(2), 0);
+    mem.notifySnoopAtHome(lineAt(4), 0); // displaces line 0
+    EXPECT_EQ(mem.stats().counterValue("prefetch_displaced"), 1u);
+    EXPECT_EQ(mem.readLatency(lineAt(0), 1, 5000),
+              params.remoteRoundTrip);
+    EXPECT_EQ(mem.readLatency(lineAt(2), 1, 5000),
+              params.remotePrefetchRoundTrip);
+}
+
+TEST(MemoryController, ImmediateReadAfterPrefetchPaysPartialDram)
+{
+    MemoryParams params;
+    MemoryController mem(8, params);
+    const Addr line = lineAt(3);
+    mem.notifySnoopAtHome(line, 1000);
+    // Read issued right away: the DRAM access has not finished, so the
+    // latency is above the pure prefetch round trip but below the
+    // full remote round trip.
+    const Cycle lat = mem.readLatency(line, 0, 1001);
+    EXPECT_GT(lat, params.remotePrefetchRoundTrip);
+    EXPECT_LT(lat, params.remoteRoundTrip);
+}
+
+TEST(MemoryController, WritebacksAreCounted)
+{
+    MemoryController mem(4, MemoryParams{});
+    mem.writeback(lineAt(1));
+    mem.writeback(lineAt(2));
+    EXPECT_EQ(mem.writebacks(), 2u);
+}
+
+TEST(MemoryController, ReadsAreCounted)
+{
+    MemoryController mem(4, MemoryParams{});
+    mem.readLatency(lineAt(0), 0, 0);
+    mem.readLatency(lineAt(1), 0, 0);
+    EXPECT_EQ(mem.reads(), 2u);
+}
+
+} // namespace
+} // namespace flexsnoop

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the snooping algorithm policies: the exact
+ * prediction-to-primitive mapping of paper Table 3, write decoupling
+ * per §5.3, and the adaptive Con/Agg switcher of §6.1.5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "snoop/adaptive_switcher.hh"
+#include "snoop/snoop_policy.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TEST(Policies, LazyAlwaysSnoopsThenForwards)
+{
+    auto policy = makePolicy(Algorithm::Lazy);
+    EXPECT_EQ(policy->predictorKind(), PredictorKind::None);
+    EXPECT_FALSE(policy->usesPredictor());
+    EXPECT_EQ(policy->onPrediction(true), Primitive::SnoopThenForward);
+    EXPECT_EQ(policy->onPrediction(false), Primitive::SnoopThenForward);
+    EXPECT_FALSE(policy->decouplesWrites());
+}
+
+TEST(Policies, EagerAlwaysForwardsThenSnoops)
+{
+    auto policy = makePolicy(Algorithm::Eager);
+    EXPECT_EQ(policy->predictorKind(), PredictorKind::None);
+    EXPECT_EQ(policy->onPrediction(true), Primitive::ForwardThenSnoop);
+    EXPECT_EQ(policy->onPrediction(false), Primitive::ForwardThenSnoop);
+    EXPECT_TRUE(policy->decouplesWrites());
+}
+
+TEST(Policies, OracleSnoopsOnlyTheSupplier)
+{
+    auto policy = makePolicy(Algorithm::Oracle);
+    EXPECT_EQ(policy->predictorKind(), PredictorKind::Perfect);
+    EXPECT_EQ(policy->onPrediction(true), Primitive::SnoopThenForward);
+    EXPECT_EQ(policy->onPrediction(false), Primitive::Forward);
+    EXPECT_TRUE(policy->decouplesWrites());
+}
+
+TEST(Policies, SubsetRowOfTable3)
+{
+    auto policy = makePolicy(Algorithm::Subset);
+    EXPECT_EQ(policy->predictorKind(), PredictorKind::Subset);
+    EXPECT_EQ(policy->onPrediction(true), Primitive::SnoopThenForward);
+    // Negative may be wrong (false negatives): must still snoop.
+    EXPECT_EQ(policy->onPrediction(false), Primitive::ForwardThenSnoop);
+    EXPECT_TRUE(policy->decouplesWrites());
+}
+
+TEST(Policies, SupersetConRowOfTable3)
+{
+    auto policy = makePolicy(Algorithm::SupersetCon);
+    EXPECT_EQ(policy->predictorKind(), PredictorKind::Superset);
+    EXPECT_EQ(policy->onPrediction(true), Primitive::SnoopThenForward);
+    // Negative is guaranteed correct: skip the snoop entirely.
+    EXPECT_EQ(policy->onPrediction(false), Primitive::Forward);
+    EXPECT_FALSE(policy->decouplesWrites());
+}
+
+TEST(Policies, SupersetAggRowOfTable3)
+{
+    auto policy = makePolicy(Algorithm::SupersetAgg);
+    EXPECT_EQ(policy->predictorKind(), PredictorKind::Superset);
+    EXPECT_EQ(policy->onPrediction(true), Primitive::ForwardThenSnoop);
+    EXPECT_EQ(policy->onPrediction(false), Primitive::Forward);
+    EXPECT_TRUE(policy->decouplesWrites());
+}
+
+TEST(Policies, ExactRowOfTable3)
+{
+    auto policy = makePolicy(Algorithm::Exact);
+    EXPECT_EQ(policy->predictorKind(), PredictorKind::Exact);
+    EXPECT_EQ(policy->onPrediction(true), Primitive::SnoopThenForward);
+    EXPECT_EQ(policy->onPrediction(false), Primitive::Forward);
+    EXPECT_FALSE(policy->decouplesWrites());
+}
+
+TEST(Policies, NoFalseNegativePoliciesNeverFilterOnPositive)
+{
+    // A policy may only emit Forward when its predictor guarantees no
+    // false negatives -- otherwise it could skip the supplier.
+    for (Algorithm a : paperAlgorithms()) {
+        auto policy = makePolicy(a);
+        if (policy->onPrediction(false) == Primitive::Forward &&
+            policy->usesPredictor()) {
+            const auto cfg = defaultPredictorFor(a);
+            auto pred = makePredictor(cfg, "p", [](Addr) { return false; });
+            if (pred) {
+                EXPECT_FALSE(pred->mayFalseNegative()) << toString(a);
+            }
+        }
+    }
+}
+
+TEST(Policies, FactoryProducesMatchingAlgorithm)
+{
+    for (Algorithm a : paperAlgorithms())
+        EXPECT_EQ(makePolicy(a)->algorithm(), a);
+}
+
+TEST(Policies, NameRoundTrip)
+{
+    for (Algorithm a : paperAlgorithms())
+        EXPECT_EQ(algorithmFromName(std::string(toString(a))), a);
+    EXPECT_EQ(algorithmFromName("supagg"), Algorithm::SupersetAgg);
+    EXPECT_EQ(algorithmFromName("supcon"), Algorithm::SupersetCon);
+    EXPECT_THROW(algorithmFromName("nope"), std::invalid_argument);
+}
+
+TEST(Policies, PaperAlgorithmListMatchesFigures)
+{
+    const auto &algos = paperAlgorithms();
+    ASSERT_EQ(algos.size(), 7u);
+    EXPECT_EQ(algos.front(), Algorithm::Lazy);
+    EXPECT_EQ(algos.back(), Algorithm::Exact);
+}
+
+TEST(Policies, DefaultPredictorsMatchSection61)
+{
+    EXPECT_EQ(defaultPredictorFor(Algorithm::Subset).id, "Sub2k");
+    EXPECT_EQ(defaultPredictorFor(Algorithm::SupersetCon).id, "n2k");
+    EXPECT_EQ(defaultPredictorFor(Algorithm::SupersetAgg).id, "n2k");
+    EXPECT_EQ(defaultPredictorFor(Algorithm::Exact).id, "Exa2k");
+    EXPECT_EQ(defaultPredictorFor(Algorithm::Lazy).kind,
+              PredictorKind::None);
+    EXPECT_EQ(defaultPredictorFor(Algorithm::Oracle).kind,
+              PredictorKind::Perfect);
+}
+
+// --- Adaptive switcher (§6.1.5 extension) -----------------------------------
+
+TEST(AdaptiveSwitcher, AggressiveModeBehavesLikeSupersetAgg)
+{
+    AdaptiveSupersetPolicy policy(AdaptiveSupersetPolicy::Mode::Aggressive);
+    EXPECT_EQ(policy.onPrediction(true), Primitive::ForwardThenSnoop);
+    EXPECT_EQ(policy.onPrediction(false), Primitive::Forward);
+    EXPECT_TRUE(policy.decouplesWrites());
+}
+
+TEST(AdaptiveSwitcher, ConservativeModeBehavesLikeSupersetCon)
+{
+    AdaptiveSupersetPolicy policy(
+        AdaptiveSupersetPolicy::Mode::Conservative);
+    EXPECT_EQ(policy.onPrediction(true), Primitive::SnoopThenForward);
+    EXPECT_EQ(policy.onPrediction(false), Primitive::Forward);
+    EXPECT_FALSE(policy.decouplesWrites());
+}
+
+TEST(AdaptiveSwitcher, ControllerSwitchesOnHighEnergy)
+{
+    AdaptiveSupersetPolicy policy(AdaptiveSupersetPolicy::Mode::Aggressive);
+    EnergyBudgetController ctrl(policy, /*high=*/50.0, /*low=*/30.0);
+    // Cheap epoch: stays aggressive.
+    ctrl.sampleEpoch(25.0 * 100, 100);
+    EXPECT_EQ(policy.mode(), AdaptiveSupersetPolicy::Mode::Aggressive);
+    // Expensive epoch: switches to conservative.
+    ctrl.sampleEpoch(80.0 * 100, 100);
+    EXPECT_EQ(policy.mode(), AdaptiveSupersetPolicy::Mode::Conservative);
+    // Hysteresis: mid-band keeps the current mode.
+    ctrl.sampleEpoch(40.0 * 100, 100);
+    EXPECT_EQ(policy.mode(), AdaptiveSupersetPolicy::Mode::Conservative);
+    // Cheap again: back to aggressive.
+    ctrl.sampleEpoch(10.0 * 100, 100);
+    EXPECT_EQ(policy.mode(), AdaptiveSupersetPolicy::Mode::Aggressive);
+    EXPECT_EQ(ctrl.epochs(), 4u);
+    EXPECT_EQ(ctrl.conservativeEpochs(), 2u);
+}
+
+TEST(AdaptiveSwitcher, EmptyEpochKeepsMode)
+{
+    AdaptiveSupersetPolicy policy(
+        AdaptiveSupersetPolicy::Mode::Conservative);
+    EnergyBudgetController ctrl(policy, 50.0, 30.0);
+    ctrl.sampleEpoch(0.0, 0);
+    EXPECT_EQ(policy.mode(), AdaptiveSupersetPolicy::Mode::Conservative);
+    EXPECT_EQ(ctrl.epochs(), 0u);
+}
+
+} // namespace
+} // namespace flexsnoop

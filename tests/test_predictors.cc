@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the Supplier Predictors: the Subset/Superset/Exact
+ * taxonomy properties of paper §4.1 and the implementations of §4.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "predictor/exact_predictor.hh"
+#include "predictor/exclude_cache.hh"
+#include "predictor/perfect_predictor.hh"
+#include "predictor/predictor_config.hh"
+#include "predictor/subset_predictor.hh"
+#include "predictor/superset_predictor.hh"
+#include "sim/random.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+Addr
+lineAt(std::uint64_t idx)
+{
+    return idx * kLineSizeBytes;
+}
+
+// --- Subset ----------------------------------------------------------------
+
+TEST(SubsetPredictor, TracksGainAndLoss)
+{
+    SubsetPredictor pred("p", 64, 8, 18, 2);
+    EXPECT_FALSE(pred.predict(lineAt(1)));
+    pred.supplierGained(lineAt(1));
+    EXPECT_TRUE(pred.predict(lineAt(1)));
+    pred.supplierLost(lineAt(1));
+    EXPECT_FALSE(pred.predict(lineAt(1)));
+}
+
+TEST(SubsetPredictor, NoFalsePositivesProperty)
+{
+    // Property: under random churn with conflict drops, predict() never
+    // returns true for a line outside the true supplier set.
+    SubsetPredictor pred("p", 32, 4, 18, 2);
+    Rng rng(99);
+    std::set<Addr> truth;
+    for (int step = 0; step < 20000; ++step) {
+        const Addr line = lineAt(rng.nextBelow(500));
+        if (rng.chance(0.5) && !truth.count(line)) {
+            truth.insert(line);
+            pred.supplierGained(line);
+        } else if (truth.count(line)) {
+            truth.erase(line);
+            pred.supplierLost(line);
+        }
+        const Addr probe = lineAt(rng.nextBelow(500));
+        if (pred.predict(probe)) {
+            ASSERT_TRUE(truth.count(probe)) << "false positive";
+        }
+    }
+}
+
+TEST(SubsetPredictor, ConflictDropsCauseFalseNegatives)
+{
+    SubsetPredictor pred("p", 8, 8, 20, 2); // one set, 8 ways
+    for (std::uint64_t i = 0; i < 9; ++i)
+        pred.supplierGained(lineAt(i));
+    EXPECT_EQ(pred.stats().counterValue("conflict_drops"), 1u);
+    int present = 0;
+    for (std::uint64_t i = 0; i < 9; ++i)
+        present += pred.predict(lineAt(i));
+    EXPECT_EQ(present, 8); // one true supplier is missing: FN
+}
+
+TEST(SubsetPredictor, TaxonomyFlags)
+{
+    SubsetPredictor pred("p", 64, 8, 18, 2);
+    EXPECT_FALSE(pred.mayFalsePositive());
+    EXPECT_TRUE(pred.mayFalseNegative());
+    EXPECT_EQ(pred.accessLatency(), 2u);
+    EXPECT_EQ(pred.storageBits(), 64u * 18u);
+}
+
+// --- Exclude cache -----------------------------------------------------------
+
+TEST(ExcludeCache, RemembersKnownAbsentLines)
+{
+    ExcludeCache cache(16, 4, 18);
+    EXPECT_FALSE(cache.contains(lineAt(1)));
+    cache.insert(lineAt(1));
+    EXPECT_TRUE(cache.contains(lineAt(1)));
+    cache.remove(lineAt(1));
+    EXPECT_FALSE(cache.contains(lineAt(1)));
+}
+
+// --- Superset ----------------------------------------------------------------
+
+TEST(SupersetPredictor, NoFalseNegativesProperty)
+{
+    // The central correctness property of Superset algorithms (§4.3.4):
+    // a negative prediction guarantees the line is not a supplier here.
+    SupersetPredictor pred("p", {9, 9, 6}, 32, 4, 18, 2);
+    Rng rng(7);
+    std::set<Addr> truth;
+    for (int step = 0; step < 20000; ++step) {
+        const Addr line = lineAt(rng.nextBelow(3000));
+        if (rng.chance(0.5) && !truth.count(line)) {
+            truth.insert(line);
+            pred.supplierGained(line);
+        } else if (truth.count(line)) {
+            truth.erase(line);
+            pred.supplierLost(line);
+        }
+        // Occasionally train the Exclude cache as the gateway would.
+        const Addr probe = lineAt(rng.nextBelow(3000));
+        if (pred.predict(probe) && !truth.count(probe))
+            pred.falsePositive(probe);
+        if (!pred.predict(probe)) {
+            ASSERT_FALSE(truth.count(probe)) << "false negative";
+        }
+    }
+}
+
+TEST(SupersetPredictor, ExcludeCacheSuppressesRepeatedFalsePositives)
+{
+    SupersetPredictor pred("p", {4, 4}, 16, 4, 18, 2);
+    // Force aliasing: insert a line that shares all counters with
+    // another.
+    pred.supplierGained(lineAt(3));
+    const Addr alias = lineAt(3 + 256); // beyond 4+4 field bits: full alias
+    ASSERT_TRUE(pred.predict(alias)) << "test requires aliasing";
+    pred.falsePositive(alias);
+    EXPECT_FALSE(pred.predict(alias));
+    EXPECT_GE(pred.stats().counterValue("exclude_hits"), 1u);
+}
+
+TEST(SupersetPredictor, SupplierGainEvictsFromExcludeCache)
+{
+    SupersetPredictor pred("p", {4, 4}, 16, 4, 18, 2);
+    pred.supplierGained(lineAt(3));
+    const Addr alias = lineAt(3 + 256);
+    pred.falsePositive(alias);
+    EXPECT_FALSE(pred.predict(alias));
+    // The alias line now becomes a supplier itself: it must be removed
+    // from the Exclude cache or we would have a false negative.
+    pred.supplierGained(alias);
+    EXPECT_TRUE(pred.predict(alias));
+}
+
+TEST(SupersetPredictor, WithoutExcludeCache)
+{
+    SupersetPredictor pred("p", {4, 4}, 0, 4, 18, 2);
+    EXPECT_FALSE(pred.hasExcludeCache());
+    pred.supplierGained(lineAt(3));
+    const Addr alias = lineAt(3 + 256);
+    EXPECT_TRUE(pred.predict(alias));
+    pred.falsePositive(alias); // no-op without the cache
+    EXPECT_TRUE(pred.predict(alias));
+}
+
+TEST(SupersetPredictor, TaxonomyFlags)
+{
+    SupersetPredictor pred("p", {10, 4, 7}, 2048, 8, 18, 2);
+    EXPECT_TRUE(pred.mayFalsePositive());
+    EXPECT_FALSE(pred.mayFalseNegative());
+    // Bloom (1168 entries x 17 bits) + Exclude (2048 x 18 bits).
+    EXPECT_EQ(pred.storageBits(), 1168u * 17u + 2048u * 18u);
+}
+
+// --- Exact -------------------------------------------------------------------
+
+TEST(ExactPredictor, DowngradesOnConflictEviction)
+{
+    ExactPredictor pred("p", 8, 8, 20, 2); // one set
+    std::vector<Addr> downgraded;
+    pred.setDowngradeFn([&](Addr line) {
+        downgraded.push_back(line);
+        pred.supplierLost(line); // as the CMP would after demoting
+    });
+    for (std::uint64_t i = 0; i < 8; ++i)
+        pred.supplierGained(lineAt(i));
+    EXPECT_TRUE(downgraded.empty());
+    pred.supplierGained(lineAt(8));
+    ASSERT_EQ(downgraded.size(), 1u);
+    EXPECT_EQ(pred.downgrades(), 1u);
+    // The displaced line is no longer predicted (it was downgraded).
+    EXPECT_FALSE(pred.predict(downgraded[0]));
+    EXPECT_TRUE(pred.predict(lineAt(8)));
+}
+
+TEST(ExactPredictor, ExactnessProperty)
+{
+    // With the downgrade loop closed, prediction == truth, always.
+    ExactPredictor pred("p", 16, 4, 20, 2);
+    std::set<Addr> truth;
+    pred.setDowngradeFn([&](Addr line) {
+        truth.erase(line);
+        pred.supplierLost(line);
+    });
+    Rng rng(55);
+    for (int step = 0; step < 20000; ++step) {
+        const Addr line = lineAt(rng.nextBelow(300));
+        if (rng.chance(0.5) && !truth.count(line)) {
+            truth.insert(line);
+            pred.supplierGained(line);
+        } else if (truth.count(line)) {
+            truth.erase(line);
+            pred.supplierLost(line);
+        }
+        const Addr probe = lineAt(rng.nextBelow(300));
+        ASSERT_EQ(pred.predict(probe), truth.count(probe) > 0);
+    }
+    EXPECT_GT(pred.downgrades(), 0u) << "test should exercise conflicts";
+}
+
+TEST(ExactPredictor, TaxonomyFlags)
+{
+    ExactPredictor pred("p", 2048, 8, 18, 2);
+    EXPECT_FALSE(pred.mayFalsePositive());
+    EXPECT_FALSE(pred.mayFalseNegative());
+}
+
+// --- Perfect -----------------------------------------------------------------
+
+TEST(PerfectPredictor, ConsultsGroundTruth)
+{
+    std::set<Addr> truth;
+    PerfectPredictor pred("p", [&](Addr line) {
+        return truth.count(line) > 0;
+    });
+    EXPECT_FALSE(pred.predict(lineAt(1)));
+    truth.insert(lineAt(1));
+    EXPECT_TRUE(pred.predict(lineAt(1)));
+    EXPECT_EQ(pred.accessLatency(), 0u);
+    EXPECT_EQ(pred.storageBits(), 0u);
+}
+
+// --- Accuracy accounting -------------------------------------------------------
+
+TEST(SupplierPredictor, RecordOutcomeClassifies)
+{
+    SubsetPredictor pred("p", 16, 4, 18, 2);
+    EXPECT_EQ(pred.recordOutcome(true, true),
+              PredictionClass::TruePositive);
+    EXPECT_EQ(pred.recordOutcome(false, false),
+              PredictionClass::TrueNegative);
+    EXPECT_EQ(pred.recordOutcome(true, false),
+              PredictionClass::FalsePositive);
+    EXPECT_EQ(pred.recordOutcome(false, true),
+              PredictionClass::FalseNegative);
+    EXPECT_EQ(pred.stats().counterValue("true_positives"), 1u);
+    EXPECT_EQ(pred.stats().counterValue("true_negatives"), 1u);
+    EXPECT_EQ(pred.stats().counterValue("false_positives"), 1u);
+    EXPECT_EQ(pred.stats().counterValue("false_negatives"), 1u);
+    EXPECT_EQ(pred.predictions(), 4u);
+}
+
+// --- Configuration factory ------------------------------------------------------
+
+TEST(PredictorConfig, PaperPresets)
+{
+    const auto sub2k = PredictorConfig::subset(2048);
+    EXPECT_EQ(sub2k.id, "Sub2k");
+    EXPECT_EQ(sub2k.entries, 2048u);
+    EXPECT_EQ(sub2k.entryBits, 18u);
+    // 2k entries x 18 bits = 4.5 KB storage (paper: 4.8 KB with
+    // valid/LRU overheads).
+    EXPECT_NEAR(sub2k.storageBits() / 8.0 / 1024.0, 4.5, 0.5);
+
+    const auto y2k = PredictorConfig::superset(true, 2048);
+    EXPECT_EQ(y2k.id, "y2k");
+    EXPECT_EQ(y2k.bloomFields, (std::vector<unsigned>{10, 4, 7}));
+    // ~2.5 KB filter + ~4.5 KB exclude ~= paper's 7.3 KB per node.
+    EXPECT_NEAR(y2k.storageBits() / 8.0 / 1024.0, 7.0, 0.7);
+
+    const auto exa8k = PredictorConfig::exact(8192);
+    EXPECT_EQ(exa8k.id, "Exa8k");
+    EXPECT_EQ(exa8k.entryBits, 16u);
+    EXPECT_EQ(exa8k.latency, 3u);
+}
+
+TEST(PredictorConfig, FromNameRoundTrips)
+{
+    for (const char *name :
+         {"sub512", "sub2k", "sub8k", "exa512", "exa2k", "exa8k", "y512",
+          "y2k", "n2k", "none", "perfect"}) {
+        EXPECT_NO_THROW(PredictorConfig::fromName(name)) << name;
+    }
+    EXPECT_THROW(PredictorConfig::fromName("bogus"),
+                 std::invalid_argument);
+}
+
+TEST(PredictorConfig, FactoryBuildsMatchingKind)
+{
+    auto sub = makePredictor(PredictorConfig::subset(512), "s");
+    EXPECT_NE(dynamic_cast<SubsetPredictor *>(sub.get()), nullptr);
+    auto sup = makePredictor(PredictorConfig::superset(false, 2048), "s");
+    EXPECT_NE(dynamic_cast<SupersetPredictor *>(sup.get()), nullptr);
+    auto exa = makePredictor(PredictorConfig::exact(512), "s");
+    EXPECT_NE(dynamic_cast<ExactPredictor *>(exa.get()), nullptr);
+    auto none = makePredictor(PredictorConfig::none(), "s");
+    EXPECT_EQ(none, nullptr);
+    auto perfect = makePredictor(PredictorConfig::perfect(), "s",
+                                 [](Addr) { return false; });
+    EXPECT_NE(dynamic_cast<PerfectPredictor *>(perfect.get()), nullptr);
+}
+
+} // namespace
+} // namespace flexsnoop

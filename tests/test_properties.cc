@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Property-based tests: randomized concurrent traffic through every
+ * algorithm, checking the protocol's global invariants and
+ * conservation laws that must hold regardless of timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/machine.hh"
+#include "sim/random.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+Addr
+lineAt(std::uint64_t idx)
+{
+    return idx * kLineSizeBytes;
+}
+
+/**
+ * Random-traffic fixture: issues a randomized mix of reads and writes
+ * from random cores over a small hot line pool (maximizing races),
+ * then drains.
+ */
+class RandomTraffic : public ::testing::TestWithParam<Algorithm>
+{
+  protected:
+    struct Issue
+    {
+        CoreId core;
+        Addr line;
+        bool isWrite;
+    };
+
+    void
+    runTraffic(std::uint64_t seed, std::size_t ops,
+               std::size_t hot_lines, std::size_t cores_per_cmp = 1)
+    {
+        MachineConfig cfg = MachineConfig::testDefault(GetParam());
+        cfg.coresPerCmp = cores_per_cmp;
+        machine = std::make_unique<Machine>(cfg);
+        machine->controller().setCompletionHandler(
+            [this](CoreId core, Addr line, bool w) {
+                ++completions[{core, lineAddr(line)}];
+                (void)w;
+            });
+
+        Rng rng(seed);
+        const auto num_cores =
+            static_cast<CoreId>(cfg.numCmps * cores_per_cmp);
+        Cycle when = 0;
+        for (std::size_t i = 0; i < ops; ++i) {
+            Issue issue;
+            issue.core = static_cast<CoreId>(rng.nextBelow(num_cores));
+            issue.line = lineAt(rng.nextBelow(hot_lines));
+            issue.isWrite = rng.chance(0.4);
+            issues.push_back(issue);
+            ++issued[{issue.core, issue.line}];
+            when += rng.nextBelow(30);
+            machine->queue().scheduleAt(when, [this, issue]() {
+                if (issue.isWrite)
+                    machine->controller().coreWrite(issue.core,
+                                                    issue.line);
+                else
+                    machine->controller().coreRead(issue.core,
+                                                   issue.line);
+            });
+        }
+        machine->queue().run();
+    }
+
+    std::unique_ptr<Machine> machine;
+    std::vector<Issue> issues;
+    std::map<std::pair<CoreId, Addr>, std::size_t> issued;
+    std::map<std::pair<CoreId, Addr>, std::size_t> completions;
+};
+
+TEST_P(RandomTraffic, EveryIssueCompletesExactlyOnce)
+{
+    runTraffic(17, 600, 6);
+    EXPECT_EQ(completions, issued);
+}
+
+TEST_P(RandomTraffic, NoInFlightStateRemains)
+{
+    runTraffic(23, 600, 6);
+    EXPECT_EQ(machine->controller().outstanding(), 0u);
+}
+
+TEST_P(RandomTraffic, CoherenceInvariantsHoldAfterDrain)
+{
+    runTraffic(31, 800, 8);
+    const auto violations = machine->checker().check();
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " violations; first: "
+        << (violations.empty() ? "" : violations[0].description);
+}
+
+TEST_P(RandomTraffic, MultiCoreCmpsStayCoherent)
+{
+    runTraffic(41, 600, 6, /*cores_per_cmp=*/2);
+    EXPECT_EQ(completions, issued);
+    EXPECT_TRUE(machine->checker().consistent());
+}
+
+TEST_P(RandomTraffic, WiderLinePoolAlsoDrains)
+{
+    runTraffic(43, 800, 64);
+    EXPECT_EQ(completions, issued);
+    EXPECT_TRUE(machine->checker().consistent());
+}
+
+TEST_P(RandomTraffic, SnoopCountNeverExceedsEager)
+{
+    // No algorithm may snoop more than Eager's N-1 per request.
+    runTraffic(47, 500, 8);
+    const auto &stats = machine->controller().stats();
+    const auto requests = stats.counterValue("read_ring_requests");
+    const auto snoops = stats.counterValue("read_snoops");
+    if (requests > 0) {
+        EXPECT_LE(snoops, requests * (machine->numNodes() - 1))
+            << "more snoops than Eager's bound";
+    }
+}
+
+TEST_P(RandomTraffic, DirtyDataIsNeverLost)
+{
+    // Conservation: every line that was ever written is either still
+    // dirty in some cache or has been written back to memory at least
+    // once. (Writebacks may exceed dirty-line count due to repeated
+    // migrations.)
+    runTraffic(53, 500, 4);
+    std::set<Addr> written;
+    for (const auto &issue : issues) {
+        if (issue.isWrite)
+            written.insert(issue.line);
+    }
+    std::set<Addr> dirty_somewhere;
+    for (NodeId n = 0; n < machine->numNodes(); ++n) {
+        machine->node(n).forEachLine(
+            [&](std::size_t, Addr line, LineState st) {
+                if (isDirtyState(st))
+                    dirty_somewhere.insert(line);
+            });
+    }
+    const auto writebacks = machine->memory().writebacks();
+    for (Addr line : written) {
+        const bool safe = dirty_somewhere.count(line) || writebacks > 0;
+        EXPECT_TRUE(safe) << "written line neither dirty nor persisted";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, RandomTraffic,
+    ::testing::Values(Algorithm::Lazy, Algorithm::Eager, Algorithm::Oracle,
+                      Algorithm::Subset, Algorithm::SupersetCon,
+                      Algorithm::SupersetAgg, Algorithm::Exact),
+    [](const ::testing::TestParamInfo<Algorithm> &info) {
+        return std::string(toString(info.param));
+    });
+
+/** Seed sweep: the invariants hold across many random schedules. */
+class SeedSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SeedSweep, RandomScheduleKeepsSupersetAggCoherent)
+{
+    MachineConfig cfg =
+        MachineConfig::testDefault(Algorithm::SupersetAgg);
+    Machine machine(cfg);
+    std::size_t issued = 0, completed = 0;
+    machine.controller().setCompletionHandler(
+        [&](CoreId, Addr, bool) { ++completed; });
+    Rng rng(1000 + GetParam());
+    Cycle when = 0;
+    for (int i = 0; i < 400; ++i) {
+        const auto core = static_cast<CoreId>(rng.nextBelow(4));
+        const Addr line = lineAt(rng.nextBelow(5));
+        const bool is_write = rng.chance(0.5);
+        ++issued;
+        when += rng.nextBelow(25);
+        machine.queue().scheduleAt(when, [&machine, core, line,
+                                          is_write]() {
+            if (is_write)
+                machine.controller().coreWrite(core, line);
+            else
+                machine.controller().coreRead(core, line);
+        });
+    }
+    machine.queue().run();
+    EXPECT_EQ(completed, issued);
+    EXPECT_TRUE(machine.checker().consistent());
+    EXPECT_EQ(machine.controller().outstanding(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(0, 20));
+
+} // namespace
+} // namespace flexsnoop

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Controller-level protocol tests: exact snoop and message counts per
+ * algorithm (paper Tables 1-3), read/write transaction flows, state
+ * transitions, collisions, and the prefetch heuristic, on a small
+ * 4-CMP machine driven by hand.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+using LS = LineState;
+
+Addr
+lineAt(std::uint64_t idx)
+{
+    return idx * kLineSizeBytes;
+}
+
+struct Completion
+{
+    CoreId core;
+    Addr line;
+    bool isWrite;
+};
+
+class ProtocolFixture
+{
+  public:
+    explicit ProtocolFixture(Algorithm a)
+        : machine(MachineConfig::testDefault(a))
+    {
+        machine.controller().setCompletionHandler(
+            [this](CoreId core, Addr line, bool is_write) {
+                completions.push_back(Completion{core, line, is_write});
+            });
+    }
+
+    void
+    read(CoreId core, Addr line)
+    {
+        machine.controller().coreRead(core, line);
+    }
+
+    void
+    write(CoreId core, Addr line)
+    {
+        machine.controller().coreWrite(core, line);
+    }
+
+    void run() { machine.queue().run(); }
+
+    /** Install a dirty line at @p node (its core 0). */
+    void
+    warmDirty(NodeId node, Addr line)
+    {
+        machine.node(node).fillForWrite(0, line);
+    }
+
+    /** Install a clean global-master line at @p node. */
+    void
+    warmGlobal(NodeId node, Addr line)
+    {
+        machine.node(node).fillFromMemory(0, line);
+    }
+
+    std::uint64_t
+    readSnoops()
+    {
+        return machine.controller().stats().counterValue("read_snoops");
+    }
+
+    std::uint64_t
+    readLinkMessages()
+    {
+        return machine.controller().stats().counterValue(
+            "read_link_messages");
+    }
+
+    LS
+    state(NodeId node, Addr line)
+    {
+        return machine.node(node).coreState(0, line);
+    }
+
+    Machine machine;
+    std::vector<Completion> completions;
+};
+
+// --- Read flows, per-algorithm accounting ------------------------------------
+
+TEST(ProtocolLazy, ReadFromMemorySnoopsAllRemoteNodes)
+{
+    ProtocolFixture f(Algorithm::Lazy);
+    f.read(0, lineAt(1));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    EXPECT_EQ(f.completions[0].core, 0u);
+    EXPECT_FALSE(f.completions[0].isWrite);
+    // Lazy snoops every node on the way: N-1 = 3 when memory supplies.
+    EXPECT_EQ(f.readSnoops(), 3u);
+    // A single combined message crossing all 4 links.
+    EXPECT_EQ(f.readLinkMessages(), 4u);
+    // Memory fill installs the global master.
+    EXPECT_EQ(f.state(0, lineAt(1)), LS::SharedGlobal);
+}
+
+TEST(ProtocolLazy, ReadStopsSnoopingAtTheSupplier)
+{
+    ProtocolFixture f(Algorithm::Lazy);
+    f.warmDirty(2, lineAt(1));
+    f.read(0, lineAt(1));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    // Snoops at nodes 1 and 2 only; the found combined R/R passes 3.
+    EXPECT_EQ(f.readSnoops(), 2u);
+    EXPECT_EQ(f.readLinkMessages(), 4u);
+    // Dirty supplier becomes Tagged; requester becomes local master.
+    EXPECT_EQ(f.state(2, lineAt(1)), LS::Tagged);
+    EXPECT_EQ(f.state(0, lineAt(1)), LS::SharedLocal);
+    EXPECT_EQ(f.machine.memory().reads(), 0u);
+}
+
+TEST(ProtocolEager, ReadSnoopsEveryNodeEvenPastTheSupplier)
+{
+    ProtocolFixture f(Algorithm::Eager);
+    f.warmDirty(1, lineAt(1));
+    f.read(0, lineAt(1));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    // Eager always snoops all N-1 nodes (Table 1).
+    EXPECT_EQ(f.readSnoops(), 3u);
+    // First segment carries the combined message, the rest carry
+    // request + reply: 1 + 2 * 3 = 7 (Table 1: ~2 messages).
+    EXPECT_EQ(f.readLinkMessages(), 7u);
+}
+
+TEST(ProtocolEager, MemoryBoundReadAlsoSnoopsEverywhere)
+{
+    ProtocolFixture f(Algorithm::Eager);
+    f.read(0, lineAt(1));
+    f.run();
+    EXPECT_EQ(f.readSnoops(), 3u);
+    EXPECT_EQ(f.readLinkMessages(), 7u);
+    EXPECT_EQ(f.machine.memory().reads(), 1u);
+}
+
+TEST(ProtocolOracle, SnoopsOnlyTheSupplier)
+{
+    ProtocolFixture f(Algorithm::Oracle);
+    f.warmDirty(2, lineAt(1));
+    f.read(0, lineAt(1));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    EXPECT_EQ(f.readSnoops(), 1u);
+    // One combined message all the way round (Table 1).
+    EXPECT_EQ(f.readLinkMessages(), 4u);
+}
+
+TEST(ProtocolOracle, MemoryBoundReadSnoopsNothing)
+{
+    ProtocolFixture f(Algorithm::Oracle);
+    f.read(0, lineAt(1));
+    f.run();
+    // Paper §6.1.1: when the line comes from memory, Oracle does not
+    // snoop at all.
+    EXPECT_EQ(f.readSnoops(), 0u);
+    EXPECT_EQ(f.readLinkMessages(), 4u);
+    EXPECT_EQ(f.machine.memory().reads(), 1u);
+}
+
+TEST(ProtocolSupersetCon, SingleMessageAndFilteredSnoops)
+{
+    ProtocolFixture f(Algorithm::SupersetCon);
+    f.warmDirty(2, lineAt(1));
+    f.read(0, lineAt(1));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    // Nodes 1 and 3 predict negative (never trained) and forward; node
+    // 2 predicts positive, snoops, supplies.
+    EXPECT_EQ(f.readSnoops(), 1u);
+    EXPECT_EQ(f.readLinkMessages(), 4u);
+}
+
+TEST(ProtocolSupersetAgg, RequestKeepsCirculatingPastSupplier)
+{
+    ProtocolFixture f(Algorithm::SupersetAgg);
+    f.warmDirty(1, lineAt(1));
+    f.read(0, lineAt(1));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    // Only the supplier node snoops...
+    EXPECT_EQ(f.readSnoops(), 1u);
+    // ...but its ForwardThenSnoop splits the message: the request goes
+    // on from node 1 while the found reply follows: links 0->1 (1
+    // combined) + 1->2->3->0 carrying request and reply = 1 + 6.
+    EXPECT_EQ(f.readLinkMessages(), 7u);
+}
+
+TEST(ProtocolSubset, FalseNegativeStillSnoops)
+{
+    ProtocolFixture f(Algorithm::Subset);
+    // Install a dirty supplier directly in the L2, bypassing predictor
+    // training, then force the predictor to forget it (conflict-free
+    // way: it was never trained because warmDirty trains it...). We
+    // instead verify the trained path finds it with one snoop, and an
+    // untrained node is still snooped via ForwardThenSnoop.
+    f.warmDirty(2, lineAt(1));
+    f.read(0, lineAt(1));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    // Nodes 1 and 3... node 1 predicts negative -> ForwardThenSnoop
+    // (still snoops!); node 2 predicts positive -> SnoopThenForward.
+    // Node 3 sees the found message only.
+    EXPECT_EQ(f.readSnoops(), 2u);
+    EXPECT_EQ(f.state(0, lineAt(1)), LS::SharedLocal);
+}
+
+TEST(ProtocolExact, DowngradeMakesReadsGoToMemory)
+{
+    MachineConfig cfg = MachineConfig::testDefault(Algorithm::Exact);
+    cfg.predictor = PredictorConfig::exact(512);
+    Machine machine(cfg);
+    std::vector<Completion> completions;
+    machine.controller().setCompletionHandler(
+        [&](CoreId core, Addr line, bool w) {
+            completions.push_back(Completion{core, line, w});
+        });
+    machine.node(1).fillForWrite(0, lineAt(1));
+    machine.node(1).downgrade(lineAt(1)); // as predictor conflict would
+    EXPECT_EQ(machine.node(1).coreState(0, lineAt(1)), LS::SharedLocal);
+    machine.controller().coreRead(0, lineAt(1));
+    machine.queue().run();
+    ASSERT_EQ(completions.size(), 1u);
+    // Nobody can supply: the downgraded line is fetched from memory.
+    EXPECT_EQ(machine.memory().reads(), 1u);
+    // The downgrade-induced re-read is charged to the energy account.
+    EXPECT_EQ(machine.energy().count(EnergyEvent::DowngradeReRead), 1u);
+    EXPECT_EQ(machine.energy().count(EnergyEvent::DowngradeWriteback),
+              1u);
+}
+
+// --- Local CMP paths -----------------------------------------------------------
+
+TEST(ProtocolLocal, L2HitNeverTouchesTheRing)
+{
+    ProtocolFixture f(Algorithm::Lazy);
+    f.warmGlobal(0, lineAt(1));
+    f.read(0, lineAt(1));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    EXPECT_EQ(f.readLinkMessages(), 0u);
+    EXPECT_EQ(f.readSnoops(), 0u);
+}
+
+TEST(ProtocolLocal, MultiCoreCmpSuppliesLocally)
+{
+    MachineConfig cfg = MachineConfig::testDefault(Algorithm::Lazy);
+    cfg.coresPerCmp = 2;
+    Machine machine(cfg);
+    std::size_t completions = 0;
+    machine.controller().setCompletionHandler(
+        [&](CoreId, Addr, bool) { ++completions; });
+    machine.node(0).fillForWrite(0, lineAt(1)); // core 0 of CMP 0: D
+    machine.controller().coreRead(1, lineAt(1)); // core 1 of CMP 0
+    machine.queue().run();
+    EXPECT_EQ(completions, 1u);
+    EXPECT_EQ(machine.controller().stats().counterValue(
+                  "read_local_supplies"),
+              1u);
+    EXPECT_EQ(machine.controller().stats().counterValue(
+                  "read_ring_requests"),
+              0u);
+    EXPECT_EQ(machine.node(0).coreState(0, lineAt(1)), LS::Tagged);
+    EXPECT_EQ(machine.node(0).coreState(1, lineAt(1)), LS::Shared);
+}
+
+TEST(ProtocolLocal, SameCmpReadsMerge)
+{
+    MachineConfig cfg = MachineConfig::testDefault(Algorithm::Lazy);
+    cfg.coresPerCmp = 2;
+    Machine machine(cfg);
+    std::vector<CoreId> done;
+    machine.controller().setCompletionHandler(
+        [&](CoreId c, Addr, bool) { done.push_back(c); });
+    machine.controller().coreRead(0, lineAt(1));
+    machine.controller().coreRead(1, lineAt(1));
+    machine.queue().run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(machine.controller().stats().counterValue("read_merged"),
+              1u);
+    EXPECT_EQ(machine.controller().stats().counterValue(
+                  "read_ring_requests"),
+              1u);
+}
+
+// --- Write flows ----------------------------------------------------------------
+
+TEST(ProtocolWrite, InvalidatesAllRemoteCopies)
+{
+    ProtocolFixture f(Algorithm::Lazy);
+    f.warmGlobal(1, lineAt(2));
+    f.machine.node(2).fillFromRemote(0, lineAt(2));
+    f.machine.node(3).fillFromRemote(0, lineAt(2));
+    f.write(0, lineAt(2));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    EXPECT_TRUE(f.completions[0].isWrite);
+    EXPECT_EQ(f.state(0, lineAt(2)), LS::Dirty);
+    EXPECT_EQ(f.state(1, lineAt(2)), LS::Invalid);
+    EXPECT_EQ(f.state(2, lineAt(2)), LS::Invalid);
+    EXPECT_EQ(f.state(3, lineAt(2)), LS::Invalid);
+    // The SG holder supplied the data; no memory read was needed.
+    EXPECT_EQ(f.machine.memory().reads(), 0u);
+}
+
+TEST(ProtocolWrite, UpgradeFromSharedKeepsData)
+{
+    ProtocolFixture f(Algorithm::Lazy);
+    f.warmGlobal(0, lineAt(2));
+    f.machine.node(1).fillFromRemote(0, lineAt(2));
+    f.write(0, lineAt(2));
+    f.run();
+    EXPECT_EQ(f.state(0, lineAt(2)), LS::Dirty);
+    EXPECT_EQ(f.state(1, lineAt(2)), LS::Invalid);
+    EXPECT_EQ(f.machine.memory().reads(), 0u);
+}
+
+TEST(ProtocolWrite, WriteMissWithNoCopiesFetchesMemory)
+{
+    ProtocolFixture f(Algorithm::Lazy);
+    f.write(0, lineAt(2));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    EXPECT_EQ(f.state(0, lineAt(2)), LS::Dirty);
+    EXPECT_EQ(f.machine.memory().reads(), 1u);
+}
+
+TEST(ProtocolWrite, SilentUpgradeFromExclusive)
+{
+    ProtocolFixture f(Algorithm::Lazy);
+    f.machine.node(0).fillFromMemory(0, lineAt(3));
+    f.machine.node(0).l2(0).changeState(lineAt(3), LS::Exclusive);
+    f.write(0, lineAt(3));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 1u);
+    EXPECT_EQ(f.state(0, lineAt(3)), LS::Dirty);
+    EXPECT_EQ(f.machine.controller().stats().counterValue(
+                  "write_ring_requests"),
+              0u);
+}
+
+TEST(ProtocolWrite, DirtyRemoteSuppliesTheWriter)
+{
+    for (Algorithm a : {Algorithm::Lazy, Algorithm::Eager}) {
+        ProtocolFixture f(a);
+        f.warmDirty(2, lineAt(2));
+        f.write(0, lineAt(2));
+        f.run();
+        ASSERT_EQ(f.completions.size(), 1u) << toString(a);
+        EXPECT_EQ(f.state(0, lineAt(2)), LS::Dirty);
+        EXPECT_EQ(f.state(2, lineAt(2)), LS::Invalid);
+        EXPECT_EQ(f.machine.memory().reads(), 0u)
+            << toString(a) << ": dirty data should move cache-to-cache";
+    }
+}
+
+TEST(ProtocolWrite, EveryNodeIsInvalidatedRegardlessOfPredictor)
+{
+    // §5.3: writes cannot use the supplier predictor.
+    ProtocolFixture f(Algorithm::SupersetCon);
+    f.warmGlobal(1, lineAt(2));
+    f.write(0, lineAt(2));
+    f.run();
+    EXPECT_EQ(f.machine.controller().stats().counterValue("write_snoops"),
+              3u);
+}
+
+// --- Collisions -------------------------------------------------------------------
+
+TEST(ProtocolCollision, ConcurrentWritesSerializeWithOneSquash)
+{
+    ProtocolFixture f(Algorithm::Lazy);
+    f.warmGlobal(0, lineAt(4));
+    f.machine.node(2).fillFromRemote(0, lineAt(4));
+    f.write(0, lineAt(4));
+    f.write(2, lineAt(4));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 2u);
+    EXPECT_GE(f.machine.controller().stats().counterValue("collisions"),
+              1u);
+    EXPECT_GE(f.machine.controller().stats().counterValue("retries"), 1u);
+    // Exactly one node ends with the dirty line.
+    int dirty = 0;
+    for (NodeId n = 0; n < 4; ++n)
+        dirty += f.state(n, lineAt(4)) == LS::Dirty;
+    EXPECT_EQ(dirty, 1);
+    EXPECT_TRUE(f.machine.checker().consistent());
+}
+
+TEST(ProtocolCollision, ReadRacingAWriteEndsCoherent)
+{
+    ProtocolFixture f(Algorithm::Lazy);
+    f.warmGlobal(3, lineAt(4));
+    f.write(1, lineAt(4));
+    f.read(2, lineAt(4));
+    f.run();
+    ASSERT_EQ(f.completions.size(), 2u);
+    EXPECT_TRUE(f.machine.checker().consistent());
+    // The writer must own the line: Dirty if the read serialized first
+    // (or was invalidated on fill), Tagged if the retried read was
+    // re-supplied by the writer afterwards.
+    const LS writer_state = f.state(1, lineAt(4));
+    EXPECT_TRUE(writer_state == LS::Dirty || writer_state == LS::Tagged)
+        << toString(writer_state);
+}
+
+// --- Prefetch heuristic --------------------------------------------------------------
+
+TEST(ProtocolPrefetch, HomePassingReadPrefetchesDram)
+{
+    MachineConfig cfg = MachineConfig::testDefault(Algorithm::Lazy);
+    Machine machine(cfg);
+    machine.controller().setCompletionHandler([](CoreId, Addr, bool) {});
+    // Line homed at node 2 and requested by node 0: the request passes
+    // the home on its way round.
+    machine.controller().coreRead(0, lineAt(2));
+    machine.queue().run();
+    EXPECT_EQ(machine.memory().stats().counterValue("prefetches"), 1u);
+    EXPECT_EQ(machine.memory().stats().counterValue("reads_prefetched"),
+              1u);
+}
+
+TEST(ProtocolPrefetch, DisabledPrefetchFallsBackToSlowRemote)
+{
+    MachineConfig cfg = MachineConfig::testDefault(Algorithm::Lazy);
+    cfg.memory.prefetchEnabled = false;
+    Machine machine(cfg);
+    machine.controller().setCompletionHandler([](CoreId, Addr, bool) {});
+    machine.controller().coreRead(0, lineAt(2));
+    machine.queue().run();
+    EXPECT_EQ(machine.memory().stats().counterValue("reads_remote"), 1u);
+}
+
+// --- Invariants after mixed traffic ---------------------------------------------------
+
+TEST(ProtocolInvariants, CheckerCleanAfterMixedTraffic)
+{
+    for (Algorithm a : paperAlgorithms()) {
+        ProtocolFixture f(a);
+        for (int round = 0; round < 3; ++round) {
+            for (NodeId n = 0; n < 4; ++n) {
+                f.read(n, lineAt(10 + round));
+                if ((n + round) % 2 == 0)
+                    f.write(n, lineAt(20 + n));
+            }
+        }
+        f.run();
+        const auto violations = f.machine.checker().check();
+        EXPECT_TRUE(violations.empty())
+            << toString(a) << ": " << violations.size()
+            << " violations, first: "
+            << (violations.empty() ? "" : violations[0].description);
+        EXPECT_EQ(f.machine.controller().outstanding(), 0u)
+            << toString(a);
+    }
+}
+
+} // namespace
+} // namespace flexsnoop

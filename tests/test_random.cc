@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/random.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(99);
+    const auto first = a.next();
+    a.next();
+    a.reseed(99);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr int kBuckets = 10;
+    constexpr int kSamples = 100000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.nextBelow(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kSamples / kBuckets * 0.9);
+        EXPECT_LT(c, kSamples / kBuckets * 1.1);
+    }
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceZeroNeverOneAlways)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, GeometricMeanIsCloseToRequested)
+{
+    Rng rng(23);
+    const double target = 40.0;
+    double sum = 0.0;
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += static_cast<double>(rng.nextGeometric(target));
+    const double mean = sum / kSamples;
+    EXPECT_NEAR(mean, target, target * 0.05);
+}
+
+TEST(Rng, GeometricIsAtLeastOne)
+{
+    Rng rng(29);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.nextGeometric(3.0), 1u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextGeometric(1.0), 1u);
+}
+
+TEST(Zipf, UniformThetaZeroIsFlat)
+{
+    ZipfSampler zipf(10, 0.0);
+    Rng rng(31);
+    int counts[10] = {};
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts) {
+        EXPECT_GT(c, kSamples / 10 * 0.9);
+        EXPECT_LT(c, kSamples / 10 * 1.1);
+    }
+}
+
+TEST(Zipf, SkewFavorsLowIndices)
+{
+    ZipfSampler zipf(100, 0.99);
+    Rng rng(37);
+    int low = 0, high = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = zipf.sample(rng);
+        if (v < 10)
+            ++low;
+        else if (v >= 90)
+            ++high;
+    }
+    EXPECT_GT(low, 5 * high);
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    ZipfSampler zipf(7, 0.8);
+    Rng rng(41);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+TEST(Zipf, SingleElement)
+{
+    ZipfSampler zipf(1, 0.9);
+    Rng rng(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+} // namespace
+} // namespace flexsnoop

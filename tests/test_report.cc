@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the CSV/JSON result exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.workload = "barnes";
+    r.algorithm = "SupersetAgg";
+    r.predictor = "y2k";
+    r.execCycles = 123456;
+    r.readRingRequests = 1000;
+    r.readSnoops = 3200;
+    r.snoopsPerReadRequest = 3.2;
+    r.readLinkMessages = 14000;
+    r.readLinkMessagesPerRequest = 14.0;
+    r.energyNj = 98765.5;
+    r.truePositives = 10;
+    r.trueNegatives = 20;
+    r.falsePositives = 5;
+    r.falseNegatives = 0;
+    r.cacheSupplies = 700;
+    r.memoryFetches = 300;
+    r.avgReadLatency = 456.7;
+    return r;
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerResult)
+{
+    std::ostringstream oss;
+    writeCsv(oss, {sampleResult(), sampleResult()});
+    const std::string out = oss.str();
+    std::size_t lines = 0;
+    for (char c : out)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 3u); // header + 2 rows
+    EXPECT_EQ(out.find("workload,algorithm,predictor"), 0u);
+    EXPECT_NE(out.find("barnes,SupersetAgg,y2k,123456"),
+              std::string::npos);
+}
+
+TEST(Report, CsvColumnCountMatchesHeader)
+{
+    std::ostringstream oss;
+    writeCsv(oss, {sampleResult()});
+    std::istringstream iss(oss.str());
+    std::string header, row;
+    std::getline(iss, header);
+    std::getline(iss, row);
+    const auto count = [](const std::string &s) {
+        std::size_t n = 1;
+        for (char c : s)
+            n += c == ',';
+        return n;
+    };
+    EXPECT_EQ(count(header), count(row));
+}
+
+TEST(Report, JsonIsWellFormedArray)
+{
+    std::ostringstream oss;
+    writeJson(oss, {sampleResult()});
+    const std::string out = oss.str();
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_NE(out.find("\"workload\": \"barnes\""), std::string::npos);
+    EXPECT_NE(out.find("\"exec_cycles\": 123456"), std::string::npos);
+    EXPECT_NE(out.find(']'), std::string::npos);
+    // Balanced braces.
+    int depth = 0;
+    for (char c : out) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Report, EmptyResultSetStillValid)
+{
+    std::ostringstream csv;
+    writeCsv(csv, {});
+    EXPECT_NE(csv.str().find("workload"), std::string::npos);
+    std::ostringstream json;
+    writeJson(json, {});
+    EXPECT_NE(json.str().find('['), std::string::npos);
+    EXPECT_NE(json.str().find(']'), std::string::npos);
+}
+
+} // namespace
+} // namespace flexsnoop

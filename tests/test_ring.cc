@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the embedded unidirectional ring(s).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/ring.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+SnoopMessage
+makeMsg(TransactionId txn, Addr line, NodeId requester)
+{
+    SnoopMessage msg;
+    msg.type = MsgType::CombinedRR;
+    msg.kind = SnoopKind::Read;
+    msg.txn = txn;
+    msg.line = line;
+    msg.requester = requester;
+    return msg;
+}
+
+TEST(Ring, DeliversToSuccessorAfterLinkLatency)
+{
+    EventQueue queue;
+    RingParams params;
+    params.linkLatency = 39;
+    Ring ring(queue, 4, params, "r");
+    Cycle arrived_at = 0;
+    NodeId got = kInvalidNode;
+    for (NodeId n = 0; n < 4; ++n) {
+        ring.setHandler(n, [&, n](const SnoopMessage &) {
+            arrived_at = queue.now();
+            got = n;
+        });
+    }
+    ring.send(0, makeMsg(1, 0, 0));
+    queue.run();
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(arrived_at, 39u);
+}
+
+TEST(Ring, WrapsAroundFromLastNode)
+{
+    EventQueue queue;
+    Ring ring(queue, 4, RingParams{}, "r");
+    NodeId got = kInvalidNode;
+    for (NodeId n = 0; n < 4; ++n)
+        ring.setHandler(n, [&, n](const SnoopMessage &) { got = n; });
+    ring.send(3, makeMsg(1, 0, 3));
+    queue.run();
+    EXPECT_EQ(got, 0u);
+}
+
+TEST(Ring, SuccessorAndDistance)
+{
+    EventQueue queue;
+    Ring ring(queue, 8, RingParams{}, "r");
+    EXPECT_EQ(ring.successor(0), 1u);
+    EXPECT_EQ(ring.successor(7), 0u);
+    EXPECT_EQ(ring.distance(0, 0), 0u);
+    EXPECT_EQ(ring.distance(0, 3), 3u);
+    EXPECT_EQ(ring.distance(6, 2), 4u);
+    EXPECT_EQ(ring.distance(2, 1), 7u);
+}
+
+TEST(Ring, FullCircleVisitsEveryNodeInOrder)
+{
+    EventQueue queue;
+    RingParams params;
+    params.linkLatency = 10;
+    Ring ring(queue, 5, params, "r");
+    std::vector<NodeId> visits;
+    for (NodeId n = 0; n < 5; ++n) {
+        ring.setHandler(n, [&, n](const SnoopMessage &msg) {
+            visits.push_back(n);
+            if (n != msg.requester)
+                ring.send(n, msg);
+        });
+    }
+    ring.send(2, makeMsg(1, 0, 2));
+    queue.run();
+    EXPECT_EQ(visits, (std::vector<NodeId>{3, 4, 0, 1, 2}));
+    EXPECT_EQ(queue.now(), 50u);
+    EXPECT_EQ(ring.linkTraversals(), 5u);
+}
+
+TEST(Ring, LinkOccupancySerializesBackToBackMessages)
+{
+    EventQueue queue;
+    RingParams params;
+    params.linkLatency = 39;
+    params.serialization = 12;
+    Ring ring(queue, 4, params, "r");
+    std::vector<Cycle> arrivals;
+    ring.setHandler(1, [&](const SnoopMessage &) {
+        arrivals.push_back(queue.now());
+    });
+    ring.send(0, makeMsg(1, 0, 0));
+    ring.send(0, makeMsg(2, 0, 0));
+    ring.send(0, makeMsg(3, 0, 0));
+    queue.run();
+    ASSERT_EQ(arrivals.size(), 3u);
+    EXPECT_EQ(arrivals[0], 39u);
+    EXPECT_EQ(arrivals[1], 51u); // 12 cycles behind
+    EXPECT_EQ(arrivals[2], 63u);
+}
+
+TEST(Ring, DistinctLinksDoNotInterfere)
+{
+    EventQueue queue;
+    RingParams params;
+    params.linkLatency = 20;
+    params.serialization = 10;
+    Ring ring(queue, 4, params, "r");
+    std::vector<std::pair<NodeId, Cycle>> arrivals;
+    for (NodeId n = 0; n < 4; ++n) {
+        ring.setHandler(n, [&, n](const SnoopMessage &) {
+            arrivals.emplace_back(n, queue.now());
+        });
+    }
+    ring.send(0, makeMsg(1, 0, 0));
+    ring.send(2, makeMsg(2, 0, 2));
+    queue.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0].second, 20u);
+    EXPECT_EQ(arrivals[1].second, 20u);
+}
+
+TEST(Ring, MessageContentIsPreserved)
+{
+    EventQueue queue;
+    Ring ring(queue, 2, RingParams{}, "r");
+    SnoopMessage sent = makeMsg(77, 0x1234c0, 0);
+    sent.found = true;
+    sent.supplier = 5;
+    sent.acksCollected = 3;
+    SnoopMessage received;
+    ring.setHandler(1, [&](const SnoopMessage &m) { received = m; });
+    ring.send(0, sent);
+    queue.run();
+    EXPECT_EQ(received.txn, 77u);
+    EXPECT_EQ(received.line, 0x1234c0u);
+    EXPECT_TRUE(received.found);
+    EXPECT_EQ(received.supplier, 5u);
+    EXPECT_EQ(received.acksCollected, 3u);
+}
+
+TEST(RingNetwork, AddressesInterleaveAcrossRings)
+{
+    EventQueue queue;
+    RingNetwork net(queue, 4, 2, RingParams{});
+    EXPECT_EQ(net.numRings(), 2u);
+    EXPECT_EQ(net.ringIndex(0 * kLineSizeBytes),
+              0u);
+    EXPECT_EQ(net.ringIndex(1 * kLineSizeBytes), 1u);
+    EXPECT_EQ(net.ringIndex(2 * kLineSizeBytes), 0u);
+}
+
+TEST(RingNetwork, SendRoutesByLineAddress)
+{
+    EventQueue queue;
+    RingNetwork net(queue, 4, 2, RingParams{});
+    int ring0_arrivals = 0, ring1_arrivals = 0;
+    net.setHandler(1, [&](const SnoopMessage &msg) {
+        if (net.ringIndex(msg.line) == 0)
+            ++ring0_arrivals;
+        else
+            ++ring1_arrivals;
+    });
+    for (NodeId n = 0; n < 4; ++n) {
+        if (n != 1)
+            net.setHandler(n, [](const SnoopMessage &) {});
+    }
+    net.send(0, makeMsg(1, 0 * kLineSizeBytes, 0)); // ring 0
+    net.send(0, makeMsg(2, 1 * kLineSizeBytes, 0)); // ring 1
+    net.send(0, makeMsg(3, 3 * kLineSizeBytes, 0)); // ring 1
+    queue.run();
+    EXPECT_EQ(ring0_arrivals, 1);
+    EXPECT_EQ(ring1_arrivals, 2);
+    EXPECT_EQ(net.linkTraversals(), 3u);
+    EXPECT_EQ(net.ring(0).linkTraversals(), 1u);
+    EXPECT_EQ(net.ring(1).linkTraversals(), 2u);
+}
+
+TEST(RingNetwork, ParallelRingsAvoidSerialization)
+{
+    EventQueue queue;
+    RingParams params;
+    params.linkLatency = 30;
+    params.serialization = 15;
+    RingNetwork net(queue, 2, 2, params);
+    std::vector<Cycle> arrivals;
+    net.setHandler(1, [&](const SnoopMessage &) {
+        arrivals.push_back(queue.now());
+    });
+    net.setHandler(0, [](const SnoopMessage &) {});
+    // Same source link cycle, different rings: both arrive together.
+    net.send(0, makeMsg(1, 0 * kLineSizeBytes, 0));
+    net.send(0, makeMsg(2, 1 * kLineSizeBytes, 0));
+    queue.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0], 30u);
+    EXPECT_EQ(arrivals[1], 30u);
+}
+
+} // namespace
+} // namespace flexsnoop

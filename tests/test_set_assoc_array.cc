@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the generic set-associative array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/set_assoc_array.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+Addr
+line(std::uint64_t idx)
+{
+    return idx * kLineSizeBytes;
+}
+
+TEST(SetAssocArray, GeometryDerivedFromParameters)
+{
+    SetAssocArray<int> arr(64, 4);
+    EXPECT_EQ(arr.numEntries(), 64u);
+    EXPECT_EQ(arr.associativity(), 4u);
+    EXPECT_EQ(arr.numSets(), 16u);
+    EXPECT_EQ(arr.occupancy(), 0u);
+}
+
+TEST(SetAssocArray, InsertThenLookup)
+{
+    SetAssocArray<int> arr(16, 4);
+    arr.insert(line(3), 42);
+    const auto *way = arr.lookup(line(3));
+    ASSERT_NE(way, nullptr);
+    EXPECT_EQ(way->data, 42);
+    EXPECT_EQ(way->tag, line(3));
+    EXPECT_EQ(arr.occupancy(), 1u);
+}
+
+TEST(SetAssocArray, LookupMissReturnsNull)
+{
+    SetAssocArray<int> arr(16, 4);
+    arr.insert(line(3), 1);
+    EXPECT_EQ(arr.lookup(line(4)), nullptr);
+}
+
+TEST(SetAssocArray, OffsetBitsIgnored)
+{
+    SetAssocArray<int> arr(16, 4);
+    arr.insert(line(3) + 17, 9);
+    ASSERT_NE(arr.lookup(line(3) + 42), nullptr);
+    EXPECT_EQ(arr.lookup(line(3))->data, 9);
+}
+
+TEST(SetAssocArray, ReinsertOverwritesPayloadWithoutEviction)
+{
+    SetAssocArray<int> arr(16, 4);
+    arr.insert(line(3), 1);
+    const auto res = arr.insert(line(3), 2);
+    EXPECT_FALSE(res.evicted);
+    EXPECT_EQ(arr.lookup(line(3))->data, 2);
+    EXPECT_EQ(arr.occupancy(), 1u);
+}
+
+TEST(SetAssocArray, EvictsLruWhenSetFull)
+{
+    // 1 set, 2 ways: lines all map to the same set.
+    SetAssocArray<int> arr(2, 2);
+    arr.insert(line(0), 10);
+    arr.insert(line(1), 11);
+    // Touch line 0 so line 1 becomes LRU.
+    arr.lookup(line(0));
+    const auto res = arr.insert(line(2), 12);
+    EXPECT_TRUE(res.evicted);
+    EXPECT_EQ(res.evictedAddr, line(1));
+    EXPECT_EQ(res.evictedPayload, 11);
+    EXPECT_NE(arr.lookup(line(0)), nullptr);
+    EXPECT_EQ(arr.lookup(line(1)), nullptr);
+    EXPECT_NE(arr.lookup(line(2)), nullptr);
+}
+
+TEST(SetAssocArray, LookupWithoutTouchDoesNotAffectLru)
+{
+    SetAssocArray<int> arr(2, 2);
+    arr.insert(line(0), 10);
+    arr.insert(line(1), 11);
+    arr.lookup(line(0), /*touch=*/false); // line 0 stays LRU
+    const auto res = arr.insert(line(2), 12);
+    EXPECT_TRUE(res.evicted);
+    EXPECT_EQ(res.evictedAddr, line(0));
+}
+
+TEST(SetAssocArray, EraseFreesTheWay)
+{
+    SetAssocArray<int> arr(4, 2);
+    arr.insert(line(0), 1);
+    EXPECT_TRUE(arr.erase(line(0)));
+    EXPECT_EQ(arr.lookup(line(0)), nullptr);
+    EXPECT_FALSE(arr.erase(line(0)));
+    EXPECT_EQ(arr.occupancy(), 0u);
+}
+
+TEST(SetAssocArray, DifferentSetsDoNotInterfere)
+{
+    SetAssocArray<int> arr(8, 2); // 4 sets
+    // Lines 0 and 4 share set 0; lines 1, 2, 3 use other sets.
+    arr.insert(line(0), 0);
+    arr.insert(line(1), 1);
+    arr.insert(line(2), 2);
+    arr.insert(line(3), 3);
+    arr.insert(line(4), 4);
+    EXPECT_EQ(arr.occupancy(), 5u);
+    for (std::uint64_t i = 0; i <= 4; ++i)
+        ASSERT_NE(arr.lookup(line(i)), nullptr) << i;
+}
+
+TEST(SetAssocArray, ClearInvalidatesEverything)
+{
+    SetAssocArray<int> arr(8, 2);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        arr.insert(line(i), static_cast<int>(i));
+    arr.clear();
+    EXPECT_EQ(arr.occupancy(), 0u);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        EXPECT_EQ(arr.lookup(line(i)), nullptr);
+}
+
+TEST(SetAssocArray, ForEachValidVisitsAllEntries)
+{
+    SetAssocArray<int> arr(8, 2);
+    arr.insert(line(1), 10);
+    arr.insert(line(2), 20);
+    int sum = 0;
+    std::size_t count = 0;
+    arr.forEachValid([&](Addr, const int &v) {
+        sum += v;
+        ++count;
+    });
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(sum, 30);
+}
+
+TEST(SetAssocArray, FullAssociativeStress)
+{
+    SetAssocArray<int> arr(128, 8);
+    // Insert 4x the capacity; occupancy must cap at capacity and every
+    // resident line must be findable with the right payload.
+    for (std::uint64_t i = 0; i < 512; ++i)
+        arr.insert(line(i), static_cast<int>(i));
+    EXPECT_EQ(arr.occupancy(), 128u);
+    arr.forEachValid([&](Addr a, const int &v) {
+        EXPECT_EQ(static_cast<int>(lineIndex(a)), v);
+    });
+}
+
+TEST(SetAssocArray, InsertResultDefaultIsNoEviction)
+{
+    SetAssocArray<int> arr(8, 2);
+    const auto res = arr.insert(line(0), 5);
+    EXPECT_FALSE(res.evicted);
+    EXPECT_EQ(res.evictedAddr, kInvalidAddr);
+}
+
+} // namespace
+} // namespace flexsnoop

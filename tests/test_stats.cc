@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TEST(Counter, StartsAtZeroIncrementsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarStat, TracksMeanMinMax)
+{
+    ScalarStat s;
+    s.sample(2.0);
+    s.sample(8.0);
+    s.sample(5.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    EXPECT_DOUBLE_EQ(s.total(), 15.0);
+}
+
+TEST(ScalarStat, EmptyIsZero)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(ScalarStat, ResetClears)
+{
+    ScalarStat s;
+    s.sample(3.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    s.sample(-1.0);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), -1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 4); // buckets [0,10) [10,20) [20,30) [30,40)
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(15.5);
+    h.sample(100.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, NegativeGoesToOverflow)
+{
+    Histogram h(1.0, 4);
+    h.sample(-3.0);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, MeanMatchesSamples)
+{
+    Histogram h(1.0, 100);
+    h.sample(10.0);
+    h.sample(20.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+}
+
+TEST(StatGroup, CountersAreFindOrCreate)
+{
+    StatGroup g("grp");
+    g.counter("a").inc(3);
+    EXPECT_EQ(g.counter("a").value(), 3u);
+    EXPECT_EQ(g.counterValue("a"), 3u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+}
+
+TEST(StatGroup, ScalarMeanLookup)
+{
+    StatGroup g("grp");
+    g.scalar("lat").sample(4.0);
+    g.scalar("lat").sample(6.0);
+    EXPECT_DOUBLE_EQ(g.scalarMean("lat"), 5.0);
+    EXPECT_DOUBLE_EQ(g.scalarMean("missing"), 0.0);
+}
+
+TEST(StatGroup, ResetClearsEverything)
+{
+    StatGroup g("grp");
+    g.counter("c").inc(7);
+    g.scalar("s").sample(1.0);
+    g.histogram("h").sample(1.0);
+    g.reset();
+    EXPECT_EQ(g.counterValue("c"), 0u);
+    EXPECT_DOUBLE_EQ(g.scalarMean("s"), 0.0);
+    EXPECT_EQ(g.histogram("h").count(), 0u);
+}
+
+TEST(StatGroup, DumpContainsGroupAndStatNames)
+{
+    StatGroup g("mygroup");
+    g.counter("hits").inc(12);
+    std::ostringstream oss;
+    g.dump(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("mygroup.hits"), std::string::npos);
+    EXPECT_NE(out.find("12"), std::string::npos);
+}
+
+TEST(StatGroup, HistogramKeepsConfiguredShape)
+{
+    StatGroup g("grp");
+    auto &h = g.histogram("lat", 5.0, 10);
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 5.0);
+    EXPECT_EQ(h.numBuckets(), 10u);
+    // Second lookup returns the same object.
+    auto &h2 = g.histogram("lat", 99.0, 3);
+    EXPECT_EQ(&h, &h2);
+    EXPECT_DOUBLE_EQ(h2.bucketWidth(), 5.0);
+}
+
+} // namespace
+} // namespace flexsnoop

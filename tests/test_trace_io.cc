@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for trace persistence (binary save/load round trips and
+ * malformed-input rejection).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "workload/synthetic_generator.hh"
+#include "workload/trace_io.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+CoreTraces
+sampleTraces()
+{
+    CoreTraces traces;
+    traces.warmupRefs = 2;
+    traces.traces.resize(3);
+    for (CoreId c = 0; c < 3; ++c) {
+        for (unsigned i = 0; i < 5 + c; ++i) {
+            MemRef ref;
+            ref.addr = (c * 1000 + i) * kLineSizeBytes + 7;
+            ref.isWrite = (i % 2) == 0;
+            ref.gap = 10 + i;
+            traces.traces[c].push_back(ref);
+        }
+    }
+    return traces;
+}
+
+void
+expectEqual(const CoreTraces &a, const CoreTraces &b)
+{
+    ASSERT_EQ(a.traces.size(), b.traces.size());
+    EXPECT_EQ(a.warmupRefs, b.warmupRefs);
+    for (std::size_t c = 0; c < a.traces.size(); ++c) {
+        ASSERT_EQ(a.traces[c].size(), b.traces[c].size()) << c;
+        for (std::size_t i = 0; i < a.traces[c].size(); ++i) {
+            EXPECT_EQ(a.traces[c][i].addr, b.traces[c][i].addr);
+            EXPECT_EQ(a.traces[c][i].isWrite, b.traces[c][i].isWrite);
+            EXPECT_EQ(a.traces[c][i].gap, b.traces[c][i].gap);
+        }
+    }
+}
+
+TEST(TraceIo, StreamRoundTrip)
+{
+    const CoreTraces original = sampleTraces();
+    std::stringstream buffer;
+    writeTraces(buffer, original);
+    const CoreTraces loaded = readTraces(buffer);
+    expectEqual(original, loaded);
+}
+
+TEST(TraceIo, GeneratedWorkloadRoundTrip)
+{
+    WorkloadProfile profile = miniProfile();
+    profile.refsPerCore = 200;
+    profile.warmupRefs = 50;
+    const CoreTraces original = SyntheticGenerator(profile).generate();
+    std::stringstream buffer;
+    writeTraces(buffer, original);
+    expectEqual(original, readTraces(buffer));
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = "/tmp/flexsnoop_trace_io_test.fstr";
+    const CoreTraces original = sampleTraces();
+    saveTraces(path, original);
+    expectEqual(original, loadTraces(path));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream buffer;
+    buffer << "NOPE garbage";
+    EXPECT_THROW(readTraces(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedStream)
+{
+    std::stringstream buffer;
+    writeTraces(buffer, sampleTraces());
+    const std::string data = buffer.str();
+    std::stringstream truncated(data.substr(0, data.size() / 2));
+    EXPECT_THROW(readTraces(truncated), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongVersion)
+{
+    std::stringstream buffer;
+    writeTraces(buffer, sampleTraces());
+    std::string data = buffer.str();
+    data[4] = 99; // version byte
+    std::stringstream patched(data);
+    EXPECT_THROW(readTraces(patched), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWarmupBeyondTraceLength)
+{
+    CoreTraces bad = sampleTraces();
+    bad.warmupRefs = 100; // longer than any core's trace
+    std::stringstream buffer;
+    writeTraces(buffer, bad);
+    EXPECT_THROW(readTraces(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(loadTraces("/nonexistent/dir/trace.fstr"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace flexsnoop

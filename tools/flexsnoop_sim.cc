@@ -1,0 +1,199 @@
+/**
+ * @file
+ * flexsnoop_sim — command-line driver for the simulator.
+ *
+ * Runs one or more (workload, algorithm) combinations on a configurable
+ * machine and prints a summary table; optionally exports the full
+ * results as CSV or JSON for plotting.
+ *
+ * Usage:
+ *   flexsnoop_sim [options] [key=value ...]
+ *     --workloads w1,w2,...   profiles (default: mini)
+ *     --algorithms a1,a2,...  algorithms or "paper" (default: paper)
+ *     --predictor NAME        force a predictor (sub512..exa8k, y2k, n2k)
+ *     --refs N                measured refs per core (profile default)
+ *     --warmup N              warmup refs per core (profile default)
+ *     --trace-out PATH        save the generated traces (binary)
+ *     --trace-in PATH         replay traces from a file instead
+ *     --csv PATH              write results as CSV
+ *     --json PATH             write results as JSON
+ *     key=value               machine overrides (see config_parser.hh)
+ *
+ * Examples:
+ *   flexsnoop_sim --workloads barnes,specjbb --algorithms lazy,supagg
+ *   flexsnoop_sim --workloads ocean --algorithms paper --csv out.csv \
+ *       num_rings=1 prefetch_enabled=off
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "core/config_parser.hh"
+#include "core/report.hh"
+#include "workload/synthetic_generator.hh"
+#include "workload/trace_io.hh"
+
+using namespace flexsnoop;
+
+namespace
+{
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(list);
+    std::string item;
+    while (std::getline(iss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: flexsnoop_sim [options] [key=value ...]\n"
+           "  --workloads w1,w2,... --algorithms a1,...|paper\n"
+           "  --predictor NAME --refs N --warmup N\n"
+           "  --trace-out PATH --trace-in PATH --csv PATH --json PATH\n"
+           "machine override keys:";
+    for (const auto &key : configKeys())
+        std::cerr << ' ' << key;
+    std::cerr << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workloads = {"mini"};
+    std::vector<Algorithm> algorithms = paperAlgorithms();
+    std::string predictor, trace_out, trace_in, csv_path, json_path;
+    std::size_t refs = 0, warmup = SIZE_MAX;
+    std::vector<std::string> overrides;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--workloads") {
+                workloads = splitCommas(next());
+            } else if (arg == "--algorithms") {
+                const std::string value = next();
+                if (value == "paper") {
+                    algorithms = paperAlgorithms();
+                } else {
+                    algorithms.clear();
+                    for (const auto &name : splitCommas(value))
+                        algorithms.push_back(algorithmFromName(name));
+                }
+            } else if (arg == "--predictor") {
+                predictor = next();
+            } else if (arg == "--refs") {
+                refs = std::stoul(next());
+            } else if (arg == "--warmup") {
+                warmup = std::stoul(next());
+            } else if (arg == "--trace-out") {
+                trace_out = next();
+            } else if (arg == "--trace-in") {
+                trace_in = next();
+            } else if (arg == "--csv") {
+                csv_path = next();
+            } else if (arg == "--json") {
+                json_path = next();
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else if (arg.find('=') != std::string::npos) {
+                overrides.push_back(arg);
+            } else {
+                std::cerr << "unknown argument: " << arg << '\n';
+                usage();
+                return 2;
+            }
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << '\n';
+            return 2;
+        }
+    }
+
+    std::vector<RunResult> results;
+    try {
+        for (const auto &workload : workloads) {
+            WorkloadProfile profile = profileByName(workload);
+            if (refs > 0)
+                profile.refsPerCore = refs;
+            if (warmup != SIZE_MAX)
+                profile.warmupRefs = warmup;
+
+            CoreTraces traces;
+            if (!trace_in.empty()) {
+                traces = loadTraces(trace_in);
+            } else {
+                traces = SyntheticGenerator(profile).generate();
+            }
+            if (!trace_out.empty())
+                saveTraces(trace_out, traces);
+
+            for (Algorithm algorithm : algorithms) {
+                MachineConfig cfg = MachineConfig::paperDefault(
+                    algorithm, profile.coresPerCmp);
+                cfg.setNumCmps(profile.numCmps());
+                applyOverrides(cfg, overrides);
+                if (!predictor.empty() &&
+                    cfg.predictor.kind != PredictorKind::None &&
+                    cfg.predictor.kind != PredictorKind::Perfect) {
+                    applyOverride(cfg, "predictor=" + predictor);
+                }
+                std::cerr << "running " << workload << " / "
+                          << toString(algorithm) << "...\n";
+                results.push_back(
+                    runSimulation(cfg, traces, profile.name));
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+
+    // Summary table.
+    std::cout << std::left << std::setw(12) << "workload" << std::setw(14)
+              << "algorithm" << std::right << std::setw(13)
+              << "exec cycles" << std::setw(12) << "snoops/req"
+              << std::setw(11) << "msgs/req" << std::setw(13)
+              << "energy (uJ)" << std::setw(10) << "lat p50"
+              << std::setw(10) << "lat p95" << '\n'
+              << std::string(95, '-') << '\n';
+    for (const auto &r : results) {
+        std::cout << std::left << std::setw(12) << r.workload
+                  << std::setw(14) << r.algorithm << std::right
+                  << std::setw(13) << r.execCycles << std::fixed
+                  << std::setprecision(2) << std::setw(12)
+                  << r.snoopsPerReadRequest << std::setw(11)
+                  << r.readLinkMessagesPerRequest << std::setprecision(1)
+                  << std::setw(13) << r.energyNj / 1e3
+                  << std::setprecision(0) << std::setw(10)
+                  << r.p50ReadLatency << std::setw(10)
+                  << r.p95ReadLatency << '\n';
+    }
+
+    if (!csv_path.empty()) {
+        saveCsv(csv_path, results);
+        std::cerr << "wrote " << csv_path << '\n';
+    }
+    if (!json_path.empty()) {
+        saveJson(json_path, results);
+        std::cerr << "wrote " << json_path << '\n';
+    }
+    return 0;
+}
