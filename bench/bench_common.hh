@@ -1,18 +1,23 @@
 /**
  * @file
  * Shared helpers for the figure/table benches: standard workload sets
- * sized for bench runtime, and printing utilities.
+ * sized for bench runtime, parallel sweep execution, machine-readable
+ * perf records, and printing utilities.
  */
 
 #ifndef FLEXSNOOP_BENCH_BENCH_COMMON_HH
 #define FLEXSNOOP_BENCH_BENCH_COMMON_HH
 
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/parallel_executor.hh"
 
 namespace flexsnoop::bench
 {
@@ -28,6 +33,51 @@ benchScale()
             return v;
     }
     return 1.0;
+}
+
+/** Worker threads for parallel sweeps: FLEXSNOOP_BENCH_JOBS (0 = run
+ *  serially), default hardware concurrency. */
+inline std::size_t
+benchJobs()
+{
+    if (const char *env = std::getenv("FLEXSNOOP_BENCH_JOBS")) {
+        const long v = std::atol(env);
+        if (v >= 0)
+            return static_cast<std::size_t>(v);
+    }
+    return ParallelExecutor::defaultWorkers();
+}
+
+/**
+ * Write the machine-readable perf record BENCH_<name>.json (schema
+ * documented in docs/METRICS.md) into FLEXSNOOP_BENCH_RECORD_DIR
+ * (default: the current directory).
+ */
+inline void
+writeBenchRecord(
+    const std::string &name,
+    const std::vector<std::pair<std::string, double>> &metrics)
+{
+    std::string dir = ".";
+    if (const char *env = std::getenv("FLEXSNOOP_BENCH_RECORD_DIR"))
+        dir = env;
+    const std::string path = dir + "/BENCH_" + name + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "warning: cannot write " << path << '\n';
+        return;
+    }
+    os << "{\n"
+       << "  \"schema\": \"flexsnoop-bench-v1\",\n"
+       << "  \"bench\": \"" << name << "\",\n"
+       << "  \"metrics\": {\n";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        os << "    \"" << metrics[i].first << "\": "
+           << std::setprecision(12) << metrics[i].second
+           << (i + 1 < metrics.size() ? "," : "") << '\n';
+    }
+    os << "  }\n}\n";
+    std::cerr << "wrote " << path << '\n';
 }
 
 inline void
@@ -75,19 +125,26 @@ struct PaperSweeps
 
 inline PaperSweeps
 runPaperSweeps(std::size_t splash_refs = 8000,
-               std::size_t spec_refs = 12000)
+               std::size_t spec_refs = 12000,
+               std::size_t jobs = benchJobs())
 {
-    PaperSweeps out;
+    std::vector<WorkloadProfile> profiles =
+        splashBenchProfiles(splash_refs, splash_refs * 5 / 16);
+    profiles.push_back(jbbBenchProfile(spec_refs, spec_refs / 4));
+    profiles.push_back(webBenchProfile(spec_refs, spec_refs / 4));
+
     const auto &algos = paperAlgorithms();
-    for (const auto &app : splashBenchProfiles(splash_refs,
-                                               splash_refs * 5 / 16)) {
-        std::cerr << "  running " << app.name << "...\n";
-        out.splash.push_back(runSweep(algos, app));
-    }
-    std::cerr << "  running specjbb...\n";
-    out.jbb = runSweep(algos, jbbBenchProfile(spec_refs, spec_refs / 4));
-    std::cerr << "  running specweb...\n";
-    out.web = runSweep(algos, webBenchProfile(spec_refs, spec_refs / 4));
+    std::cerr << "  running " << profiles.size() << " workloads x "
+              << algos.size() << " algorithms on " << jobs
+              << " worker(s)...\n";
+    std::vector<SweepResult> sweeps = runMatrix(algos, profiles, jobs);
+
+    PaperSweeps out;
+    out.web = std::move(sweeps.back());
+    sweeps.pop_back();
+    out.jbb = std::move(sweeps.back());
+    sweeps.pop_back();
+    out.splash = std::move(sweeps);
     return out;
 }
 

@@ -14,6 +14,7 @@
  * downgrades and visibly higher execution time.
  */
 
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 
@@ -48,10 +49,48 @@ main()
         scaleProfile(p, 6000, 2000);
         splash_apps.push_back(p);
     }
-    const auto jbb = jbbBenchProfile(8000, 2000);
-    const auto web = webBenchProfile(8000, 2000);
+    // All workloads of the sweep, in group order: the 4 SPLASH-2-like
+    // applications, then SPECjbb, then SPECweb.
+    std::vector<WorkloadProfile> workloads = splash_apps;
+    workloads.push_back(jbbBenchProfile(8000, 2000));
+    workloads.push_back(webBenchProfile(8000, 2000));
+
+    // Every (algorithm, workload, predictor) cell is an independent
+    // runOne(); flatten the whole sweep into one batch so it spreads
+    // across the worker pool.
+    struct Cell
+    {
+        Algorithm algo;
+        std::size_t workload;
+        std::string predictor;
+    };
+    std::vector<Cell> cells;
+    for (const auto &cfg : sweeps_cfg) {
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            for (const auto &pred : cfg.predictors)
+                cells.push_back(Cell{cfg.algo, w, pred});
+        }
+    }
+
+    const std::size_t jobs = benchJobs();
+    std::cerr << "  running " << cells.size() << " simulations on "
+              << jobs << " worker(s)...\n";
+    const auto start = std::chrono::steady_clock::now();
+    ParallelExecutor pool(jobs);
+    const std::vector<double> exec_cycles =
+        pool.map(cells.size(), [&](std::size_t i) {
+            const Cell &c = cells[i];
+            return static_cast<double>(
+                runOne(c.algo, workloads[c.workload], c.predictor)
+                    .execCycles);
+        });
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
 
     // exec[workload-group][algo][predictor]
+    std::size_t cell = 0;
     for (const auto &cfg : sweeps_cfg) {
         std::cout << "\n--- " << toString(cfg.algo) << " ---\n"
                   << std::left << std::setw(12) << "workload";
@@ -61,20 +100,22 @@ main()
                   << std::string(12 + 12 * cfg.predictors.size(), '-')
                   << '\n';
 
-        auto run_group = [&](const std::string &label,
-                             const std::vector<WorkloadProfile> &apps) {
+        // Cells of this algorithm, per workload, in predictor order.
+        std::vector<std::vector<double>> by_workload;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            std::vector<double> app_exec;
+            for (std::size_t p = 0; p < cfg.predictors.size(); ++p)
+                app_exec.push_back(exec_cycles[cell++]);
+            by_workload.push_back(std::move(app_exec));
+        }
+
+        auto print_group = [&](const std::string &label, std::size_t lo,
+                               std::size_t hi) {
             std::vector<double> exec(cfg.predictors.size(), 0.0);
-            for (const auto &app : apps) {
-                std::cerr << "  " << toString(cfg.algo) << " / "
-                          << app.name << "...\n";
-                std::vector<double> app_exec;
-                for (const auto &pred : cfg.predictors) {
-                    const RunResult r = runOne(cfg.algo, app, pred);
-                    app_exec.push_back(
-                        static_cast<double>(r.execCycles));
-                }
+            for (std::size_t w = lo; w < hi; ++w) {
+                const auto &app_exec = by_workload[w];
                 for (std::size_t i = 0; i < app_exec.size(); ++i)
-                    exec[i] += app_exec[i] / app_exec[1] / apps.size();
+                    exec[i] += app_exec[i] / app_exec[1] / (hi - lo);
             }
             std::cout << std::left << std::setw(12) << label;
             for (double e : exec)
@@ -83,10 +124,20 @@ main()
             std::cout << '\n';
         };
 
-        run_group("SPLASH-2", splash_apps);
-        run_group("SPECjbb", {jbb});
-        run_group("SPECweb", {web});
+        print_group("SPLASH-2", 0, splash_apps.size());
+        print_group("SPECjbb", splash_apps.size(),
+                    splash_apps.size() + 1);
+        print_group("SPECweb", splash_apps.size() + 1,
+                    splash_apps.size() + 2);
     }
+
+    writeBenchRecord(
+        "fig10_sensitivity",
+        {{"wall_seconds", wall_s},
+         {"jobs", static_cast<double>(jobs)},
+         {"simulations", static_cast<double>(cells.size())},
+         {"simulations_per_second",
+          wall_s > 0.0 ? cells.size() / wall_s : 0.0}});
 
     std::cout << "\npaper expectation: near-flat rows (within a few "
                  "percent), except Exact on SPLASH-2 where the small "

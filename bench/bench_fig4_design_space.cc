@@ -11,6 +11,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 
@@ -18,6 +19,19 @@
 
 using namespace flexsnoop;
 using namespace flexsnoop::bench;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
 
 int
 main()
@@ -34,14 +48,45 @@ main()
         apps.push_back(p);
     }
 
+    // This bench doubles as the parallel-runner speedup check: the full
+    // (app x algorithm) matrix is run once serially and once across the
+    // worker pool, and both the wall-clock ratio and a result-equality
+    // check are reported.
+    const std::size_t jobs = std::max<std::size_t>(benchJobs(), 2);
+
+    std::cerr << "  serial matrix (" << apps.size() << " apps x "
+              << paperAlgorithms().size() << " algorithms)...\n";
+    const auto serial_start = std::chrono::steady_clock::now();
+    std::vector<SweepResult> serial;
+    for (const auto &app : apps)
+        serial.push_back(runSweep(paperAlgorithms(), app));
+    const double serial_s = secondsSince(serial_start);
+
+    std::cerr << "  parallel matrix (" << jobs << " workers)...\n";
+    const auto parallel_start = std::chrono::steady_clock::now();
+    const std::vector<SweepResult> sweeps =
+        runMatrix(paperAlgorithms(), apps, jobs);
+    const double parallel_s = secondsSince(parallel_start);
+
+    bool identical = serial.size() == sweeps.size();
+    for (std::size_t i = 0; identical && i < sweeps.size(); ++i) {
+        for (std::size_t j = 0; j < sweeps[i].runs.size(); ++j) {
+            const RunResult &a = serial[i].runs[j];
+            const RunResult &b = sweeps[i].runs[j];
+            identical = identical && a.execCycles == b.execCycles &&
+                        a.readSnoops == b.readSnoops &&
+                        a.energyNj == b.energyNj &&
+                        a.avgReadLatency == b.avgReadLatency;
+        }
+    }
+
     struct Point
     {
         double latency = 0.0;
         double snoops = 0.0;
     };
     std::map<Algorithm, Point> points;
-    for (const auto &app : apps) {
-        const SweepResult sweep = runSweep(paperAlgorithms(), app);
+    for (const auto &sweep : sweeps) {
         for (const auto &r : sweep.runs) {
             auto &pt = points[algorithmFromName(r.algorithm)];
             pt.latency += r.avgReadLatency / apps.size();
@@ -90,5 +135,23 @@ main()
         std::cout << " |" << row << '\n';
     std::cout << " +" << std::string(kWidth, '-')
               << "> unloaded request latency\n";
-    return 0;
+
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    std::cout << "\nparallel runner: serial " << std::fixed
+              << std::setprecision(2) << serial_s << " s, parallel "
+              << parallel_s << " s on " << jobs << " workers (speedup "
+              << speedup << "x, "
+              << ParallelExecutor::defaultWorkers()
+              << " hardware threads), results "
+              << (identical ? "bit-identical" : "MISMATCH") << '\n';
+    writeBenchRecord(
+        "fig4_design_space",
+        {{"serial_seconds", serial_s},
+         {"parallel_seconds", parallel_s},
+         {"jobs", static_cast<double>(jobs)},
+         {"hardware_concurrency",
+          static_cast<double>(ParallelExecutor::defaultWorkers())},
+         {"speedup", speedup},
+         {"results_identical", identical ? 1.0 : 0.0}});
+    return identical ? 0 : 1;
 }

@@ -8,6 +8,7 @@
  * (downgrades push reads to memory) but does not hurt SPECjbb.
  */
 
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 
@@ -21,7 +22,13 @@ main()
 {
     std::cout << "=== Figure 8: execution time (normalized to Lazy) "
                  "===\n";
-    const PaperSweeps sweeps = runPaperSweeps();
+    const std::size_t jobs = benchJobs();
+    const auto start = std::chrono::steady_clock::now();
+    const PaperSweeps sweeps = runPaperSweeps(8000, 12000, jobs);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
 
     const Metric metric = [](const RunResult &r) {
         return static_cast<double>(r.execCycles);
@@ -82,5 +89,14 @@ main()
                           metric(sweeps.web.byAlgorithm(Algorithm::Lazy))) *
                      100)
               << "% (paper 6%)\n";
+
+    const double cells = static_cast<double>(
+        (sweeps.splash.size() + 2) * paperAlgorithms().size());
+    writeBenchRecord("fig8_exec_time",
+                     {{"wall_seconds", wall_s},
+                      {"jobs", static_cast<double>(jobs)},
+                      {"simulations", cells},
+                      {"simulations_per_second",
+                       wall_s > 0.0 ? cells / wall_s : 0.0}});
     return 0;
 }

@@ -6,6 +6,8 @@
  * performance; they do not correspond to a paper figure.
  */
 
+#include <array>
+
 #include <benchmark/benchmark.h>
 
 #include "net/ring.hh"
@@ -14,6 +16,7 @@
 #include "predictor/superset_predictor.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/stats.hh"
 
 namespace flexsnoop
 {
@@ -37,6 +40,71 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+/**
+ * Same schedule/run loop but with a capture too large for EventFn's
+ * inline buffer, forcing the heap fallback — the cost the
+ * small-buffer optimization avoids on the simulator's hot path.
+ */
+void
+BM_EventQueueScheduleRunHeapCallable(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue queue;
+        int sink = 0;
+        for (int i = 0; i < batch; ++i) {
+            std::array<std::uint64_t, 16> payload{};
+            payload[0] = static_cast<std::uint64_t>(i);
+            queue.schedule(static_cast<Cycle>(i % 97),
+                           [&sink, payload]() {
+                               benchmark::DoNotOptimize(
+                                   sink += static_cast<int>(payload[0]));
+                           });
+        }
+        queue.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRunHeapCallable)->Arg(1024);
+
+// Counter increment, the way the protocol hot path used to do it: a
+// by-name lookup in the stat group on every event. The group carries a
+// controller-sized population of counters.
+void
+BM_StatCounterIncByName(benchmark::State &state)
+{
+    StatGroup stats("bench");
+    for (int i = 0; i < 30; ++i)
+        stats.counter("counter_" + std::to_string(i));
+    Counter &hot = stats.counter("read_snoops");
+    for (auto _ : state) {
+        stats.counter("read_snoops").inc();
+        benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(hot.value());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatCounterIncByName);
+
+// Counter increment through a handle resolved once at construction —
+// what the controllers do now.
+void
+BM_StatCounterIncCached(benchmark::State &state)
+{
+    StatGroup stats("bench");
+    for (int i = 0; i < 30; ++i)
+        stats.counter("counter_" + std::to_string(i));
+    Counter &hot = stats.counter("read_snoops");
+    for (auto _ : state) {
+        hot.inc();
+        benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(hot.value());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatCounterIncCached);
 
 void
 BM_SetAssocArrayChurn(benchmark::State &state)

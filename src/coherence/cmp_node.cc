@@ -9,7 +9,11 @@ namespace flexsnoop
 
 CmpNode::CmpNode(NodeId id, std::size_t num_cores, std::size_t l2_entries,
                  std::size_t l2_ways)
-    : _id(id), _stats("cmp" + std::to_string(id))
+    : _id(id), _stats("cmp" + std::to_string(id)),
+      _dirtyEvictions(_stats.counter("dirty_evictions")),
+      _localSupplies(_stats.counter("local_supplies")),
+      _remoteSupplies(_stats.counter("remote_supplies")),
+      _downgradesStat(_stats.counter("downgrades"))
 {
     assert(num_cores >= 1);
     _l2s.reserve(num_cores);
@@ -151,7 +155,7 @@ CmpNode::handleEviction(const L2Cache::Eviction &ev)
     if (!ev.valid)
         return;
     if (isDirtyState(ev.state)) {
-        _stats.counter("dirty_evictions").inc();
+        _dirtyEvictions.inc();
         if (_writeback)
             _writeback(ev.addr, false);
     }
@@ -172,7 +176,7 @@ CmpNode::localSupply(std::size_t reader, Addr line)
         _l2s[src]->changeState(line, LineState::Tagged);
     _l2s[src]->touch(line);
     handleEviction(_l2s[reader]->fill(line, LineState::Shared));
-    _stats.counter("local_supplies").inc();
+    _localSupplies.inc();
 }
 
 void
@@ -187,7 +191,7 @@ CmpNode::supplyRemote(Addr line)
     else if (src_state == LineState::Dirty)
         _l2s[src]->changeState(line, LineState::Tagged);
     _l2s[src]->touch(line);
-    _stats.counter("remote_supplies").inc();
+    _remoteSupplies.inc();
 }
 
 void
@@ -270,7 +274,7 @@ CmpNode::downgrade(Addr line)
     // in the same CMP, so demoting to SL is always legal here.
     _l2s[src]->changeState(line, LineState::SharedLocal);
     _downgradeMarks[line] = true;
-    _stats.counter("downgrades").inc();
+    _downgradesStat.inc();
     return wrote_back;
 }
 

@@ -180,6 +180,11 @@ class CmpNode
     std::unordered_map<Addr, bool> _downgradeMarks;
 
     StatGroup _stats;
+    // Cached handles for per-transaction supply/eviction accounting.
+    Counter &_dirtyEvictions;
+    Counter &_localSupplies;
+    Counter &_remoteSupplies;
+    Counter &_downgradesStat;
 };
 
 } // namespace flexsnoop

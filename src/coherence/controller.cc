@@ -8,6 +8,40 @@
 namespace flexsnoop
 {
 
+CoherenceController::HotStats::HotStats(StatGroup &g)
+    : reads(g.counter("reads")),
+      readL2Hits(g.counter("read_l2_hits")),
+      readLocalSupplies(g.counter("read_local_supplies")),
+      readMerged(g.counter("read_merged")),
+      readLocalConflictDelays(g.counter("read_local_conflict_delays")),
+      writes(g.counter("writes")),
+      writeL2Hits(g.counter("write_l2_hits")),
+      writeLocalConflictDelays(g.counter("write_local_conflict_delays")),
+      readRingRequests(g.counter("read_ring_requests")),
+      writeRingRequests(g.counter("write_ring_requests")),
+      readLinkMessages(g.counter("read_link_messages")),
+      writeLinkMessages(g.counter("write_link_messages")),
+      readFiltered(g.counter("read_filtered")),
+      writeFiltered(g.counter("write_filtered")),
+      readSnoops(g.counter("read_snoops")),
+      writeSnoops(g.counter("write_snoops")),
+      readCacheSupplies(g.counter("read_cache_supplies")),
+      readMemorySupplies(g.counter("read_memory_supplies")),
+      memoryFetches(g.counter("memory_fetches")),
+      collisions(g.counter("collisions")),
+      squashes(g.counter("squashes")),
+      staleSquashes(g.counter("stale_squashes")),
+      retries(g.counter("retries")),
+      gateDeferrals(g.counter("gate_deferrals")),
+      ringRoundsFound(g.counter("ring_rounds_found")),
+      ringRoundsNegative(g.counter("ring_rounds_negative")),
+      invalidateOnFill(g.counter("invalidate_on_fill")),
+      readLatency(g.scalar("read_latency")),
+      writeLatency(g.scalar("write_latency")),
+      readLatencyHist(g.histogram("read_latency_hist", 50.0, 80))
+{
+}
+
 CoherenceController::CoherenceController(
     EventQueue &queue, RingNetwork &ring, DataNetwork &data,
     MemoryController &memory, EnergyModel &energy, SnoopPolicy &policy,
@@ -17,7 +51,7 @@ CoherenceController::CoherenceController(
       _energy(energy), _policy(policy), _nodes(nodes), _params(params),
       _coresPerCmp(nodes.empty() ? 1 : nodes.front()->numCores()),
       _outstandingByLine(nodes.size()), _pending(nodes.size()),
-      _gates(nodes.size()), _stats("controller")
+      _gates(nodes.size()), _stats("controller"), _c(_stats)
 {
     assert(!_nodes.empty());
     for (NodeId n = 0; n < _nodes.size(); ++n) {
@@ -71,7 +105,7 @@ CoherenceController::deferIfGated(NodeId node, const SnoopMessage &msg)
     // Strict per-line FIFO: every other message (any type) queues, so a
     // trailing reply can never overtake its own parked request.
     gate.deferred.push_back(msg);
-    _stats.counter("gate_deferrals").inc();
+    _c.gateDeferrals.inc();
     return true;
 }
 
@@ -162,12 +196,12 @@ CoherenceController::coreRead(CoreId core, Addr addr,
     const std::size_t local = localOf(core);
     CmpNode &node = *_nodes[n];
 
-    _stats.counter("reads").inc();
+    _c.reads.inc();
 
     // 1. Hit in the core's own L2.
     if (isValidState(node.coreState(local, line))) {
         node.l2(local).touch(line);
-        _stats.counter("read_l2_hits").inc();
+        _c.readL2Hits.inc();
         complete(core, line, false, _params.l2RoundTrip);
         return;
     }
@@ -175,7 +209,7 @@ CoherenceController::coreRead(CoreId core, Addr addr,
     // 2. Another L2 in this CMP can supply (SL, SG, E, D, T).
     if (node.hasLocalSupplier(line)) {
         node.localSupply(local, line);
-        _stats.counter("read_local_supplies").inc();
+        _c.readLocalSupplies.inc();
         complete(core, line, false,
                  _params.l2RoundTrip + _params.localBusRoundTrip);
         return;
@@ -190,11 +224,11 @@ CoherenceController::coreRead(CoreId core, Addr addr,
             // Merging onto a transaction whose data already arrived
             // would miss the delivery; fall through to the delay path.
             t->waiters.push_back(core);
-            _stats.counter("read_merged").inc();
+            _c.readMerged.inc();
             return;
         }
         // A conflicting local transaction is in flight; retry shortly.
-        _stats.counter("read_local_conflict_delays").inc();
+        _c.readLocalConflictDelays.inc();
         _queue.schedule(_params.retryBackoff, [this, core, addr,
                                                retries]() {
             coreRead(core, addr, retries);
@@ -217,7 +251,7 @@ CoherenceController::coreWrite(CoreId core, Addr addr,
     const std::size_t local = localOf(core);
     CmpNode &node = *_nodes[n];
 
-    _stats.counter("writes").inc();
+    _c.writes.inc();
 
     const LineState st = node.coreState(local, line);
 
@@ -226,7 +260,7 @@ CoherenceController::coreWrite(CoreId core, Addr addr,
         if (st == LineState::Exclusive)
             node.l2(local).changeState(line, LineState::Dirty);
         node.l2(local).touch(line);
-        _stats.counter("write_l2_hits").inc();
+        _c.writeL2Hits.inc();
         complete(core, line, true, _params.l2RoundTrip);
         return;
     }
@@ -234,7 +268,7 @@ CoherenceController::coreWrite(CoreId core, Addr addr,
     // 2. A local transaction on this line is already in flight.
     auto &out = _outstandingByLine[n];
     if (out.count(line)) {
-        _stats.counter("write_local_conflict_delays").inc();
+        _c.writeLocalConflictDelays.inc();
         _queue.schedule(_params.retryBackoff, [this, core, addr,
                                                retries]() {
             coreWrite(core, addr, retries);
@@ -286,9 +320,9 @@ void
 CoherenceController::issueRingMessage(Transaction &txn)
 {
     if (txn.kind == SnoopKind::Read)
-        _stats.counter("read_ring_requests").inc();
+        _c.readRingRequests.inc();
     else
-        _stats.counter("write_ring_requests").inc();
+        _c.writeRingRequests.inc();
 
     SnoopMessage msg;
     msg.type = MsgType::CombinedRR;
@@ -315,9 +349,9 @@ CoherenceController::forwardMessage(NodeId node, const SnoopMessage &msg)
 {
     _energy.record(EnergyEvent::RingLinkMessage);
     if (msg.kind == SnoopKind::Read)
-        _stats.counter("read_link_messages").inc();
+        _c.readLinkMessages.inc();
     else
-        _stats.counter("write_link_messages").inc();
+        _c.writeLinkMessages.inc();
     _ring.send(node, msg);
 }
 
@@ -417,8 +451,8 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
     }
 
     if (prim == Primitive::Forward) {
-        _stats.counter(msg.kind == SnoopKind::Read ? "read_filtered"
-                                                   : "write_filtered")
+        (msg.kind == SnoopKind::Read ? _c.readFiltered
+                                     : _c.writeFiltered)
             .inc();
         const SnoopMessage out = msg;
         _queue.schedule(decision_latency, [this, node, out]() {
@@ -465,12 +499,12 @@ CoherenceController::detectCollision(NodeId node, SnoopMessage &msg)
     if (msg.kind == SnoopKind::Read && t->kind == SnoopKind::Read)
         return false; // concurrent reads never conflict
 
-    _stats.counter("collisions").inc();
+    _c.collisions.inc();
 
     if (msg.kind == SnoopKind::Read) {
         // Passing read vs. our write: the read retries after the write.
         msg.squashed = true;
-        _stats.counter("squashes").inc();
+        _c.squashes.inc();
         return true;
     }
 
@@ -484,7 +518,7 @@ CoherenceController::detectCollision(NodeId node, SnoopMessage &msg)
             t->invalidateOnFill = true;
         } else {
             t->squashed = true;
-            _stats.counter("squashes").inc();
+            _c.squashes.inc();
         }
         return false;
     }
@@ -492,18 +526,18 @@ CoherenceController::detectCollision(NodeId node, SnoopMessage &msg)
     // Write vs. write: the older transaction wins.
     if (t->id < msg.txn) {
         msg.squashed = true;
-        _stats.counter("squashes").inc();
+        _c.squashes.inc();
         return true;
     }
     t->squashed = true;
-    _stats.counter("squashes").inc();
+    _c.squashes.inc();
     return false;
 }
 
 bool
 CoherenceController::ringSnoopRead(NodeId node, Addr line)
 {
-    _stats.counter("read_snoops").inc();
+    _c.readSnoops.inc();
     _energy.record(EnergyEvent::CmpSnoop);
     return _nodes[node]->hasSupplier(line);
 }
@@ -511,7 +545,7 @@ CoherenceController::ringSnoopRead(NodeId node, Addr line)
 bool
 CoherenceController::ringSnoopWrite(NodeId node, const SnoopMessage &msg)
 {
-    _stats.counter("write_snoops").inc();
+    _c.writeSnoops.inc();
     _energy.record(EnergyEvent::CmpSnoop);
     FS_LOG(Debug, _queue.now(), "ctrl",
            "write snoop txn " << msg.txn << " line 0x" << std::hex
@@ -622,7 +656,7 @@ CoherenceController::supplierHit(NodeId node, SnoopMessage msg,
     p.snoopFound = true;
     p.sentOwn = true;
 
-    _stats.counter("read_cache_supplies").inc();
+    _c.readCacheSupplies.inc();
     FS_LOG(Debug, _queue.now(), "ctrl",
            "supplier hit txn " << msg.txn << " line 0x" << std::hex
                                << msg.line << std::dec << " at node "
@@ -714,7 +748,7 @@ CoherenceController::handleAtRequester(Transaction &txn,
             // (which may already have passed this node): drop it, as in
             // the invalidate-on-fill case. The found reply still
             // circulating closes the transaction.
-            _stats.counter("stale_squashes").inc();
+            _c.staleSquashes.inc();
             _nodes[txn.requester]->invalidateAll(txn.line);
             return;
         }
@@ -726,7 +760,7 @@ CoherenceController::handleAtRequester(Transaction &txn,
 
     if (msg.found) {
         txn.ringDone = true;
-        _stats.counter("ring_rounds_found").inc();
+        _c.ringRoundsFound.inc();
         if (txn.kind == SnoopKind::Write) {
             if (txn.dataArrived)
                 completeWrite(txn);
@@ -744,7 +778,7 @@ CoherenceController::handleAtRequester(Transaction &txn,
 
     // Negative conclusion: no supplier anywhere on the ring.
     txn.ringDone = true;
-    _stats.counter("ring_rounds_negative").inc();
+    _c.ringRoundsNegative.inc();
     if (txn.kind == SnoopKind::Read) {
         goToMemory(txn);
     } else {
@@ -760,7 +794,7 @@ void
 CoherenceController::goToMemory(Transaction &txn)
 {
     txn.memoryPending = true;
-    _stats.counter("memory_fetches").inc();
+    _c.memoryFetches.inc();
     FS_LOG(Debug, _queue.now(), "ctrl",
            "memory fetch txn " << txn.id << " line 0x" << std::hex
                                << txn.line << std::dec);
@@ -813,14 +847,14 @@ CoherenceController::deliverReadData(Transaction &txn, bool from_memory)
             node.fillFromRemote(local, line);
         else
             node.fillFromMemory(local, line);
-        _stats.counter("read_memory_supplies").inc();
+        _c.readMemorySupplies.inc();
     } else {
         node.fillFromRemote(local, line);
     }
 
     const auto latency = static_cast<double>(_queue.now() - txn.issued);
-    _stats.scalar("read_latency").sample(latency);
-    _stats.histogram("read_latency_hist", 50.0, 80).sample(latency);
+    _c.readLatency.sample(latency);
+    _c.readLatencyHist.sample(latency);
     complete(txn.core, line, false, 0);
     for (CoreId w : txn.waiters) {
         const std::size_t wl = localOf(w);
@@ -835,7 +869,7 @@ CoherenceController::deliverReadData(Transaction &txn, bool from_memory)
         // A write serialized right behind this read: the data reaches
         // the core(s) but the copies do not persist.
         node.invalidateAll(line);
-        _stats.counter("invalidate_on_fill").inc();
+        _c.invalidateOnFill.inc();
     }
 
     if (txn.ringDone)
@@ -862,8 +896,8 @@ CoherenceController::completeWrite(Transaction &txn)
     else
         node.fillForWrite(local, line);
 
-    _stats.scalar("write_latency")
-        .sample(static_cast<double>(_queue.now() - txn.issued));
+    _c.writeLatency.sample(
+        static_cast<double>(_queue.now() - txn.issued));
     complete(txn.core, line, true, 0);
     finishAndErase(txn.id);
 }
@@ -885,7 +919,7 @@ CoherenceController::finishAndErase(TransactionId id)
 void
 CoherenceController::retryTransaction(const Transaction &txn)
 {
-    _stats.counter("retries").inc();
+    _c.retries.inc();
     const CoreId core = txn.core;
     const Addr line = txn.line;
     const SnoopKind kind = txn.kind;

@@ -93,17 +93,14 @@ class CoherenceController : public RequestPort
     /** Read ring transactions issued (including retries). */
     std::uint64_t readRequests() const
     {
-        return _stats.counterValue("read_ring_requests");
+        return _c.readRingRequests.value();
     }
     /** CMP snoop operations triggered by read requests. */
-    std::uint64_t readSnoops() const
-    {
-        return _stats.counterValue("read_snoops");
-    }
+    std::uint64_t readSnoops() const { return _c.readSnoops.value(); }
     /** Ring link traversals by read snoop messages. */
     std::uint64_t readLinkMessages() const
     {
-        return _stats.counterValue("read_link_messages");
+        return _c.readLinkMessages.value();
     }
     double
     snoopsPerReadRequest() const
@@ -184,6 +181,47 @@ class CoherenceController : public RequestPort
     /** Any CMP marked this line as predictor-downgraded? (energy attr.) */
     bool consumeDowngradeMarkAnywhere(Addr line);
 
+    /**
+     * Stat handles resolved once at construction. Every per-event
+     * increment on the protocol hot path goes through one of these
+     * references instead of a by-name lookup in the StatGroup.
+     */
+    struct HotStats
+    {
+        explicit HotStats(StatGroup &g);
+
+        Counter &reads;
+        Counter &readL2Hits;
+        Counter &readLocalSupplies;
+        Counter &readMerged;
+        Counter &readLocalConflictDelays;
+        Counter &writes;
+        Counter &writeL2Hits;
+        Counter &writeLocalConflictDelays;
+        Counter &readRingRequests;
+        Counter &writeRingRequests;
+        Counter &readLinkMessages;
+        Counter &writeLinkMessages;
+        Counter &readFiltered;
+        Counter &writeFiltered;
+        Counter &readSnoops;
+        Counter &writeSnoops;
+        Counter &readCacheSupplies;
+        Counter &readMemorySupplies;
+        Counter &memoryFetches;
+        Counter &collisions;
+        Counter &squashes;
+        Counter &staleSquashes;
+        Counter &retries;
+        Counter &gateDeferrals;
+        Counter &ringRoundsFound;
+        Counter &ringRoundsNegative;
+        Counter &invalidateOnFill;
+        ScalarStat &readLatency;
+        ScalarStat &writeLatency;
+        Histogram &readLatencyHist;
+    };
+
     EventQueue &_queue;
     RingNetwork &_ring;
     DataNetwork &_data;
@@ -206,6 +244,7 @@ class CoherenceController : public RequestPort
     std::vector<std::unordered_map<Addr, GateLine>> _gates;
 
     StatGroup _stats;
+    HotStats _c; ///< pre-resolved handles into _stats (must follow it)
 };
 
 } // namespace flexsnoop

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <stdexcept>
 
+#include "core/parallel_executor.hh"
 #include "workload/synthetic_generator.hh"
 
 namespace flexsnoop
@@ -21,22 +22,31 @@ SweepResult::byAlgorithm(Algorithm a) const
                             std::string(toString(a)));
 }
 
-RunResult
-runOne(Algorithm algorithm, const WorkloadProfile &profile,
-       const std::string &predictor_name)
+MachineConfig
+sweepConfig(Algorithm algorithm, const WorkloadProfile &profile,
+            const std::string &override_predictor)
 {
     MachineConfig cfg =
         MachineConfig::paperDefault(algorithm, profile.coresPerCmp);
     cfg.setNumCmps(profile.numCmps());
-    if (!predictor_name.empty() &&
+    if (!override_predictor.empty() &&
         cfg.predictor.kind != PredictorKind::None &&
         cfg.predictor.kind != PredictorKind::Perfect) {
-        PredictorConfig forced = PredictorConfig::fromName(predictor_name);
+        PredictorConfig forced =
+            PredictorConfig::fromName(override_predictor);
         if (forced.kind == cfg.predictor.kind)
             cfg.predictor = forced;
     }
+    return cfg;
+}
+
+RunResult
+runOne(Algorithm algorithm, const WorkloadProfile &profile,
+       const std::string &predictor_name)
+{
     SyntheticGenerator gen(profile);
-    return runSimulation(cfg, gen.generate(), profile.name);
+    return runSimulation(sweepConfig(algorithm, profile, predictor_name),
+                         gen.generate(), profile.name);
 }
 
 SweepResult
@@ -53,20 +63,59 @@ runSweep(const std::vector<Algorithm> &algorithms,
     SweepResult sweep;
     sweep.workload = profile.name;
     for (Algorithm a : algorithms) {
-        MachineConfig cfg =
-            MachineConfig::paperDefault(a, profile.coresPerCmp);
-        cfg.setNumCmps(profile.numCmps());
-        if (!override_predictor.empty() &&
-            cfg.predictor.kind != PredictorKind::None &&
-            cfg.predictor.kind != PredictorKind::Perfect) {
-            PredictorConfig forced =
-                PredictorConfig::fromName(override_predictor);
-            if (forced.kind == cfg.predictor.kind)
-                cfg.predictor = forced;
-        }
-        sweep.runs.push_back(runSimulation(cfg, traces, profile.name));
+        sweep.runs.push_back(
+            runSimulation(sweepConfig(a, profile, override_predictor),
+                          traces, profile.name));
     }
     return sweep;
+}
+
+SweepResult
+runSweepParallel(const std::vector<Algorithm> &algorithms,
+                 const WorkloadProfile &profile, std::size_t jobs,
+                 const std::string &override_predictor)
+{
+    return std::move(
+        runMatrix(algorithms, {profile}, jobs, override_predictor)
+            .front());
+}
+
+std::vector<SweepResult>
+runMatrix(const std::vector<Algorithm> &algorithms,
+          const std::vector<WorkloadProfile> &profiles, std::size_t jobs,
+          const std::string &override_predictor)
+{
+    ParallelExecutor pool(jobs);
+
+    // Traces are generated once per profile and shared by all of that
+    // profile's runs; generation itself is independent per profile, so
+    // it parallelizes too.
+    std::vector<CoreTraces> traces =
+        pool.map(profiles.size(), [&profiles](std::size_t p) {
+            SyntheticGenerator gen(profiles[p]);
+            return gen.generate();
+        });
+
+    // Flatten the (profile x algorithm) matrix into one job batch so a
+    // slow profile does not serialize behind a fast one.
+    const std::size_t width = algorithms.size();
+    std::vector<RunResult> runs = pool.map(
+        profiles.size() * width, [&](std::size_t cell) {
+            const std::size_t p = cell / width;
+            const Algorithm a = algorithms[cell % width];
+            return runSimulation(
+                sweepConfig(a, profiles[p], override_predictor),
+                traces[p], profiles[p].name);
+        });
+
+    std::vector<SweepResult> out(profiles.size());
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+        out[p].workload = profiles[p].name;
+        out[p].runs.reserve(width);
+        for (std::size_t i = 0; i < width; ++i)
+            out[p].runs.push_back(std::move(runs[p * width + i]));
+    }
+    return out;
 }
 
 double

@@ -34,6 +34,17 @@ struct SweepResult
 };
 
 /**
+ * Machine configuration one sweep cell runs with: the §6.1 paper
+ * default for @p algorithm sized to @p profile, with
+ * @p override_predictor (if non-empty and of the same predictor kind)
+ * forced on — the sensitivity-study hook shared by every sweep entry
+ * point.
+ */
+MachineConfig sweepConfig(Algorithm algorithm,
+                          const WorkloadProfile &profile,
+                          const std::string &override_predictor = "");
+
+/**
  * Run @p algorithms (with their §6.1 default predictors) on the
  * workload described by @p profile.
  *
@@ -43,6 +54,29 @@ struct SweepResult
 SweepResult runSweep(const std::vector<Algorithm> &algorithms,
                      const WorkloadProfile &profile,
                      const std::string &override_predictor = "");
+
+/**
+ * runSweep() with the per-algorithm runs executed concurrently on
+ * @p jobs worker threads. Each run owns its machine, so the result is
+ * bit-identical to the serial sweep; only wall-clock time changes.
+ */
+SweepResult runSweepParallel(const std::vector<Algorithm> &algorithms,
+                             const WorkloadProfile &profile,
+                             std::size_t jobs,
+                             const std::string &override_predictor = "");
+
+/**
+ * Full suite sweep: every (profile x algorithm) cell, executed across
+ * @p jobs worker threads. Traces are generated once per profile and
+ * shared by all of that profile's algorithms (the paper compares
+ * algorithms on identical traces). Results are returned in @p profiles
+ * order, each sweep in @p algorithms order — identical to calling
+ * runSweep() per profile in a loop.
+ */
+std::vector<SweepResult>
+runMatrix(const std::vector<Algorithm> &algorithms,
+          const std::vector<WorkloadProfile> &profiles, std::size_t jobs,
+          const std::string &override_predictor = "");
 
 /** Run one (algorithm, predictor-name) pair on @p profile. */
 RunResult runOne(Algorithm algorithm, const WorkloadProfile &profile,

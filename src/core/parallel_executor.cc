@@ -1,0 +1,111 @@
+#include "core/parallel_executor.hh"
+
+namespace flexsnoop
+{
+
+std::size_t
+ParallelExecutor::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ParallelExecutor::ParallelExecutor(std::size_t workers)
+{
+    // A single worker buys nothing over running inline; stay serial.
+    if (workers <= 1)
+        return;
+    _threads.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        _threads.emplace_back([this]() { workerLoop(); });
+}
+
+ParallelExecutor::~ParallelExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+void
+ParallelExecutor::run(const std::vector<Job> &jobs)
+{
+    if (jobs.empty())
+        return;
+
+    if (_threads.empty()) {
+        // Serial mode: exceptions propagate directly, which is already
+        // first-by-index order.
+        for (const auto &job : jobs)
+            job();
+        return;
+    }
+
+    std::vector<std::exception_ptr> errors(jobs.size());
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        _jobs = &jobs;
+        _errors = &errors;
+        _next.store(0, std::memory_order_relaxed);
+        _running = _threads.size();
+        ++_generation;
+    }
+    _wake.notify_all();
+
+    {
+        std::unique_lock<std::mutex> lock(_m);
+        _done.wait(lock, [this]() { return _running == 0; });
+        _jobs = nullptr;
+        _errors = nullptr;
+    }
+
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+void
+ParallelExecutor::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::vector<Job> *jobs = nullptr;
+        std::vector<std::exception_ptr> *errors = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(_m);
+            _wake.wait(lock, [this, seen]() {
+                return _stop || _generation != seen;
+            });
+            if (_stop)
+                return;
+            seen = _generation;
+            jobs = _jobs;
+            errors = _errors;
+        }
+
+        for (;;) {
+            const std::size_t i =
+                _next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs->size())
+                break;
+            try {
+                (*jobs)[i]();
+            } catch (...) {
+                (*errors)[i] = std::current_exception();
+            }
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(_m);
+            if (--_running == 0)
+                _done.notify_one();
+        }
+    }
+}
+
+} // namespace flexsnoop

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <iomanip>
+#include <sstream>
+#include <stdexcept>
 
 #include "sim/log.hh"
 
@@ -45,14 +47,24 @@ runSimulation(const MachineConfig &config, const CoreTraces &traces,
     const Cycle measured = runner.run();
     machine.finalizeEnergy();
 
-    // The protocol must leave the caches in a coherent state.
+    // The protocol must leave the caches in a coherent state. This is a
+    // hard error in every build type: a run that violated coherence
+    // invariants has meaningless statistics, so it must never feed a
+    // figure silently.
     const auto violations = machine.checker().check();
-    for (const auto &v : violations) {
-        FS_LOG(Error, machine.queue().now(), "checker",
-               "line 0x" << std::hex << v.line << std::dec << ": "
-                         << v.description);
+    if (!violations.empty()) {
+        for (const auto &v : violations) {
+            FS_LOG(Error, machine.queue().now(), "checker",
+                   "line 0x" << std::hex << v.line << std::dec << ": "
+                             << v.description);
+        }
+        std::ostringstream oss;
+        oss << "coherence invariants violated (" << violations.size()
+            << " violation(s); first: line 0x" << std::hex
+            << violations.front().line << std::dec << ' '
+            << violations.front().description << ')';
+        throw std::runtime_error(oss.str());
     }
-    assert(violations.empty() && "coherence invariants violated");
 
     const auto &cstats = machine.controller().stats();
     const auto &energy = machine.energy();

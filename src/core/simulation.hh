@@ -80,7 +80,8 @@ struct RunResult
  *
  * Statistics and energy are reset at the warmup barrier; everything in
  * the result covers the measured phase only. The machine is checked for
- * coherence-invariant violations after the run (assert in debug).
+ * coherence-invariant violations after the run; violations throw
+ * std::runtime_error in every build type.
  *
  * @param workload_name label recorded in the result
  */

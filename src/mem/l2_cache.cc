@@ -7,7 +7,11 @@ namespace flexsnoop
 
 L2Cache::L2Cache(const std::string &name, std::size_t entries,
                  std::size_t ways)
-    : _array(entries, ways), _stats(name)
+    : _array(entries, ways), _stats(name),
+      _fills(_stats.counter("fills")),
+      _refills(_stats.counter("refills")),
+      _evictions(_stats.counter("evictions")),
+      _invalidations(_stats.counter("invalidations"))
 {
 }
 
@@ -30,7 +34,7 @@ L2Cache::fill(Addr line, LineState st)
     if (auto *way = _array.lookup(line, true)) {
         const LineState from = way->data;
         way->data = st;
-        _stats.counter("refills").inc();
+        _refills.inc();
         notify(line, from, st);
         return ev;
     }
@@ -39,10 +43,10 @@ L2Cache::fill(Addr line, LineState st)
         ev.valid = true;
         ev.addr = result.evictedAddr;
         ev.state = result.evictedPayload;
-        _stats.counter("evictions").inc();
+        _evictions.inc();
         notify(ev.addr, ev.state, LineState::Invalid);
     }
-    _stats.counter("fills").inc();
+    _fills.inc();
     notify(line, LineState::Invalid, st);
     return ev;
 }
@@ -56,7 +60,7 @@ L2Cache::changeState(Addr line, LineState to)
     const LineState from = way->data;
     if (to == LineState::Invalid) {
         _array.erase(line);
-        _stats.counter("invalidations").inc();
+        _invalidations.inc();
     } else {
         way->data = to;
     }
@@ -72,7 +76,7 @@ L2Cache::invalidate(Addr line)
         return LineState::Invalid;
     const LineState from = way->data;
     _array.erase(line);
-    _stats.counter("invalidations").inc();
+    _invalidations.inc();
     notify(line, from, LineState::Invalid);
     return from;
 }

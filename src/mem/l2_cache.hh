@@ -107,6 +107,11 @@ class L2Cache
     SetAssocArray<LineState> _array;
     TransitionHook _hook;
     StatGroup _stats;
+    // Cached handles: fills/invalidations run once per miss/snoop hit.
+    Counter &_fills;
+    Counter &_refills;
+    Counter &_evictions;
+    Counter &_invalidations;
 };
 
 } // namespace flexsnoop

@@ -8,7 +8,13 @@ namespace flexsnoop
 MemoryController::MemoryController(std::size_t num_nodes,
                                    const MemoryParams &params)
     : _numNodes(num_nodes), _params(params), _buffers(num_nodes),
-      _stats("memory")
+      _stats("memory"), _reads(_stats.counter("reads")),
+      _readsLocal(_stats.counter("reads_local")),
+      _readsRemote(_stats.counter("reads_remote")),
+      _readsPrefetched(_stats.counter("reads_prefetched")),
+      _prefetches(_stats.counter("prefetches")),
+      _prefetchDisplaced(_stats.counter("prefetch_displaced")),
+      _writebacks(_stats.counter("writebacks"))
 {
     assert(num_nodes > 0);
 }
@@ -25,22 +31,22 @@ MemoryController::notifySnoopAtHome(Addr line, Cycle now)
     while (buf.fifo.size() >= _params.prefetchBufferEntries) {
         buf.ready.erase(buf.fifo.front().line);
         buf.fifo.pop_front();
-        _stats.counter("prefetch_displaced").inc();
+        _prefetchDisplaced.inc();
     }
     const Cycle ready = now + _params.dramAccess;
     buf.fifo.push_back(PrefetchEntry{line, ready});
     buf.ready.emplace(line, ready);
-    _stats.counter("prefetches").inc();
+    _prefetches.inc();
 }
 
 Cycle
 MemoryController::readLatency(Addr line, NodeId requester, Cycle now)
 {
     line = lineAddr(line);
-    _stats.counter("reads").inc();
+    _reads.inc();
     const NodeId home = homeNode(line);
     if (home == requester) {
-        _stats.counter("reads_local").inc();
+        _readsLocal.inc();
         return _params.localRoundTrip;
     }
     PrefetchBuffer &buf = _buffers[home];
@@ -59,14 +65,14 @@ MemoryController::readLatency(Addr line, NodeId requester, Cycle now)
         if (ready <= now + _params.remotePrefetchRoundTrip) {
             // Data is (or will be) in the buffer by the time the request
             // message reaches the home node: reduced round trip.
-            _stats.counter("reads_prefetched").inc();
+            _readsPrefetched.inc();
             Cycle latency = _params.remotePrefetchRoundTrip;
             if (ready > now)
                 latency += (ready - now) / 2; // partial overlap
             return latency;
         }
     }
-    _stats.counter("reads_remote").inc();
+    _readsRemote.inc();
     return _params.remoteRoundTrip;
 }
 
@@ -74,7 +80,7 @@ void
 MemoryController::writeback(Addr line)
 {
     (void)line;
-    _stats.counter("writebacks").inc();
+    _writebacks.inc();
 }
 
 } // namespace flexsnoop

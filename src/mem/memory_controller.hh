@@ -64,11 +64,8 @@ class MemoryController
     /** Account a writeback of a dirty line (posted; no latency). */
     void writeback(Addr line);
 
-    std::uint64_t reads() const { return _stats.counterValue("reads"); }
-    std::uint64_t writebacks() const
-    {
-        return _stats.counterValue("writebacks");
-    }
+    std::uint64_t reads() const { return _reads.value(); }
+    std::uint64_t writebacks() const { return _writebacks.value(); }
 
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
@@ -91,6 +88,14 @@ class MemoryController
     MemoryParams _params;
     std::vector<PrefetchBuffer> _buffers;
     StatGroup _stats;
+    // Cached handles for the per-access hot path.
+    Counter &_reads;
+    Counter &_readsLocal;
+    Counter &_readsRemote;
+    Counter &_readsPrefetched;
+    Counter &_prefetches;
+    Counter &_prefetchDisplaced;
+    Counter &_writebacks;
 };
 
 } // namespace flexsnoop

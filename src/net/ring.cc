@@ -11,7 +11,9 @@ namespace flexsnoop
 Ring::Ring(EventQueue &queue, std::size_t num_nodes,
            const RingParams &params, const std::string &name)
     : _queue(queue), _numNodes(num_nodes), _params(params),
-      _handlers(num_nodes), _linkFree(num_nodes, 0), _stats(name)
+      _handlers(num_nodes), _linkFree(num_nodes, 0), _stats(name),
+      _linkTraversals(_stats.counter("link_traversals")),
+      _linkQueueing(_stats.scalar("link_queueing"))
 {
     assert(num_nodes >= 2);
 }
@@ -33,10 +35,9 @@ Ring::send(NodeId from, const SnoopMessage &msg)
     _linkFree[from] = start + _params.serialization;
     const Cycle arrive = start + _params.linkLatency;
 
-    _stats.counter("link_traversals").inc();
+    _linkTraversals.inc();
     if (start > now)
-        _stats.scalar("link_queueing").sample(
-            static_cast<double>(start - now));
+        _linkQueueing.sample(static_cast<double>(start - now));
 
     FS_LOG(Trace, now, _stats.name(),
            toString(msg.type) << " txn " << msg.txn << " line 0x"

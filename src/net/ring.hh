@@ -79,7 +79,7 @@ class Ring
     /** Total messages that traversed any link of this ring. */
     std::uint64_t linkTraversals() const
     {
-        return _stats.counterValue("link_traversals");
+        return _linkTraversals.value();
     }
 
     StatGroup &stats() { return _stats; }
@@ -92,6 +92,8 @@ class Ring
     std::vector<Handler> _handlers;
     std::vector<Cycle> _linkFree; ///< next cycle each outgoing link is idle
     StatGroup _stats;
+    Counter &_linkTraversals;   ///< cached handle (send() hot path)
+    ScalarStat &_linkQueueing;  ///< cached handle (send() hot path)
 };
 
 /**

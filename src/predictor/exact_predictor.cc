@@ -16,14 +16,14 @@ ExactPredictor::ExactPredictor(const std::string &name, std::size_t entries,
 bool
 ExactPredictor::predict(Addr line)
 {
-    _stats.counter("lookups").inc();
+    _lookups.inc();
     return _array.lookup(lineAddr(line), false) != nullptr;
 }
 
 void
 ExactPredictor::supplierGained(Addr line)
 {
-    _stats.counter("trains").inc();
+    _trains.inc();
     const auto result = _array.insert(lineAddr(line));
     if (result.evicted) {
         // The displaced line is still a supplier in the CMP; downgrade it
@@ -38,7 +38,7 @@ void
 ExactPredictor::supplierLost(Addr line)
 {
     if (_array.erase(lineAddr(line)))
-        _stats.counter("removals").inc();
+        _removals.inc();
 }
 
 } // namespace flexsnoop

@@ -30,7 +30,7 @@ class PerfectPredictor : public SupplierPredictor
     bool
     predict(Addr line) override
     {
-        _stats.counter("lookups").inc();
+        _lookups.inc();
         return _truth(lineAddr(line));
     }
 

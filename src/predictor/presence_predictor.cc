@@ -13,10 +13,10 @@ PresencePredictor::PresencePredictor(const std::string &name,
 bool
 PresencePredictor::mayBePresent(Addr line)
 {
-    _stats.counter("lookups").inc();
+    _lookupsStat.inc();
     const bool maybe = _filter.mayContain(lineAddr(line));
     if (!maybe)
-        _stats.counter("filtered").inc();
+        _filteredStat.inc();
     return maybe;
 }
 

@@ -44,7 +44,7 @@ class PresencePredictor
     void
     linePresent(Addr line)
     {
-        _stats.counter("trains").inc();
+        _trains.inc();
         _filter.insert(lineAddr(line));
     }
 
@@ -52,7 +52,7 @@ class PresencePredictor
     void
     lineAbsent(Addr line)
     {
-        _stats.counter("removals").inc();
+        _removals.inc();
         _filter.remove(lineAddr(line));
     }
 
@@ -67,6 +67,11 @@ class PresencePredictor
     CountingBloomFilter _filter;
     Cycle _latency;
     StatGroup _stats;
+    // Cached handles: consulted on every write snoop at every gateway.
+    Counter &_lookupsStat = _stats.counter("lookups");
+    Counter &_filteredStat = _stats.counter("filtered");
+    Counter &_trains = _stats.counter("trains");
+    Counter &_removals = _stats.counter("removals");
 };
 
 } // namespace flexsnoop

@@ -14,14 +14,14 @@ SubsetPredictor::SubsetPredictor(const std::string &name,
 bool
 SubsetPredictor::predict(Addr line)
 {
-    _stats.counter("lookups").inc();
+    _lookups.inc();
     return _array.lookup(lineAddr(line), false) != nullptr;
 }
 
 void
 SubsetPredictor::supplierGained(Addr line)
 {
-    _stats.counter("trains").inc();
+    _trains.inc();
     const auto result = _array.insert(lineAddr(line));
     if (result.evicted)
         _stats.counter("conflict_drops").inc(); // future false negatives
@@ -32,7 +32,7 @@ SubsetPredictor::supplierLost(Addr line)
 {
     // Removing on loss is what guarantees "no false positives".
     if (_array.erase(lineAddr(line)))
-        _stats.counter("removals").inc();
+        _removals.inc();
 }
 
 } // namespace flexsnoop

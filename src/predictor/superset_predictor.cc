@@ -21,7 +21,7 @@ SupersetPredictor::SupersetPredictor(const std::string &name,
 bool
 SupersetPredictor::predict(Addr line)
 {
-    _stats.counter("lookups").inc();
+    _lookups.inc();
     line = lineAddr(line);
     if (!_filter.mayContain(line))
         return false;
@@ -35,7 +35,7 @@ SupersetPredictor::predict(Addr line)
 void
 SupersetPredictor::supplierGained(Addr line)
 {
-    _stats.counter("trains").inc();
+    _trains.inc();
     line = lineAddr(line);
     _filter.insert(line);
     // The line is a supplier now; it must not be excluded, or we would
@@ -47,7 +47,7 @@ SupersetPredictor::supplierGained(Addr line)
 void
 SupersetPredictor::supplierLost(Addr line)
 {
-    _stats.counter("removals").inc();
+    _removals.inc();
     _filter.remove(lineAddr(line));
 }
 

@@ -40,7 +40,11 @@ class SupplierPredictor
 {
   public:
     explicit SupplierPredictor(std::string name)
-        : _stats(std::move(name))
+        : _stats(std::move(name)),
+          _truePositives(_stats.counter("true_positives")),
+          _trueNegatives(_stats.counter("true_negatives")),
+          _falsePositives(_stats.counter("false_positives")),
+          _falseNegatives(_stats.counter("false_negatives"))
     {
     }
 
@@ -86,16 +90,16 @@ class SupplierPredictor
         PredictionClass cls;
         if (predicted && actual) {
             cls = PredictionClass::TruePositive;
-            _stats.counter("true_positives").inc();
+            _truePositives.inc();
         } else if (!predicted && !actual) {
             cls = PredictionClass::TrueNegative;
-            _stats.counter("true_negatives").inc();
+            _trueNegatives.inc();
         } else if (predicted) {
             cls = PredictionClass::FalsePositive;
-            _stats.counter("false_positives").inc();
+            _falsePositives.inc();
         } else {
             cls = PredictionClass::FalseNegative;
-            _stats.counter("false_negatives").inc();
+            _falseNegatives.inc();
         }
         return cls;
     }
@@ -103,10 +107,8 @@ class SupplierPredictor
     std::uint64_t
     predictions() const
     {
-        return _stats.counterValue("true_positives") +
-               _stats.counterValue("true_negatives") +
-               _stats.counterValue("false_positives") +
-               _stats.counterValue("false_negatives");
+        return _truePositives.value() + _trueNegatives.value() +
+               _falsePositives.value() + _falseNegatives.value();
     }
 
     StatGroup &stats() { return _stats; }
@@ -114,6 +116,17 @@ class SupplierPredictor
 
   protected:
     StatGroup _stats;
+    // Shared hot-path handles for the concrete predictors.
+    Counter &_lookups = _stats.counter("lookups");
+    Counter &_trains = _stats.counter("trains");
+    Counter &_removals = _stats.counter("removals");
+
+  private:
+    // Per-gateway-check handles; every ring snoop decision records one.
+    Counter &_truePositives;
+    Counter &_trueNegatives;
+    Counter &_falsePositives;
+    Counter &_falseNegatives;
 };
 
 } // namespace flexsnoop

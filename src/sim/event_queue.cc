@@ -7,10 +7,57 @@ namespace flexsnoop
 {
 
 void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!_heap[i].before(_heap[parent]))
+            break;
+        std::swap(_heap[i], _heap[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = _heap.size();
+    while (true) {
+        const std::size_t left = 2 * i + 1;
+        if (left >= n)
+            break;
+        std::size_t best = left;
+        const std::size_t right = left + 1;
+        if (right < n && _heap[right].before(_heap[left]))
+            best = right;
+        if (!_heap[best].before(_heap[i]))
+            break;
+        std::swap(_heap[i], _heap[best]);
+        i = best;
+    }
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    assert(!_heap.empty());
+    Entry top = std::move(_heap.front());
+    if (_heap.size() > 1) {
+        _heap.front() = std::move(_heap.back());
+        _heap.pop_back();
+        siftDown(0);
+    } else {
+        _heap.pop_back();
+    }
+    return top;
+}
+
+void
 EventQueue::scheduleAt(Cycle when, EventFn fn)
 {
     assert(when >= _now && "cannot schedule into the past");
-    _heap.push(Entry{when, _nextSeq++, std::move(fn)});
+    _heap.push_back(Entry{when, _nextSeq++, std::move(fn)});
+    siftUp(_heap.size() - 1);
 }
 
 bool
@@ -18,10 +65,7 @@ EventQueue::step()
 {
     if (_heap.empty())
         return false;
-    // priority_queue::top returns const&; the function object must be
-    // moved out before pop, so copy the POD fields and steal the callable.
-    Entry entry = std::move(const_cast<Entry &>(_heap.top()));
-    _heap.pop();
+    Entry entry = popTop();
     assert(entry.when >= _now);
     _now = entry.when;
     ++_executed;
@@ -33,7 +77,7 @@ std::uint64_t
 EventQueue::run(Cycle limit)
 {
     std::uint64_t fired = 0;
-    while (!_heap.empty() && _heap.top().when <= limit) {
+    while (!_heap.empty() && _heap.front().when <= limit) {
         step();
         ++fired;
     }
@@ -45,8 +89,9 @@ EventQueue::run(Cycle limit)
 void
 EventQueue::clear()
 {
-    while (!_heap.empty())
-        _heap.pop();
+    // clear() keeps the vector's capacity: an EventQueue reused between
+    // experiment repetitions schedules into already-hot storage.
+    _heap.clear();
 }
 
 } // namespace flexsnoop

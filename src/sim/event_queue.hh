@@ -5,14 +5,22 @@
  * A single EventQueue drives the whole machine. Events are arbitrary
  * callables scheduled at absolute cycles; ties are broken by insertion
  * order so simulation is fully deterministic.
+ *
+ * The kernel is allocation-light: callables up to EventFn::kInlineSize
+ * bytes (every lambda the simulator schedules today) are stored inline
+ * in the heap entry, and the underlying entry vector's capacity is
+ * reused across pops and clear()/run cycles, so steady-state operation
+ * performs no heap allocation per event.
  */
 
 #ifndef FLEXSNOOP_SIM_EVENT_QUEUE_HH
 #define FLEXSNOOP_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -20,14 +28,137 @@
 namespace flexsnoop
 {
 
-/** Callback executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Move-only callable wrapper with small-buffer optimization.
+ *
+ * Callables whose size fits kInlineSize (and that are nothrow
+ * move-constructible) live inside the wrapper; larger ones fall back to
+ * a heap allocation. Unlike std::function there is no copy support and
+ * no RTTI, which keeps the inline fast path a single indirect call.
+ */
+class EventFn
+{
+  public:
+    /** Inline storage: sized so a ring-hop lambda (this + NodeId +
+     *  SnoopMessage) and the retry lambdas stay allocation-free. */
+    static constexpr std::size_t kInlineSize = 64;
+
+    EventFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventFn(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(_storage)) Fn(std::forward<F>(fn));
+            _ops = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(_storage))
+                Fn *(new Fn(std::forward<F>(fn)));
+            _ops = &heapOps<Fn>;
+        }
+    }
+
+    EventFn(EventFn &&other) noexcept { moveFrom(std::move(other)); }
+
+    EventFn &
+    operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { destroy(); }
+
+    explicit operator bool() const noexcept { return _ops != nullptr; }
+
+    void
+    operator()()
+    {
+        _ops->invoke(_storage);
+    }
+
+    /** True if a callable of type @p Fn avoids the heap fallback. */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineSize &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*moveTo)(void *src, void *dst); ///< move-construct + destroy src
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *src, void *dst) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) {
+            (**std::launder(reinterpret_cast<Fn **>(p)))();
+        },
+        [](void *src, void *dst) {
+            Fn **s = std::launder(reinterpret_cast<Fn **>(src));
+            ::new (dst) Fn *(*s); // steal the pointer
+        },
+        [](void *p) { delete *std::launder(reinterpret_cast<Fn **>(p)); },
+    };
+
+    void
+    moveFrom(EventFn &&other) noexcept
+    {
+        _ops = other._ops;
+        if (_ops)
+            _ops->moveTo(other._storage, _storage);
+        other._ops = nullptr;
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (_ops) {
+            _ops->destroy(_storage);
+            _ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char _storage[kInlineSize];
+    const Ops *_ops = nullptr;
+};
 
 /**
  * Deterministic priority queue of timed events.
  *
  * Events scheduled for the same cycle fire in the order they were
  * scheduled (FIFO), which keeps runs reproducible across platforms.
+ *
+ * Implemented as an explicit binary heap over a std::vector whose
+ * capacity persists across pops and clear(), so the steady-state
+ * schedule/fire cycle does not touch the allocator.
  */
 class EventQueue
 {
@@ -73,8 +204,14 @@ class EventQueue
     /** Fire a single event; @return false if the queue is empty. */
     bool step();
 
-    /** Drop all pending events (used between experiment repetitions). */
+    /**
+     * Drop all pending events (used between experiment repetitions).
+     * The entry storage is retained for reuse.
+     */
     void clear();
+
+    /** Reserve heap capacity for @p events pending events. */
+    void reserve(std::size_t events) { _heap.reserve(events); }
 
   private:
     struct Entry
@@ -82,20 +219,25 @@ class EventQueue
         Cycle when;
         std::uint64_t seq;
         EventFn fn;
-    };
 
-    struct Later
-    {
+        /** Strict priority: earlier cycle first, then insertion order. */
         bool
-        operator()(const Entry &a, const Entry &b) const
+        before(const Entry &other) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            if (when != other.when)
+                return when < other.when;
+            return seq < other.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    /** Move the last element up into its heap position. */
+    void siftUp(std::size_t i);
+    /** Re-establish the heap property downward from the root. */
+    void siftDown(std::size_t i);
+    /** Remove and return the minimum entry. */
+    Entry popTop();
+
+    std::vector<Entry> _heap; ///< binary min-heap by (when, seq)
     Cycle _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;

@@ -1,6 +1,7 @@
 #include "sim/log.hh"
 
 #include <iostream>
+#include <mutex>
 
 namespace flexsnoop
 {
@@ -10,6 +11,13 @@ std::ostream *Log::_sink = &std::cerr;
 
 namespace
 {
+
+/**
+ * Serializes sink access: the log sink is the only process-global
+ * mutable state touched by concurrent simulation jobs (each job owns
+ * its machine and event queue outright).
+ */
+std::mutex sinkMutex;
 
 const char *
 levelName(LogLevel l)
@@ -30,6 +38,7 @@ void
 Log::write(LogLevel l, Cycle cycle, const std::string &tag,
            const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex);
     if (!_sink)
         return;
     (*_sink) << '[' << cycle << "] " << levelName(l) << ' ' << tag << ": "

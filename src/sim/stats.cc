@@ -120,20 +120,45 @@ StatGroup::reset()
         h.reset();
 }
 
+namespace
+{
+
+/** Name-sorted view of an unordered stat map for deterministic dumps. */
+template <typename Map>
+std::vector<typename Map::const_iterator>
+sortedByName(const Map &map)
+{
+    std::vector<typename Map::const_iterator> items;
+    items.reserve(map.size());
+    for (auto it = map.begin(); it != map.end(); ++it)
+        items.push_back(it);
+    std::sort(items.begin(), items.end(),
+              [](const auto &a, const auto &b) {
+                  return a->first < b->first;
+              });
+    return items;
+}
+
+} // namespace
+
 void
 StatGroup::dump(std::ostream &os) const
 {
-    for (const auto &[name, c] : _counters)
-        os << _name << '.' << name << " = " << c.value() << '\n';
-    for (const auto &[name, s] : _scalars) {
-        os << _name << '.' << name << " = mean " << std::setprecision(6)
-           << s.mean() << " (n=" << s.count() << ", min=" << s.min()
-           << ", max=" << s.max() << ")\n";
+    for (const auto &it : sortedByName(_counters))
+        os << _name << '.' << it->first << " = " << it->second.value()
+           << '\n';
+    for (const auto &it : sortedByName(_scalars)) {
+        const ScalarStat &s = it->second;
+        os << _name << '.' << it->first << " = mean "
+           << std::setprecision(6) << s.mean() << " (n=" << s.count()
+           << ", min=" << s.min() << ", max=" << s.max() << ")\n";
     }
-    for (const auto &[name, h] : _histograms) {
-        os << _name << '.' << name << " = mean " << std::setprecision(6)
-           << h.mean() << " (n=" << h.count() << ", p50="
-           << h.percentile(0.5) << ", p99=" << h.percentile(0.99) << ")\n";
+    for (const auto &it : sortedByName(_histograms)) {
+        const Histogram &h = it->second;
+        os << _name << '.' << it->first << " = mean "
+           << std::setprecision(6) << h.mean() << " (n=" << h.count()
+           << ", p50=" << h.percentile(0.5) << ", p99="
+           << h.percentile(0.99) << ")\n";
     }
 }
 

@@ -11,9 +11,9 @@
 #define FLEXSNOOP_SIM_STATS_HH
 
 #include <cstdint>
-#include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace flexsnoop
@@ -87,7 +87,10 @@ class Histogram
  * Named collection of statistics belonging to one component.
  *
  * Stats are created on first use and live for the group's lifetime, so
- * call sites can keep references.
+ * call sites can keep references. Hot paths should resolve a stat once
+ * (typically at construction) and increment through the cached
+ * reference; the by-name accessors hash the name on every call and are
+ * meant for setup and reporting code.
  */
 class StatGroup
 {
@@ -119,10 +122,13 @@ class StatGroup
     void dump(std::ostream &os) const;
 
   private:
+    // Unordered maps: O(1) residual by-name lookups with stable
+    // references (rehashing moves buckets, not nodes). dump() sorts
+    // names so output stays deterministic.
     std::string _name;
-    std::map<std::string, Counter> _counters;
-    std::map<std::string, ScalarStat> _scalars;
-    std::map<std::string, Histogram> _histograms;
+    std::unordered_map<std::string, Counter> _counters;
+    std::unordered_map<std::string, ScalarStat> _scalars;
+    std::unordered_map<std::string, Histogram> _histograms;
 };
 
 } // namespace flexsnoop

@@ -12,7 +12,11 @@ TraceCore::TraceCore(CoreId id, Trace trace, std::size_t warmup_refs,
                      RequestPort &port)
     : _id(id), _trace(std::move(trace)), _warmupRefs(warmup_refs),
       _params(params), _queue(queue), _port(port),
-      _stats("core" + std::to_string(id))
+      _stats("core" + std::to_string(id)),
+      _readsIssued(_stats.counter("reads_issued")),
+      _writesIssued(_stats.counter("writes_issued")),
+      _completions(_stats.counter("completions")),
+      _windowStalls(_stats.counter("window_stalls"))
 {
     assert(params.maxOutstanding >= 1);
 }
@@ -60,7 +64,7 @@ TraceCore::tryIssue()
     }
 
     if (_outstanding >= _params.maxOutstanding) {
-        _stats.counter("window_stalls").inc();
+        _windowStalls.inc();
         return; // a completion will re-enter
     }
 
@@ -77,7 +81,7 @@ TraceCore::tryIssue()
             return;
         // Re-check the window: completions may not have caught up.
         if (_outstanding >= _params.maxOutstanding) {
-            _stats.counter("window_stalls").inc();
+            _windowStalls.inc();
             return;
         }
         const MemRef r = _trace[_idx];
@@ -93,7 +97,7 @@ TraceCore::issueRef(const MemRef &ref)
 {
     ++_outstanding;
     ++_inFlight[lineAddr(ref.addr)];
-    _stats.counter(ref.isWrite ? "writes_issued" : "reads_issued").inc();
+    (ref.isWrite ? _writesIssued : _readsIssued).inc();
     FS_LOG(Trace, _queue.now(), "core",
            "issue core " << _id << " line 0x" << std::hex
                          << lineAddr(ref.addr) << std::dec
@@ -120,7 +124,7 @@ TraceCore::onCompletion(Addr line)
         _inFlight.erase(it);
     assert(_outstanding > 0);
     --_outstanding;
-    _stats.counter("completions").inc();
+    _completions.inc();
     tryIssue();
 }
 

@@ -95,6 +95,11 @@ class TraceCore
     BarrierFn _onBarrier;
     DoneFn _onDone;
     StatGroup _stats;
+    // Cached handles for the per-reference issue/complete hot path.
+    Counter &_readsIssued;
+    Counter &_writesIssued;
+    Counter &_completions;
+    Counter &_windowStalls;
 };
 
 /**

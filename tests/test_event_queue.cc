@@ -3,6 +3,9 @@
  * Unit tests for the discrete-event kernel.
  */
 
+#include <array>
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "sim/event_queue.hh"
@@ -145,6 +148,95 @@ TEST(EventQueue, NestedZeroDelayPreservesFifoWithinCycle)
     q.schedule(5, [&]() { order.push_back(2); });
     q.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleFifoSurvivesHeavyInterleaving)
+{
+    // Stress the explicit heap's tie-breaking: many events on a few
+    // cycles, scheduled in a scattered order, must still fire grouped
+    // by cycle and FIFO within each cycle.
+    EventQueue q;
+    std::vector<std::pair<Cycle, int>> order;
+    int seq_per_cycle[7] = {};
+    for (int i = 0; i < 700; ++i) {
+        const Cycle when = static_cast<Cycle>((i * 13) % 7);
+        const int seq = seq_per_cycle[when]++;
+        q.schedule(when, [&order, when, seq]() {
+            order.emplace_back(when, seq);
+        });
+    }
+    q.run();
+    ASSERT_EQ(order.size(), 700u);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        ASSERT_GE(order[i].first, order[i - 1].first);
+        if (order[i].first == order[i - 1].first)
+            ASSERT_EQ(order[i].second, order[i - 1].second + 1);
+    }
+}
+
+TEST(EventQueue, ClearThenReuseSchedulesFreshEvents)
+{
+    EventQueue q;
+    int dropped = 0, fired = 0;
+    q.schedule(10, [&]() { ++dropped; });
+    q.schedule(20, [&]() { ++dropped; });
+    q.clear();
+    EXPECT_EQ(q.pending(), 0u);
+
+    // The queue must be fully usable after clear(): new events fire in
+    // order and FIFO ties still hold.
+    std::vector<int> order;
+    q.schedule(7, [&]() { order.push_back(1); ++fired; });
+    q.schedule(7, [&]() { order.push_back(2); ++fired; });
+    q.schedule(3, [&]() { order.push_back(0); ++fired; });
+    q.run();
+    EXPECT_EQ(dropped, 0);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.now(), 7u);
+}
+
+TEST(EventQueue, LargeCaptureFallsBackToHeapAndRuns)
+{
+    // A capture bigger than EventFn's inline buffer must still execute
+    // correctly (heap fallback path).
+    EventQueue q;
+    std::array<std::uint64_t, 32> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i + 1;
+    static_assert(sizeof(payload) > EventFn::kInlineSize);
+
+    std::uint64_t sum = 0;
+    q.schedule(1, [payload, &sum]() {
+        for (auto v : payload)
+            sum += v;
+    });
+    q.run();
+    EXPECT_EQ(sum, 32u * 33u / 2u);
+}
+
+TEST(EventQueue, MoveOnlyCallablesAreSupported)
+{
+    // EventFn is move-only, so callables owning resources (unique_ptr)
+    // can be scheduled directly — std::function could not hold these.
+    EventQueue q;
+    auto owned = std::make_unique<int>(41);
+    int result = 0;
+    q.schedule(2, [p = std::move(owned), &result]() { result = *p + 1; });
+    q.run();
+    EXPECT_EQ(result, 42);
+}
+
+TEST(EventQueue, ReservePreservesBehavior)
+{
+    EventQueue q;
+    q.reserve(1024);
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        q.schedule(static_cast<Cycle>(100 - i), [&]() { ++fired; });
+    q.run();
+    EXPECT_EQ(fired, 100);
+    EXPECT_EQ(q.now(), 100u);
 }
 
 } // namespace

@@ -13,6 +13,8 @@
  *     --predictor NAME        force a predictor (sub512..exa8k, y2k, n2k)
  *     --refs N                measured refs per core (profile default)
  *     --warmup N              warmup refs per core (profile default)
+ *     --jobs N                parallel simulations (default: hardware
+ *                             concurrency; 1 = serial)
  *     --trace-out PATH        save the generated traces (binary)
  *     --trace-in PATH         replay traces from a file instead
  *     --csv PATH              write results as CSV
@@ -30,6 +32,7 @@
 #include <sstream>
 
 #include "core/config_parser.hh"
+#include "core/parallel_executor.hh"
 #include "core/report.hh"
 #include "workload/synthetic_generator.hh"
 #include "workload/trace_io.hh"
@@ -57,7 +60,7 @@ usage()
     std::cerr
         << "usage: flexsnoop_sim [options] [key=value ...]\n"
            "  --workloads w1,w2,... --algorithms a1,...|paper\n"
-           "  --predictor NAME --refs N --warmup N\n"
+           "  --predictor NAME --refs N --warmup N --jobs N\n"
            "  --trace-out PATH --trace-in PATH --csv PATH --json PATH\n"
            "machine override keys:";
     for (const auto &key : configKeys())
@@ -74,6 +77,7 @@ main(int argc, char **argv)
     std::vector<Algorithm> algorithms = paperAlgorithms();
     std::string predictor, trace_out, trace_in, csv_path, json_path;
     std::size_t refs = 0, warmup = SIZE_MAX;
+    std::size_t jobs = ParallelExecutor::defaultWorkers();
     std::vector<std::string> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -103,6 +107,8 @@ main(int argc, char **argv)
                 refs = std::stoul(next());
             } else if (arg == "--warmup") {
                 warmup = std::stoul(next());
+            } else if (arg == "--jobs") {
+                jobs = std::stoul(next());
             } else if (arg == "--trace-out") {
                 trace_out = next();
             } else if (arg == "--trace-in") {
@@ -127,6 +133,18 @@ main(int argc, char **argv)
         }
     }
 
+    // Plan first, run second: configs are prepared serially (overrides
+    // mutate them), then every (workload, algorithm) combination runs
+    // as an independent job on the worker pool. Results keep plan
+    // order, so the output is identical to the serial loop.
+    struct PlannedRun
+    {
+        MachineConfig cfg;
+        std::size_t traces;
+        std::string workload;
+    };
+    std::vector<CoreTraces> all_traces;
+    std::vector<PlannedRun> plan;
     std::vector<RunResult> results;
     try {
         for (const auto &workload : workloads) {
@@ -144,6 +162,7 @@ main(int argc, char **argv)
             }
             if (!trace_out.empty())
                 saveTraces(trace_out, traces);
+            all_traces.push_back(std::move(traces));
 
             for (Algorithm algorithm : algorithms) {
                 MachineConfig cfg = MachineConfig::paperDefault(
@@ -155,12 +174,22 @@ main(int argc, char **argv)
                     cfg.predictor.kind != PredictorKind::Perfect) {
                     applyOverride(cfg, "predictor=" + predictor);
                 }
-                std::cerr << "running " << workload << " / "
-                          << toString(algorithm) << "...\n";
-                results.push_back(
-                    runSimulation(cfg, traces, profile.name));
+                std::cerr << "planned " << workload << " / "
+                          << toString(algorithm) << '\n';
+                plan.push_back(PlannedRun{std::move(cfg),
+                                          all_traces.size() - 1,
+                                          profile.name});
             }
         }
+
+        std::cerr << "running " << plan.size() << " simulation(s) on "
+                  << jobs << " worker(s)...\n";
+        ParallelExecutor pool(jobs);
+        results = pool.map(plan.size(), [&](std::size_t i) {
+            const PlannedRun &run = plan[i];
+            return runSimulation(run.cfg, all_traces[run.traces],
+                                 run.workload);
+        });
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;
