@@ -7,9 +7,14 @@
  */
 
 #include <array>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
+#include "core/machine.hh"
 #include "net/ring.hh"
 #include "predictor/exact_predictor.hh"
 #include "predictor/subset_predictor.hh"
@@ -17,6 +22,7 @@
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
+#include "workload/core_model.hh"
 
 namespace flexsnoop
 {
@@ -191,7 +197,99 @@ BM_RingFullCircle(benchmark::State &state)
 }
 BENCHMARK(BM_RingFullCircle);
 
+/**
+ * Ring-event coalescing microbench: one quiet requester streaming reads
+ * to fresh lines on an eager 16-node ring — the express path's best
+ * case, and the shape that dominates the low-contention regions of the
+ * figure benches. Measures simulator events executed per transaction
+ * and wall time with the express path off vs on; the counters the
+ * figure benches read are bit-identical either way (enforced by
+ * test_express_equivalence), so this is pure simulator speedup.
+ */
+struct RingEventRun
+{
+    double eventsPerTxn = 0.0;
+    double nsPerRef = 0.0;
+};
+
+RingEventRun
+runRingEventWorkload(bool express, std::size_t refs)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Eager, 1);
+    cfg.setNumCmps(16);
+    cfg.coherence.ringExpress = express;
+
+    CoreTraces traces;
+    traces.traces.resize(cfg.numCores());
+    traces.warmupRefs = 0;
+    for (std::size_t i = 0; i < refs; ++i) {
+        MemRef ref;
+        ref.addr = static_cast<Addr>((i + 1) * kLineSizeBytes);
+        ref.gap = 4000; // longer than a full 16-node ring round trip
+        traces.traces[0].push_back(ref);
+    }
+
+    Machine machine(cfg);
+    WorkloadRunner runner(machine.queue(), machine.controller(), traces,
+                          cfg.core);
+    const auto start = std::chrono::steady_clock::now();
+    runner.run();
+    const auto stop = std::chrono::steady_clock::now();
+
+    RingEventRun out;
+    out.eventsPerTxn =
+        static_cast<double>(machine.queue().executed()) /
+        static_cast<double>(refs);
+    out.nsPerRef = std::chrono::duration<double, std::nano>(stop - start)
+                       .count() /
+                   static_cast<double>(refs);
+    return out;
+}
+
+void
+reportRingEventCoalescing()
+{
+    const std::size_t refs =
+        static_cast<std::size_t>(4000 * bench::benchScale());
+    // Warm both paths once so page faults and pool growth do not land
+    // in the timed runs.
+    runRingEventWorkload(false, refs / 4);
+    runRingEventWorkload(true, refs / 4);
+    const RingEventRun perhop = runRingEventWorkload(false, refs);
+    const RingEventRun expr = runRingEventWorkload(true, refs);
+
+    const double event_ratio = perhop.eventsPerTxn / expr.eventsPerTxn;
+    const double wall_speedup = perhop.nsPerRef / expr.nsPerRef;
+    std::cout << "\nRing event coalescing (eager, 16 nodes, "
+              << refs << " reads):\n"
+              << "  events/txn  per-hop " << perhop.eventsPerTxn
+              << "  express " << expr.eventsPerTxn << "  (" << event_ratio
+              << "x fewer)\n"
+              << "  ns/ref      per-hop " << perhop.nsPerRef
+              << "  express " << expr.nsPerRef << "  (" << wall_speedup
+              << "x faster)\n";
+
+    bench::writeBenchRecord(
+        "micro_structures",
+        {{"events_per_txn_perhop", perhop.eventsPerTxn},
+         {"events_per_txn_express", expr.eventsPerTxn},
+         {"event_reduction_ratio", event_ratio},
+         {"ns_per_ref_perhop", perhop.nsPerRef},
+         {"ns_per_ref_express", expr.nsPerRef},
+         {"wall_speedup_express", wall_speedup}});
+}
+
 } // namespace
 } // namespace flexsnoop
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    flexsnoop::reportRingEventCoalescing();
+    return 0;
+}

@@ -30,6 +30,15 @@ struct CoherenceParams
 
     /** Extra bus hop for same-CMP waiters merged onto one transaction. */
     Cycle waiterBusDelay = 55;
+
+    /**
+     * Enable the ring express path: coalesce a full run of pure-Forward
+     * hops into a single arrival event (net/ring, coherence/express).
+     * Purely a simulator optimization — every architectural statistic
+     * is bit-identical either way (enforced by the equivalence test).
+     * Also disabled at runtime by FLEXSNOOP_STRICT_RING=1.
+     */
+    bool ringExpress = true;
 };
 
 } // namespace flexsnoop

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
+#include "coherence/express.hh"
 #include "sim/log.hh"
 
 namespace flexsnoop
@@ -59,32 +61,71 @@ CoherenceController::CoherenceController(
             onRingMessage(n, msg);
         });
     }
+    if (_params.ringExpress && !std::getenv("FLEXSNOOP_STRICT_RING"))
+        _express = std::make_unique<ExpressPath>(*this);
+}
+
+CoherenceController::~CoherenceController() = default;
+
+StatGroup *
+CoherenceController::expressStats()
+{
+    return _express ? &_express->stats() : nullptr;
+}
+
+const StatGroup *
+CoherenceController::expressStats() const
+{
+    return _express ? &_express->stats() : nullptr;
+}
+
+CoherenceController::PoolUsage
+CoherenceController::txnPoolUsage() const
+{
+    return {_txnPool.acquires(), _txnPool.releases(), _txnPool.live(),
+            _txnPool.slotsAllocated(), _txnPool.chunkAllocs()};
+}
+
+CoherenceController::PoolUsage
+CoherenceController::pendingPoolUsage() const
+{
+    return {_pendingPool.acquires(), _pendingPool.releases(),
+            _pendingPool.live(), _pendingPool.slotsAllocated(),
+            _pendingPool.chunkAllocs()};
 }
 
 Transaction *
 CoherenceController::findTransaction(TransactionId id)
 {
-    auto it = _transactions.find(id);
-    return it == _transactions.end() ? nullptr : &it->second;
+    Transaction **slot = _transactions.find(id);
+    return slot ? *slot : nullptr;
 }
 
 NodePending &
 CoherenceController::pending(NodeId node, TransactionId txn)
 {
-    return _pending[node][txn];
+    NodePending *&slot = _pending[node].getOrCreate(txn);
+    if (!slot) {
+        slot = _pendingPool.acquire();
+        slot->reset();
+    }
+    return *slot;
 }
 
 NodePending *
 CoherenceController::findPending(NodeId node, TransactionId txn)
 {
-    auto &map = _pending[node];
-    auto it = map.find(txn);
-    return it == map.end() ? nullptr : &it->second;
+    NodePending **slot = _pending[node].find(txn);
+    return slot ? *slot : nullptr;
 }
 
 void
 CoherenceController::erasePending(NodeId node, TransactionId txn)
 {
+    NodePending **slot = _pending[node].find(txn);
+    if (!slot)
+        return;
+    _pendingPool.release(*slot);
     _pending[node].erase(txn);
 }
 
@@ -217,8 +258,8 @@ CoherenceController::coreRead(CoreId core, Addr addr,
 
     // 3. Merge with an outstanding same-line read of this CMP.
     auto &out = _outstandingByLine[n];
-    if (auto it = out.find(line); it != out.end()) {
-        Transaction *t = findTransaction(it->second);
+    if (const TransactionId *oid = out.find(line)) {
+        Transaction *t = findTransaction(*oid);
         if (t && t->kind == SnoopKind::Read && !t->squashed &&
             !t->dataArrived) {
             // Merging onto a transaction whose data already arrived
@@ -267,7 +308,7 @@ CoherenceController::coreWrite(CoreId core, Addr addr,
 
     // 2. A local transaction on this line is already in flight.
     auto &out = _outstandingByLine[n];
-    if (out.count(line)) {
+    if (out.contains(line)) {
         _c.writeLocalConflictDelays.inc();
         _queue.schedule(_params.retryBackoff, [this, core, addr,
                                                retries]() {
@@ -292,23 +333,24 @@ CoherenceController::startRingTransaction(CoreId core, Addr line,
     const NodeId n = nodeOf(core);
     const std::size_t local = localOf(core);
 
-    Transaction txn;
-    txn.id = _nextTxnId++;
-    txn.line = line;
-    txn.kind = kind;
-    txn.requester = n;
-    txn.core = core;
-    txn.issued = _queue.now();
-    txn.retries = retries;
+    Transaction *txn = _txnPool.acquire();
+    txn->reset();
+    txn->id = _nextTxnId++;
+    txn->line = line;
+    txn->kind = kind;
+    txn->requester = n;
+    txn->core = core;
+    txn->issued = _queue.now();
+    txn->retries = retries;
     if (kind == SnoopKind::Write) {
-        txn.writeNeedsData =
+        txn->writeNeedsData =
             !isValidState(_nodes[n]->coreState(local, line));
-        txn.dataArrived = !txn.writeNeedsData;
+        txn->dataArrived = !txn->writeNeedsData;
     }
 
-    const TransactionId id = txn.id;
-    _transactions.emplace(id, std::move(txn));
-    _outstandingByLine[n][line] = id;
+    const TransactionId id = txn->id;
+    _transactions.put(id, txn);
+    _outstandingByLine[n].put(line, id);
 
     _queue.schedule(extra_delay, [this, id]() {
         if (Transaction *t = findTransaction(id))
@@ -352,6 +394,10 @@ CoherenceController::forwardMessage(NodeId node, const SnoopMessage &msg)
         _c.readLinkMessages.inc();
     else
         _c.writeLinkMessages.inc();
+    // The express path may coalesce the whole remaining run into one
+    // retirement event; the counters above cover its first link.
+    if (_express && _express->trySend(node, msg))
+        return;
     _ring.send(node, msg);
 }
 
@@ -490,10 +536,10 @@ bool
 CoherenceController::detectCollision(NodeId node, SnoopMessage &msg)
 {
     auto &out = _outstandingByLine[node];
-    auto it = out.find(msg.line);
-    if (it == out.end())
+    const TransactionId *oid = out.find(msg.line);
+    if (!oid)
         return false;
-    Transaction *t = findTransaction(it->second);
+    Transaction *t = findTransaction(*oid);
     if (!t || t->squashed)
         return false;
     if (msg.kind == SnoopKind::Read && t->kind == SnoopKind::Read)
@@ -905,15 +951,16 @@ CoherenceController::completeWrite(Transaction &txn)
 void
 CoherenceController::finishAndErase(TransactionId id)
 {
-    auto it = _transactions.find(id);
-    if (it == _transactions.end())
+    Transaction **slot = _transactions.find(id);
+    if (!slot)
         return;
-    Transaction &txn = it->second;
-    auto &out = _outstandingByLine[txn.requester];
-    auto oit = out.find(txn.line);
-    if (oit != out.end() && oit->second == id)
-        out.erase(oit);
-    _transactions.erase(it);
+    Transaction *txn = *slot;
+    auto &out = _outstandingByLine[txn->requester];
+    const TransactionId *oid = out.find(txn->line);
+    if (oid && *oid == id)
+        out.erase(txn->line);
+    _transactions.erase(id);
+    _txnPool.release(txn);
 }
 
 void
@@ -960,26 +1007,27 @@ CoherenceController::scheduleRetry(CoreId core, Addr line, SnoopKind kind,
 void
 CoherenceController::dumpOutstanding(std::ostream &os) const
 {
-    for (const auto &[id, txn] : _transactions) {
-        os << "txn " << id << " line 0x" << std::hex << txn.line
+    _transactions.forEach([&os](TransactionId id, Transaction *txn) {
+        os << "txn " << id << " line 0x" << std::hex << txn->line
            << std::dec << " kind "
-           << (txn.kind == SnoopKind::Read ? "R" : "W") << " node "
-           << txn.requester << " core " << txn.core << " dataArrived "
-           << txn.dataArrived << " ringDone " << txn.ringDone
-           << " squashed " << txn.squashed << " memPending "
-           << txn.memoryPending << " needsData " << txn.writeNeedsData
-           << " supplied " << txn.writeDataSupplied << " waiters "
-           << txn.waiters.size() << '\n';
-    }
+           << (txn->kind == SnoopKind::Read ? "R" : "W") << " node "
+           << txn->requester << " core " << txn->core << " dataArrived "
+           << txn->dataArrived << " ringDone " << txn->ringDone
+           << " squashed " << txn->squashed << " memPending "
+           << txn->memoryPending << " needsData " << txn->writeNeedsData
+           << " supplied " << txn->writeDataSupplied << " waiters "
+           << txn->waiters.size() << '\n';
+    });
     for (NodeId n = 0; n < _pending.size(); ++n) {
-        for (const auto &[id, p] : _pending[n]) {
+        _pending[n].forEach([&os, n](TransactionId id,
+                                     const NodePending *p) {
             os << "pending node " << n << " txn " << id << " prim "
-               << toString(p.prim) << " combined " << p.receivedCombined
-               << " snoopPending " << p.snoopPending << " done "
-               << p.snoopDone << " found " << p.snoopFound << " sentOwn "
-               << p.sentOwn << " buffered " << p.replyBuffered
-               << " waiting " << p.waitingForReply << '\n';
-        }
+               << toString(p->prim) << " combined " << p->receivedCombined
+               << " snoopPending " << p->snoopPending << " done "
+               << p->snoopDone << " found " << p->snoopFound << " sentOwn "
+               << p->sentOwn << " buffered " << p->replyBuffered
+               << " waiting " << p->waitingForReply << '\n';
+        });
     }
     for (NodeId n = 0; n < _gates.size(); ++n) {
         for (const auto &[line, gate] : _gates[n]) {

@@ -31,11 +31,15 @@
 #include "net/data_network.hh"
 #include "net/ring.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 #include "snoop/snoop_policy.hh"
 
 namespace flexsnoop
 {
+
+class ExpressPath;
 
 class CoherenceController : public RequestPort
 {
@@ -50,6 +54,7 @@ class CoherenceController : public RequestPort
                         EnergyModel &energy, SnoopPolicy &policy,
                         std::vector<std::unique_ptr<CmpNode>> &nodes,
                         const CoherenceParams &params);
+    ~CoherenceController() override; // out-of-line: ExpressPath incomplete
 
     void
     setCompletionHandler(CompletionFn fn) override
@@ -87,6 +92,22 @@ class CoherenceController : public RequestPort
 
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
+
+    /** Express-path stats, or nullptr when the express path is off. */
+    StatGroup *expressStats();
+    const StatGroup *expressStats() const;
+
+    /** Allocation behaviour of one object pool (docs/METRICS.md). */
+    struct PoolUsage
+    {
+        std::uint64_t acquires = 0;
+        std::uint64_t releases = 0;
+        std::size_t live = 0;
+        std::size_t slotsAllocated = 0;
+        std::uint64_t chunkAllocs = 0;
+    };
+    PoolUsage txnPoolUsage() const;
+    PoolUsage pendingPoolUsage() const;
 
     // Aggregate metrics used by the benches ------------------------------
 
@@ -235,13 +256,26 @@ class CoherenceController : public RequestPort
     CompletionFn _onComplete;
 
     TransactionId _nextTxnId = 1;
-    std::unordered_map<TransactionId, Transaction> _transactions;
+
+    /**
+     * In-flight records live in slot pools (stable addresses, recycled
+     * rather than reallocated) and are indexed by open-addressing maps:
+     * once the pools and tables reach their high-water mark, the
+     * steady-state protocol path performs no heap allocation.
+     */
+    SlotPool<Transaction> _txnPool;
+    SlotPool<NodePending> _pendingPool;
+    FlatMap<Transaction *> _transactions;
     /** per node: line -> outstanding local txn (merging + collisions). */
-    std::vector<std::unordered_map<Addr, TransactionId>> _outstandingByLine;
+    std::vector<FlatMap<TransactionId>> _outstandingByLine;
     /** per node: txn -> pending gateway state. */
-    std::vector<std::unordered_map<TransactionId, NodePending>> _pending;
+    std::vector<FlatMap<NodePending *>> _pending;
     /** per node: line -> gateway FIFO gate. */
     std::vector<std::unordered_map<Addr, GateLine>> _gates;
+
+    /** Coalesced pass-through runs; null when disabled (strict mode). */
+    std::unique_ptr<ExpressPath> _express;
+    friend class ExpressPath; ///< probes/replays controller internals
 
     StatGroup _stats;
     HotStats _c; ///< pre-resolved handles into _stats (must follow it)

@@ -1,0 +1,441 @@
+#include "coherence/express.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "coherence/controller.hh"
+#include "predictor/presence_predictor.hh"
+#include "predictor/supplier_predictor.hh"
+
+/**
+ * Probe-mode refusal. In apply mode the same condition is an invariant:
+ * the quiescent window guarantees nothing changed since the probe, so a
+ * divergence is a bug in the walker, not a runtime condition.
+ */
+#define FS_EXPRESS_REQUIRE(cond)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            assert(!apply && "express replay diverged from its probe");    \
+            return false;                                                  \
+        }                                                                  \
+    } while (0)
+
+namespace flexsnoop
+{
+
+ExpressPath::ExpressPath(CoherenceController &ctrl) : _ctrl(ctrl)
+{
+    _ctrl._queue.setScheduleObserver(&ExpressPath::observe, this);
+}
+
+ExpressPath::~ExpressPath()
+{
+    _ctrl._queue.setScheduleObserver(nullptr, nullptr);
+}
+
+void
+ExpressPath::observe(void *self, Cycle when)
+{
+    auto *e = static_cast<ExpressPath *>(self);
+    if (e->_active && when <= e->_planRetire)
+        e->cancel();
+}
+
+bool
+ExpressPath::trySend(NodeId from, const SnoopMessage &msg)
+{
+    // Only one plan can be active (quiescence means the queue holds
+    // nothing inside its window). A second send in the creation cycle
+    // is exactly the interference cancel() exists for; the rescheduled
+    // per-hop arrival then fails the new plan's quiescence check.
+    if (_active)
+        cancel();
+
+    // Found/squashed messages mutate pending state as they travel, and
+    // a forwarded SnoopRequest has a live trailing reply upstream, so
+    // its remaining run is not self-contained. All travel per-hop.
+    if (msg.found || msg.squashed || msg.type == MsgType::SnoopRequest)
+        return false;
+
+    Ring &ring = _ctrl._ring.ringFor(msg.line);
+    const Cycle t0 = _ctrl._queue.now();
+    const NodeId req = msg.requester;
+    const std::uint32_t links =
+        from == req ? static_cast<std::uint32_t>(ring.numNodes())
+                    : ring.distance(from, req);
+
+    // Cheap quiescence pre-check: the earliest conceivable retirement
+    // is one link latency per remaining link. Any event due before
+    // that kills the plan anyway, so don't even walk — the common case
+    // in busy multi-core phases.
+    const Cycle earliest = t0 + links * ring.params().linkLatency;
+    if (_ctrl._queue.minPendingTime() <= earliest) {
+        _probeRejects.inc();
+        return false;
+    }
+
+    Cycle t_retire = 0;
+    SnoopMessage final_msg;
+    if (!walk(/*apply=*/false, from, msg, t0, &t_retire, &final_msg)) {
+        _probeRejects.inc();
+        return false;
+    }
+
+    // Exact quiescence check over the full window.
+    if (_ctrl._queue.minPendingTime() <= t_retire) {
+        _probeRejects.inc();
+        return false;
+    }
+
+    // The retirement entry takes the sequence number the per-hop
+    // first-link arrival would have taken (nothing was scheduled since
+    // forwardMessage() ran), which is what lets cancel() reproduce the
+    // per-hop event order exactly.
+    _planSeq =
+        _ctrl._queue.scheduleAtTagged(t_retire, [this]() { retire(); });
+    _planFrom = from;
+    _planT0 = t0;
+    _planRetire = t_retire;
+    _planMsg = msg;
+    _planRing = &ring;
+    _active = true;
+    _plans.inc();
+    _hopsVirtualized.inc(links);
+    return true;
+}
+
+void
+ExpressPath::cancel()
+{
+    assert(_active);
+    assert(_ctrl._queue.now() == _planT0 &&
+           "plan interference is only possible in its creation cycle");
+    _active = false;
+    _cancelled.inc();
+
+    // Perform the first link's Ring::send() bookkeeping by hand (the
+    // probe verified the link idle at t0, so no queueing is sampled)
+    // and retarget the retirement entry into the plain per-hop arrival
+    // at the successor. The entry keeps its sequence number — the one
+    // the per-hop arrival would have had — so same-cycle FIFO order is
+    // exactly the per-hop path's.
+    _planRing->recordVirtualTraversal(_planFrom, _planT0);
+    Ring *ring = _planRing;
+    const NodeId to = ring->successor(_planFrom);
+    const SnoopMessage m = _planMsg;
+    _ctrl._queue.reschedule(_planSeq,
+                            _planT0 + ring->params().linkLatency,
+                            [ring, to, m]() { ring->deliver(to, m); });
+}
+
+void
+ExpressPath::retire()
+{
+    assert(_active);
+    assert(_ctrl._queue.now() == _planRetire);
+    // Clear before replaying: the replay's mutators and the final
+    // delivery schedule follow-up events (memory fetch, completions)
+    // that no longer concern this plan.
+    _active = false;
+    _retired.inc();
+
+    Cycle t_retire = 0;
+    SnoopMessage final_msg;
+    const bool ok = walk(/*apply=*/true, _planFrom, _planMsg, _planT0,
+                         &t_retire, &final_msg);
+    assert(ok);
+    assert(t_retire == _planRetire);
+    (void)ok;
+
+    _planRing->deliver(final_msg.requester, final_msg);
+}
+
+bool
+ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
+                  Cycle t0, Cycle *t_retire, SnoopMessage *final_msg)
+{
+    CoherenceController &c = _ctrl;
+    Ring &ring = c._ring.ringFor(msg.line);
+    const Cycle link_lat = ring.params().linkLatency;
+    const Cycle ser = ring.params().serialization;
+    const Cycle snoop_lat = c._params.cmpSnoopTime;
+    const Addr line = msg.line;
+    const NodeId req = msg.requester;
+
+    // Shape of the in-flight traffic: a combined R/R may split at a
+    // ForwardThenSnoop node into request + trailing reply and re-fuse
+    // at a SnoopThenForward node; a reply-only run may merge into a
+    // waiting node's pending state and come out combined.
+    enum class Shape
+    {
+        Combined,
+        Split,
+        ReplyOnly
+    };
+    Shape shape = msg.type == MsgType::CombinedRR ? Shape::Combined
+                                                  : Shape::ReplyOnly;
+
+    // A squashed requester-side transaction takes a mutating path on
+    // arrival (retry/stale-squash); it cannot un-squash in-window.
+    if (Transaction *t = c.findTransaction(msg.txn))
+        FS_EXPRESS_REQUIRE(!t->squashed);
+
+    SnoopMessage front = msg; ///< leading message (Combined / Split)
+    SnoopMessage reply = msg; ///< trailing reply (Split / ReplyOnly)
+    Cycle front_send = t0;    ///< departure of `front` from `cur`
+    Cycle reply_send = t0;    ///< departure of `reply` from `cur`
+
+    NodeId cur = from;
+    bool first_send = true;
+
+    // One virtual link use out of `cur`. forwardMessage() already
+    // recorded the energy and link-message counter for the first send
+    // (it does so before handing the message to the express path);
+    // every later virtual send replays both, and each occupies the
+    // link exactly as the per-hop Ring::send() would.
+    const auto account = [&](Cycle send_time) {
+        if (apply) {
+            ring.recordVirtualTraversal(cur, send_time);
+            if (!first_send) {
+                c._energy.record(EnergyEvent::RingLinkMessage);
+                (msg.kind == SnoopKind::Read ? c._c.readLinkMessages
+                                             : c._c.writeLinkMessages)
+                    .inc();
+            }
+            _sendsVirtualized.inc();
+        }
+        first_send = false;
+    };
+
+    while (true) {
+        // ---- departures from `cur` ----
+        const Cycle link_free = ring.linkFreeAt(cur);
+        const bool sends_front = shape != Shape::ReplyOnly;
+        const bool sends_reply = shape != Shape::Combined;
+        if (sends_front) {
+            // Per-hop would queue on a busy link (and sample the
+            // queueing stat); the express path refuses instead.
+            FS_EXPRESS_REQUIRE(link_free <= front_send);
+            account(front_send);
+        }
+        if (sends_reply) {
+            const Cycle free_after =
+                sends_front ? front_send + ser : link_free;
+            FS_EXPRESS_REQUIRE(free_after <= reply_send);
+            account(reply_send);
+        }
+
+        const NodeId n = ring.successor(cur);
+        const Cycle front_arr = front_send + link_lat;
+        const Cycle reply_arr = reply_send + link_lat;
+
+        if (n == req) {
+            // A split front (SnoopRequest) is a pure no-op at its own
+            // requester (handleAtRequester returns); the reply
+            // concludes the round.
+            *t_retire = shape == Shape::Combined ? front_arr : reply_arr;
+            *final_msg = shape == Shape::Combined ? front : reply;
+            return true;
+        }
+
+        // ---- arrivals at intermediate node `n` ----
+        const CoherenceController::GateLine *gate = nullptr;
+        if (auto git = c._gates[n].find(line); git != c._gates[n].end())
+            gate = &git->second;
+        NodePending *p = c.findPending(n, msg.txn);
+
+        if (shape == Shape::ReplyOnly) {
+            if (gate) {
+                if (gate->active == msg.txn) {
+                    // Our own SnoopThenForward hold (the merge node
+                    // below): releasing it at replay time must not
+                    // drain foreign traffic at the wrong cycle.
+                    FS_EXPRESS_REQUIRE(gate->deferred.empty());
+                } else {
+                    FS_EXPRESS_REQUIRE(gate->active ==
+                                           kInvalidTransaction &&
+                                       gate->deferred.empty());
+                }
+            }
+            if (!p) {
+                // handleTrailingReply with no pending state: forwarded
+                // on arrival, zero latency.
+                reply_send = reply_arr;
+            } else {
+                // Only the clean merge is virtualizable: a node whose
+                // negative snoop finished and is waiting for exactly
+                // this reply. (sentOwn would *discard* the reply; a
+                // still-running snoop cannot be replayed.)
+                FS_EXPRESS_REQUIRE(p->waitingForReply && !p->sentOwn &&
+                                   !p->snoopPending &&
+                                   !p->replyBuffered && !p->abandoned);
+                const Primitive held = p->prim;
+                if (apply) {
+                    c.erasePending(n, msg.txn);
+                    c.releaseGate(n, line, msg.txn);
+                }
+                reply.acksCollected += 1;
+                reply.type = held == Primitive::SnoopThenForward
+                                 ? MsgType::CombinedRR
+                                 : MsgType::SnoopReply;
+                reply_send = reply_arr;
+                if (held == Primitive::SnoopThenForward) {
+                    front = reply;
+                    front_send = reply_send;
+                    shape = Shape::Combined;
+                }
+            }
+            cur = n;
+            continue;
+        }
+
+        // Combined or Split: the front is an active request.
+
+        // Home-node prefetch fires at the front's arrival; replayed
+        // with its historical timestamp (the memory controller takes
+        // the time as an explicit parameter).
+        if (msg.kind == SnoopKind::Read &&
+            c._memory.homeNode(line) == n) {
+            if (apply)
+                c._memory.notifySnoopAtHome(line, front_arr);
+        }
+
+        // The gate must be absent or idle-and-empty: anything else
+        // defers or drains with timing the walker cannot reproduce.
+        if (gate)
+            FS_EXPRESS_REQUIRE(gate->active == kInvalidTransaction &&
+                               gate->deferred.empty());
+
+        // No pending state for this transaction may exist ahead of its
+        // own front, and no local outstanding transaction may touch
+        // the line (even a read-read pass, which would not squash,
+        // stays per-hop — conservative).
+        FS_EXPRESS_REQUIRE(p == nullptr);
+        FS_EXPRESS_REQUIRE(c._outstandingByLine[n].find(line) ==
+                           nullptr);
+
+        // ---- primitive decision (mirrors handleIntermediate) ----
+        CmpNode &node = *c._nodes[n];
+        Primitive prim;
+        Cycle dl = 0;
+        if (msg.kind == SnoopKind::Write) {
+            // The replayed snoop must be a guaranteed no-op: no copy
+            // of the line anywhere in this CMP, so invalidateAll()
+            // neither mutates cache state nor supplies data.
+            FS_EXPRESS_REQUIRE(!node.hasAnyCopy(line));
+            prim = c._policy.decouplesWrites()
+                       ? Primitive::ForwardThenSnoop
+                       : Primitive::SnoopThenForward;
+            if (PresencePredictor *presence = node.presencePredictor()) {
+                dl = presence->accessLatency();
+                const bool maybe = presence->wouldBePresent(line);
+                if (apply) {
+                    const bool real = presence->mayBePresent(line);
+                    assert(real == maybe);
+                    (void)real;
+                }
+                if (!maybe)
+                    prim = Primitive::Forward;
+            }
+        } else if (!c._policy.usesPredictor()) {
+            // A supplier would turn the snoop into a data-supplying
+            // hit; only fully negative runs coalesce.
+            FS_EXPRESS_REQUIRE(!node.hasSupplier(line));
+            prim = c._policy.onPrediction(false);
+        } else {
+            SupplierPredictor *pred = node.predictor();
+            assert(pred && "policy requires a predictor");
+            FS_EXPRESS_REQUIRE(!node.hasSupplier(line));
+            const bool predicted = pred->wouldPredict(line);
+            if (apply) {
+                const bool real = pred->predict(line);
+                assert(real == predicted);
+                pred->recordOutcome(real, /*actual=*/false);
+            }
+            prim = c._policy.onPrediction(predicted);
+            dl = pred->accessLatency();
+        }
+
+        // When this node's snoop completes (FTS / STF only).
+        const Cycle snoop_done = front_arr + dl + snoop_lat;
+
+        // Replay the CMP snoop itself: counters, energy, and (for
+        // positive-snooping policies) the false-positive training —
+        // exactly what snoopComplete() does on a negative outcome.
+        const auto replay_snoop = [&](Primitive chosen) {
+            if (!apply)
+                return;
+            if (msg.kind == SnoopKind::Read) {
+                const bool found_now = c.ringSnoopRead(n, line);
+                assert(!found_now && "probe missed a supplier");
+                (void)found_now;
+                if (c._policy.usesPredictor() &&
+                    c._policy.onPrediction(true) == chosen)
+                    node.predictor()->falsePositive(line);
+            } else {
+                const bool supplied = c.ringSnoopWrite(n, front);
+                assert(!supplied && "probe missed a cached copy");
+                (void)supplied;
+            }
+        };
+
+        if (prim == Primitive::Forward) {
+            if (apply)
+                (msg.kind == SnoopKind::Read ? c._c.readFiltered
+                                             : c._c.writeFiltered)
+                    .inc();
+            front_send = front_arr + dl;
+            if (shape == Shape::Split)
+                reply_send = reply_arr; // passes through, no pending
+        } else if (prim == Primitive::ForwardThenSnoop) {
+            replay_snoop(Primitive::ForwardThenSnoop);
+            if (shape == Shape::Combined) {
+                // Split: the request races ahead; our reply is born at
+                // snoop completion carrying the merged outcome.
+                reply = front;
+                reply.type = MsgType::SnoopReply;
+                reply.acksCollected = front.acksCollected + 1;
+                reply_send = snoop_done;
+                front.type = MsgType::SnoopRequest;
+                front_send = front_arr + dl;
+                shape = Shape::Split;
+            } else {
+                // Already split: forward the request; our ack merges
+                // into the trailing reply once both the snoop and the
+                // reply are here (buffered or waiting — either per-hop
+                // interleaving emits the same message at max()).
+                front_send = front_arr + dl;
+                reply.acksCollected += 1;
+                reply.type = MsgType::SnoopReply;
+                reply_send = std::max(snoop_done, reply_arr);
+            }
+        } else { // SnoopThenForward
+            if (apply) {
+                // acquire .. release nets to a gate entry created and
+                // erased; the probe verified the drain finds nothing.
+                c.acquireGate(n, line, msg.txn);
+            }
+            replay_snoop(Primitive::SnoopThenForward);
+            if (apply)
+                c.releaseGate(n, line, msg.txn);
+            if (shape == Shape::Combined) {
+                front.acksCollected += 1;
+                front_send = snoop_done;
+            } else {
+                // Re-fuse: the held request and the arriving reply
+                // leave as one combined R/R.
+                front = reply;
+                front.acksCollected += 1;
+                front.type = MsgType::CombinedRR;
+                front_send = std::max(snoop_done, reply_arr);
+                shape = Shape::Combined;
+            }
+        }
+
+        cur = n;
+    }
+}
+
+} // namespace flexsnoop
+
+#undef FS_EXPRESS_REQUIRE

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ring express path: coalescing of pure pass-through hop chains.
+ *
+ * Most snoop messages traverse most nodes without stopping (the paper's
+ * whole premise), yet the per-hop simulation pays one scheduled event
+ * plus one handler dispatch per hop. When a message leaves a node, the
+ * express path *probes* the entire remaining run to the requester —
+ * downstream predictors (through their side-effect-free wouldPredict()
+ * surface), gateway gates, outstanding-line tables, cache state and
+ * link occupancy — and, if the whole run can be computed analytically,
+ * schedules a single retirement event at the requester instead of one
+ * event per hop.
+ *
+ * Correctness model (the equivalence test enforces bit-identical
+ * statistics against the per-hop path):
+ *
+ *  - A plan is only created when the event queue is *quiescent* over
+ *    the plan's whole window: no pending event fires at or before the
+ *    retirement cycle. Nothing can observe or perturb the window, so
+ *    all per-hop side effects (snoop counters, energy, predictor
+ *    training, home-node prefetch notification with its historical
+ *    timestamp, link occupancy) can be replayed in order at
+ *    retirement time with the real mutating calls.
+ *  - The only thing that can interfere is the *remainder of the
+ *    current event*. Any scheduleAt() at or before the retirement
+ *    cycle, or another send while a plan is active, cancels the plan:
+ *    the retirement entry is retargeted (keeping its sequence number,
+ *    hence its FIFO rank) to the plain per-hop first-link arrival, so
+ *    a cancelled plan is indistinguishable from never having planned.
+ *  - Anything the walker cannot prove pure — a possible supplier, a
+ *    held gate, a colliding outstanding line, a busy link, a found or
+ *    squashed message — refuses the plan and the message travels
+ *    per-hop.
+ *
+ * Disabled by CoherenceParams::ringExpress=false or the
+ * FLEXSNOOP_STRICT_RING environment variable (strict mode: every hop
+ * is simulated).
+ */
+
+#ifndef FLEXSNOOP_COHERENCE_EXPRESS_HH
+#define FLEXSNOOP_COHERENCE_EXPRESS_HH
+
+#include <cstdint>
+
+#include "net/message.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+class CoherenceController;
+class Ring;
+
+class ExpressPath
+{
+  public:
+    explicit ExpressPath(CoherenceController &ctrl);
+    ~ExpressPath();
+
+    ExpressPath(const ExpressPath &) = delete;
+    ExpressPath &operator=(const ExpressPath &) = delete;
+
+    /**
+     * Attempt to virtualize the send of @p msg leaving @p from.
+     * @return true when a coalesced plan was created and the caller
+     *         must not perform the per-hop send.
+     */
+    bool trySend(NodeId from, const SnoopMessage &msg);
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    /**
+     * Walk the remaining path of @p msg from @p from (send time @p t0)
+     * to its requester, mirroring handleIntermediate / snoopComplete /
+     * handleTrailingReply analytically.
+     *
+     * With @p apply false this is a pure probe: no state is touched
+     * and any obstacle returns false. With @p apply true it replays
+     * every per-hop side effect through the real mutating calls
+     * (probe-time refusals become assertions: the quiescent window
+     * guarantees nothing changed).
+     *
+     * On success *@p t_retire is the cycle the final message reaches
+     * the requester and *@p final_msg is that message.
+     */
+    bool walk(bool apply, NodeId from, const SnoopMessage &msg, Cycle t0,
+              Cycle *t_retire, SnoopMessage *final_msg);
+
+    /** Retirement event: replay the walk, then deliver at the requester. */
+    void retire();
+
+    /** Same-cycle fall-back: retarget the retirement entry into the
+     *  per-hop first-link arrival (sequence number preserved). */
+    void cancel();
+
+    /** EventQueue schedule observer (trampoline to cancel()). */
+    static void observe(void *self, Cycle when);
+
+    CoherenceController &_ctrl;
+
+    bool _active = false;
+    NodeId _planFrom = 0;
+    Cycle _planT0 = 0;
+    Cycle _planRetire = 0;
+    std::uint64_t _planSeq = 0;
+    SnoopMessage _planMsg;
+    Ring *_planRing = nullptr;
+
+    StatGroup _stats{"express"};
+    Counter &_plans = _stats.counter("plans_created");
+    Counter &_cancelled = _stats.counter("plans_cancelled");
+    Counter &_retired = _stats.counter("plans_retired");
+    Counter &_hopsVirtualized = _stats.counter("hops_virtualized");
+    Counter &_sendsVirtualized = _stats.counter("sends_virtualized");
+    Counter &_probeRejects = _stats.counter("probe_rejects");
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_COHERENCE_EXPRESS_HH

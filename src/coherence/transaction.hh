@@ -55,6 +55,31 @@ struct Transaction
     {
         return dataArrived && ringDone;
     }
+
+    /**
+     * Re-initialize a recycled pool slot. Field assignments instead of
+     * `*this = Transaction{}` so `waiters` keeps its grown capacity —
+     * the reason pooled transactions stop allocating in steady state.
+     */
+    void
+    reset()
+    {
+        id = kInvalidTransaction;
+        line = kInvalidAddr;
+        kind = SnoopKind::Read;
+        requester = kInvalidNode;
+        core = kInvalidCore;
+        issued = 0;
+        waiters.clear();
+        dataArrived = false;
+        ringDone = false;
+        memoryPending = false;
+        squashed = false;
+        retries = 0;
+        writeNeedsData = false;
+        writeDataSupplied = false;
+        invalidateOnFill = false;
+    }
 };
 
 /**
@@ -78,6 +103,22 @@ struct NodePending
      * running: the outcome is moot, finish the snoop silently.
      */
     bool abandoned = false;
+
+    /** Re-initialize a recycled pool slot. */
+    void
+    reset()
+    {
+        prim = Primitive::Forward;
+        receivedCombined = false;
+        snoopPending = false;
+        snoopDone = false;
+        snoopFound = false;
+        sentOwn = false;
+        replyBuffered = false;
+        bufferedReply = SnoopMessage{};
+        waitingForReply = false;
+        abandoned = false;
+    }
 };
 
 } // namespace flexsnoop

@@ -63,6 +63,8 @@ Machine::resetStats()
 {
     _energy.reset();
     _controller->stats().reset();
+    if (StatGroup *express = _controller->expressStats())
+        express->reset();
     _memory->stats().reset();
     _data->stats().reset();
     for (std::size_t r = 0; r < _ring->numRings(); ++r)

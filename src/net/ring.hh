@@ -12,6 +12,7 @@
 #ifndef FLEXSNOOP_NET_RING_HH
 #define FLEXSNOOP_NET_RING_HH
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -49,11 +50,13 @@ class Ring
 
     std::size_t numNodes() const { return _numNodes; }
 
-    /** Next node downstream of @p n. */
+    /** Next node downstream of @p n. Compare-and-subtract instead of
+     *  `%`: this runs once per hop of every message. */
     NodeId
     successor(NodeId n) const
     {
-        return static_cast<NodeId>((n + 1) % _numNodes);
+        const std::size_t s = static_cast<std::size_t>(n) + 1;
+        return static_cast<NodeId>(s == _numNodes ? 0 : s);
     }
 
     /**
@@ -64,7 +67,7 @@ class Ring
     distance(NodeId from, NodeId to) const
     {
         return static_cast<std::uint32_t>(
-            (to + _numNodes - from) % _numNodes);
+            to >= from ? to - from : to + _numNodes - from);
     }
 
     /** Register the arrival handler of node @p n. */
@@ -80,6 +83,35 @@ class Ring
     std::uint64_t linkTraversals() const
     {
         return _linkTraversals.value();
+    }
+
+    const RingParams &params() const { return _params; }
+
+    /** Cycle at which the link leaving node @p n is next idle. */
+    Cycle linkFreeAt(NodeId n) const { return _linkFree[n]; }
+
+    /**
+     * Account one link traversal that the express path performed
+     * without a scheduled per-hop event: bumps the traversal counter
+     * and occupies the link exactly as send() starting at @p start
+     * would have. The caller guarantees @p start >= linkFreeAt(from)
+     * (an express plan is refused otherwise), so no queueing delay is
+     * sampled.
+     */
+    void
+    recordVirtualTraversal(NodeId from, Cycle start)
+    {
+        _linkFree[from] = start + _params.serialization;
+        _linkTraversals.inc();
+    }
+
+    /** Invoke node @p to's arrival handler directly (express path
+     *  retirement: the coalesced arrival event delivers here). */
+    void
+    deliver(NodeId to, const SnoopMessage &msg)
+    {
+        assert(_handlers[to] && "message arrived at node with no handler");
+        _handlers[to](msg);
     }
 
     StatGroup &stats() { return _stats; }

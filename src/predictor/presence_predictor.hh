@@ -40,6 +40,14 @@ class PresencePredictor
     /** True when the CMP *may* hold a copy of @p line. */
     bool mayBePresent(Addr line);
 
+    /** mayBePresent() without counting the lookup; used by the express
+     *  probe (the replay performs the real, counted lookup). */
+    bool
+    wouldBePresent(Addr line) const
+    {
+        return _filter.mayContain(lineAddr(line));
+    }
+
     /** The CMP gained its first copy of @p line. */
     void
     linePresent(Addr line)

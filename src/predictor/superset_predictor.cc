@@ -32,6 +32,17 @@ SupersetPredictor::predict(Addr line)
     return true;
 }
 
+bool
+SupersetPredictor::wouldPredict(Addr line) const
+{
+    line = lineAddr(line);
+    if (!_filter.mayContain(line))
+        return false;
+    if (_exclude && _exclude->peek(line))
+        return false;
+    return true;
+}
+
 void
 SupersetPredictor::supplierGained(Addr line)
 {

@@ -41,6 +41,7 @@ class SupersetPredictor : public SupplierPredictor
     void supplierGained(Addr line) override;
     void supplierLost(Addr line) override;
     void falsePositive(Addr line) override;
+    bool wouldPredict(Addr line) const override;
 
     Cycle accessLatency() const override { return _latency; }
     bool mayFalsePositive() const override { return true; }

@@ -56,6 +56,15 @@ class SupplierPredictor
     /** Predict whether the CMP can supply @p line. */
     virtual bool predict(Addr line) = 0;
 
+    /**
+     * Answer exactly what predict() would answer right now, with no
+     * side effects: no counters, no LRU touches, no training. The
+     * express path probes downstream predictors through this before
+     * committing to a coalesced hop run; the later replay calls the
+     * real predict() so all observable state matches the per-hop path.
+     */
+    virtual bool wouldPredict(Addr line) const = 0;
+
     /** A line entered the CMP's supplier set. */
     virtual void supplierGained(Addr line) = 0;
 

@@ -56,8 +56,43 @@ void
 EventQueue::scheduleAt(Cycle when, EventFn fn)
 {
     assert(when >= _now && "cannot schedule into the past");
+    // The observer may reschedule() an existing entry (express-plan
+    // cancellation); it runs before this entry is inserted so the heap
+    // is consistent throughout.
+    if (_observer)
+        _observer(_observerCtx, when);
     _heap.push_back(Entry{when, _nextSeq++, std::move(fn)});
     siftUp(_heap.size() - 1);
+}
+
+std::uint64_t
+EventQueue::scheduleAtTagged(Cycle when, EventFn fn)
+{
+    assert(when >= _now && "cannot schedule into the past");
+    const std::uint64_t seq = _nextSeq++;
+    _heap.push_back(Entry{when, seq, std::move(fn)});
+    siftUp(_heap.size() - 1);
+    return seq;
+}
+
+void
+EventQueue::reschedule(std::uint64_t seq, Cycle when, EventFn fn)
+{
+    assert(when >= _now && "cannot schedule into the past");
+    for (std::size_t i = 0; i < _heap.size(); ++i) {
+        if (_heap[i].seq != seq)
+            continue;
+        _heap[i].when = when;
+        _heap[i].fn = std::move(fn);
+        // The entry may now order either earlier or later than before;
+        // restore the heap in whichever direction applies.
+        if (i > 0 && _heap[i].before(_heap[(i - 1) / 2]))
+            siftUp(i);
+        else
+            siftDown(i);
+        return;
+    }
+    assert(false && "reschedule: no pending entry with that seq");
 }
 
 bool

@@ -193,6 +193,50 @@ class EventQueue
     void scheduleAt(Cycle when, EventFn fn);
 
     /**
+     * Like scheduleAt(), but returns the entry's sequence number (its
+     * FIFO tie-break rank) so the caller can retarget it later with
+     * reschedule(). Does NOT notify the schedule observer: the only
+     * caller is the express path scheduling its own coalesced arrival,
+     * which must not cancel itself.
+     */
+    std::uint64_t scheduleAtTagged(Cycle when, EventFn fn);
+
+    /**
+     * Earliest cycle at which any pending event fires; ~Cycle{0} when
+     * the queue is empty. O(1): the heap root.
+     */
+    Cycle
+    minPendingTime() const
+    {
+        return _heap.empty() ? ~Cycle{0} : _heap.front().when;
+    }
+
+    /**
+     * Retarget the pending entry with sequence number @p seq (from
+     * scheduleAtTagged) to fire @p when running @p fn instead. The
+     * entry keeps its original sequence number, so its tie-break rank
+     * against same-cycle events is exactly what the original
+     * scheduling call order dictated — this is what makes an express
+     * plan's same-cycle fall-back bit-identical to the per-hop path.
+     * O(pending) scan; only the rare cancellation path pays it.
+     */
+    void reschedule(std::uint64_t seq, Cycle when, EventFn fn);
+
+    /**
+     * Observer invoked (with @p ctx) for every scheduleAt() before the
+     * entry is inserted. Used by the express path to detect same-cycle
+     * interference with an active plan. A raw function pointer keeps
+     * the common (unobserved) path to one predictable branch.
+     */
+    using ScheduleObserver = void (*)(void *ctx, Cycle when);
+    void
+    setScheduleObserver(ScheduleObserver obs, void *ctx)
+    {
+        _observer = obs;
+        _observerCtx = ctx;
+    }
+
+    /**
      * Run until the queue drains or @p limit cycles have elapsed.
      *
      * @param limit absolute cycle bound; events scheduled past it stay
@@ -241,6 +285,8 @@ class EventQueue
     Cycle _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+    ScheduleObserver _observer = nullptr;
+    void *_observerCtx = nullptr;
 };
 
 } // namespace flexsnoop

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Free-list slot pool with stable addresses.
+ *
+ * Objects are default-constructed once per slot when a chunk is
+ * allocated and then *recycled* rather than destroyed: release()
+ * pushes the slot onto a free list and acquire() hands it back out.
+ * The caller re-initializes recycled objects (a reset() method by
+ * convention), which lets members like std::vector keep their grown
+ * capacity across uses — the point of pooling the coherence
+ * controller's Transaction records is that steady-state operation
+ * performs no heap allocation at all.
+ *
+ * Chunked storage (never reallocated) keeps every handed-out pointer
+ * valid for the pool's lifetime.
+ */
+
+#ifndef FLEXSNOOP_SIM_SLOT_POOL_HH
+#define FLEXSNOOP_SIM_SLOT_POOL_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace flexsnoop
+{
+
+template <typename T>
+class SlotPool
+{
+  public:
+    explicit SlotPool(std::size_t chunk_slots = 64)
+        : _chunkSlots(chunk_slots)
+    {
+        assert(chunk_slots > 0);
+    }
+
+    SlotPool(const SlotPool &) = delete;
+    SlotPool &operator=(const SlotPool &) = delete;
+
+    /**
+     * Hand out a slot. The object is in whatever state its last user
+     * left it (or default-constructed for a fresh slot); the caller
+     * must re-initialize it.
+     */
+    T *
+    acquire()
+    {
+        ++_acquires;
+        if (_free.empty())
+            grow();
+        T *slot = _free.back();
+        _free.pop_back();
+        return slot;
+    }
+
+    /** Return @p slot to the free list. The object is not destroyed. */
+    void
+    release(T *slot)
+    {
+        ++_releases;
+        _free.push_back(slot);
+    }
+
+    /** Slots currently handed out. */
+    std::size_t
+    live() const
+    {
+        return _chunks.size() * _chunkSlots - _free.size();
+    }
+
+    std::size_t slotsAllocated() const
+    {
+        return _chunks.size() * _chunkSlots;
+    }
+    std::uint64_t acquires() const { return _acquires; }
+    std::uint64_t releases() const { return _releases; }
+    std::uint64_t chunkAllocs() const { return _chunks.size(); }
+
+  private:
+    void
+    grow()
+    {
+        _chunks.push_back(std::make_unique<T[]>(_chunkSlots));
+        T *base = _chunks.back().get();
+        // LIFO free list: hand out low addresses first so a mostly-idle
+        // pool keeps touching the same cache-warm slots.
+        for (std::size_t i = _chunkSlots; i-- > 0;)
+            _free.push_back(base + i);
+    }
+
+    std::size_t _chunkSlots;
+    std::vector<std::unique_ptr<T[]>> _chunks;
+    std::vector<T *> _free;
+    std::uint64_t _acquires = 0;
+    std::uint64_t _releases = 0;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SIM_SLOT_POOL_HH

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * The express-path equivalence guarantee: every statistic the figure
+ * benches read must be bit-identical with the ring express path on and
+ * off, for every algorithm on every built-in workload profile. The
+ * express path is a pure simulator optimization; any divergence here is
+ * a correctness bug in its probe/replay logic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "workload/core_model.hh"
+#include "workload/synthetic_generator.hh"
+#include "workload/uniform_generator.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+/** Every RunResult field, compared exactly (identical arithmetic on
+ *  identical counters makes even the doubles bit-equal). */
+void
+expectIdentical(const RunResult &off, const RunResult &on)
+{
+    EXPECT_EQ(off.execCycles, on.execCycles);
+    EXPECT_EQ(off.readRingRequests, on.readRingRequests);
+    EXPECT_EQ(off.readSnoops, on.readSnoops);
+    EXPECT_EQ(off.snoopsPerReadRequest, on.snoopsPerReadRequest);
+    EXPECT_EQ(off.readLinkMessages, on.readLinkMessages);
+    EXPECT_EQ(off.readLinkMessagesPerRequest,
+              on.readLinkMessagesPerRequest);
+    EXPECT_EQ(off.energyNj, on.energyNj);
+    EXPECT_EQ(off.ringEnergyNj, on.ringEnergyNj);
+    EXPECT_EQ(off.snoopEnergyNj, on.snoopEnergyNj);
+    EXPECT_EQ(off.predictorEnergyNj, on.predictorEnergyNj);
+    EXPECT_EQ(off.downgradeEnergyNj, on.downgradeEnergyNj);
+    EXPECT_EQ(off.truePositives, on.truePositives);
+    EXPECT_EQ(off.trueNegatives, on.trueNegatives);
+    EXPECT_EQ(off.falsePositives, on.falsePositives);
+    EXPECT_EQ(off.falseNegatives, on.falseNegatives);
+    EXPECT_EQ(off.writeRingRequests, on.writeRingRequests);
+    EXPECT_EQ(off.writeSnoops, on.writeSnoops);
+    EXPECT_EQ(off.writeFiltered, on.writeFiltered);
+    EXPECT_EQ(off.cacheSupplies, on.cacheSupplies);
+    EXPECT_EQ(off.memoryFetches, on.memoryFetches);
+    EXPECT_EQ(off.downgrades, on.downgrades);
+    EXPECT_EQ(off.collisions, on.collisions);
+    EXPECT_EQ(off.retries, on.retries);
+    EXPECT_EQ(off.writebacks, on.writebacks);
+    EXPECT_EQ(off.avgReadLatency, on.avgReadLatency);
+    EXPECT_EQ(off.p50ReadLatency, on.p50ReadLatency);
+    EXPECT_EQ(off.p95ReadLatency, on.p95ReadLatency);
+}
+
+void
+runBothAndCompare(MachineConfig cfg, const CoreTraces &traces,
+                  const std::string &name)
+{
+    SCOPED_TRACE(name + " / " + std::string(toString(cfg.algorithm)));
+    cfg.coherence.ringExpress = false;
+    const RunResult off = runSimulation(cfg, traces, name);
+    cfg.coherence.ringExpress = true;
+    const RunResult on = runSimulation(cfg, traces, name);
+    expectIdentical(off, on);
+}
+
+/** Shrink a built-in profile so the full matrix stays fast. */
+WorkloadProfile
+shrunk(WorkloadProfile p)
+{
+    p.refsPerCore = std::min<std::size_t>(p.refsPerCore, 400);
+    p.warmupRefs = std::min<std::size_t>(p.warmupRefs, 100);
+    return p;
+}
+
+/**
+ * One nearly-idle requester issuing reads to fresh lines: long quiet
+ * stretches between ring rounds, which is exactly where express plans
+ * form. The other cores stay silent.
+ */
+CoreTraces
+singleActiveCoreTraces(std::size_t num_cores, std::size_t refs,
+                       bool writes = false)
+{
+    CoreTraces traces;
+    traces.traces.resize(num_cores);
+    traces.warmupRefs = 0;
+    for (std::size_t i = 0; i < refs; ++i) {
+        MemRef ref;
+        ref.addr = static_cast<Addr>((i + 1) * kLineSizeBytes);
+        ref.isWrite = writes && (i % 3 == 0);
+        ref.gap = 3000; // far longer than a full ring round trip
+        traces.traces[0].push_back(ref);
+    }
+    return traces;
+}
+
+class ExpressEquivalence : public ::testing::TestWithParam<Algorithm>
+{
+};
+
+TEST_P(ExpressEquivalence, AllBuiltinProfiles)
+{
+    std::vector<WorkloadProfile> profiles = splash2Profiles();
+    profiles.push_back(specJbbProfile());
+    profiles.push_back(specWebProfile());
+    profiles.push_back(miniProfile());
+
+    for (const WorkloadProfile &base : profiles) {
+        const WorkloadProfile profile = shrunk(base);
+        MachineConfig cfg =
+            MachineConfig::paperDefault(GetParam(), profile.coresPerCmp);
+        if (cfg.numCmps != profile.numCmps())
+            cfg.setNumCmps(profile.numCmps());
+        SyntheticGenerator gen(profile);
+        runBothAndCompare(cfg, gen.generate(), profile.name);
+    }
+}
+
+TEST_P(ExpressEquivalence, UniformWorkload)
+{
+    UniformWorkloadParams params;
+    params.numCores = 8;
+    params.linesPerReader = 48;
+    const CoreTraces traces = UniformGenerator(params).generate();
+    MachineConfig cfg = MachineConfig::paperDefault(GetParam(), 1);
+    runBothAndCompare(cfg, traces, "uniform");
+}
+
+TEST_P(ExpressEquivalence, SingleActiveCoreEngagesExpress)
+{
+    const CoreTraces traces = singleActiveCoreTraces(8, 150);
+    MachineConfig cfg = MachineConfig::paperDefault(GetParam(), 1);
+    runBothAndCompare(cfg, traces, "single_active");
+
+    // The same run driven directly, to assert the express path actually
+    // coalesced (the comparison above is vacuous if it never engages).
+    cfg.coherence.ringExpress = true;
+    Machine machine(cfg);
+    WorkloadRunner runner(machine.queue(), machine.controller(), traces,
+                          cfg.core);
+    runner.run();
+    const StatGroup *express = machine.controller().expressStats();
+    ASSERT_NE(express, nullptr);
+    EXPECT_GT(express->counterValue("plans_created"), 0u);
+    // Every plan either retires or falls back; none may leak.
+    EXPECT_EQ(express->counterValue("plans_created"),
+              express->counterValue("plans_retired") +
+                  express->counterValue("plans_cancelled"));
+}
+
+TEST_P(ExpressEquivalence, SingleActiveCoreWithWrites)
+{
+    const CoreTraces traces =
+        singleActiveCoreTraces(8, 150, /*writes=*/true);
+    MachineConfig cfg = MachineConfig::paperDefault(GetParam(), 1);
+    runBothAndCompare(cfg, traces, "single_active_writes");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ExpressEquivalence,
+    ::testing::ValuesIn(paperAlgorithms()),
+    [](const ::testing::TestParamInfo<Algorithm> &info) {
+        return std::string(toString(info.param));
+    });
+
+/**
+ * A link that per-hop simulation would queue on must force the express
+ * probe to refuse (satellite of the express PR): with the serialization
+ * time far above the CMP snoop time, every split's trailing reply wants
+ * the link before the request's occupancy ends, so no plan may form —
+ * and the per-hop fall-back must still be bit-identical.
+ */
+TEST(ExpressFallback, QueuedLinkForcesPerHop)
+{
+    const CoreTraces traces = singleActiveCoreTraces(8, 80);
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Eager, 1);
+    cfg.ring.serialization = 200; // > coherence.cmpSnoopTime (55)
+    ASSERT_GT(cfg.ring.serialization, cfg.coherence.cmpSnoopTime);
+    runBothAndCompare(cfg, traces, "busy_link");
+
+    cfg.coherence.ringExpress = true;
+    Machine machine(cfg);
+    WorkloadRunner runner(machine.queue(), machine.controller(), traces,
+                          cfg.core);
+    runner.run();
+    const StatGroup *express = machine.controller().expressStats();
+    ASSERT_NE(express, nullptr);
+    // The contended links force express probes back to per-hop all
+    // through the hot part of each round (plans only survive on the
+    // late, drained segments).
+    EXPECT_GT(express->counterValue("probe_rejects"), 0u);
+}
+
+/**
+ * Deterministic single-transaction version of the busy-link rule: a
+ * link the per-hop path would queue on refuses the express plan at the
+ * probe, and the transaction falls back to real per-hop simulation
+ * from that point on.
+ */
+TEST(ExpressFallback, BusyFirstLinkRefusesThePlan)
+{
+    struct Observed
+    {
+        Cycle end = 0;
+        std::uint64_t snoops = 0;
+        std::uint64_t links = 0;
+        std::uint64_t plans = 0;
+        std::uint64_t hops = 0;
+        std::uint64_t rejects = 0;
+    };
+    const Addr line = kLineSizeBytes;
+
+    auto run = [&](bool express, bool busy_first_link) {
+        MachineConfig cfg =
+            MachineConfig::paperDefault(Algorithm::Lazy, 1);
+        cfg.coherence.ringExpress = express;
+        Machine m(cfg);
+        if (busy_first_link) {
+            // Occupy the requester's outgoing link until long past the
+            // issue (a leftover transmission the probe must respect).
+            m.ring().ringFor(line).recordVirtualTraversal(0, 561);
+        }
+        bool done = false;
+        m.controller().setCompletionHandler(
+            [&done](CoreId, Addr, bool) { done = true; });
+        m.controller().coreRead(0, line);
+        m.queue().run();
+        EXPECT_TRUE(done);
+        Observed o;
+        o.end = m.queue().now();
+        o.snoops = m.controller().readSnoops();
+        o.links = m.controller().readLinkMessages();
+        if (const StatGroup *e = m.controller().expressStats()) {
+            o.plans = e->counterValue("plans_created");
+            o.hops = e->counterValue("hops_virtualized");
+            o.rejects = e->counterValue("probe_rejects");
+        }
+        return o;
+    };
+
+    // Idle ring: the initial send coalesces the full circle.
+    const Observed idle = run(true, false);
+    EXPECT_EQ(idle.plans, 1u);
+    EXPECT_EQ(idle.hops, 8u);
+    EXPECT_EQ(idle.rejects, 0u);
+
+    // Busy first link: that probe must refuse; the message queues and
+    // travels per-hop until the next idle stretch (7 remaining links).
+    const Observed busy = run(true, true);
+    EXPECT_GE(busy.rejects, 1u);
+    EXPECT_EQ(busy.plans, 1u);
+    EXPECT_EQ(busy.hops, 7u);
+
+    // And in both shapes the run is identical to express-off.
+    for (const bool busy_link : {false, true}) {
+        const Observed on = run(true, busy_link);
+        const Observed off = run(false, busy_link);
+        EXPECT_EQ(on.end, off.end) << "busy=" << busy_link;
+        EXPECT_EQ(on.snoops, off.snoops) << "busy=" << busy_link;
+        EXPECT_EQ(on.links, off.links) << "busy=" << busy_link;
+        EXPECT_EQ(off.plans, 0u);
+    }
+}
+
+/** FLEXSNOOP_STRICT_RING=1 must disable express regardless of config. */
+TEST(ExpressFallback, StrictModeDisablesExpress)
+{
+    ::setenv("FLEXSNOOP_STRICT_RING", "1", 1);
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Eager, 1);
+    cfg.coherence.ringExpress = true;
+    Machine strict(cfg);
+    EXPECT_EQ(strict.controller().expressStats(), nullptr);
+    ::unsetenv("FLEXSNOOP_STRICT_RING");
+    Machine normal(cfg);
+    EXPECT_NE(normal.controller().expressStats(), nullptr);
+}
+
+} // namespace
+} // namespace flexsnoop

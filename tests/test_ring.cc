@@ -210,5 +210,71 @@ TEST(RingNetwork, ParallelRingsAvoidSerialization)
     EXPECT_EQ(arrivals[1], 30u);
 }
 
+TEST(Ring, BackToBackSendsSpacedByExactlySerialization)
+{
+    EventQueue queue;
+    RingParams params;
+    params.linkLatency = 39;
+    params.serialization = 8; // the paper-default link occupancy
+    Ring ring(queue, 4, params, "r");
+    std::vector<Cycle> arrivals;
+    ring.setHandler(1, [&](const SnoopMessage &) {
+        arrivals.push_back(queue.now());
+    });
+    for (TransactionId t = 1; t <= 4; ++t)
+        ring.send(0, makeMsg(t, 0, 0));
+    queue.run();
+    ASSERT_EQ(arrivals.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(arrivals[i], 39u + i * 8u);
+    // Consecutive arrivals differ by exactly the serialization time,
+    // never more, never less.
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_EQ(arrivals[i] - arrivals[i - 1], 8u);
+}
+
+TEST(Ring, VirtualTraversalOccupiesLinkLikeSend)
+{
+    EventQueue queue;
+    RingParams params;
+    params.linkLatency = 10;
+    params.serialization = 6;
+    Ring ring(queue, 4, params, "r");
+    Cycle arrival = 0;
+    ring.setHandler(1,
+                    [&](const SnoopMessage &) { arrival = queue.now(); });
+
+    // The express path accounts a coalesced hop at cycle 20 without an
+    // event; a later real send at cycle 0 must queue behind it exactly
+    // as if send() had run at 20.
+    EXPECT_EQ(ring.linkFreeAt(0), 0u);
+    ring.recordVirtualTraversal(0, 20);
+    EXPECT_EQ(ring.linkFreeAt(0), 26u);
+    EXPECT_EQ(ring.linkTraversals(), 1u);
+
+    ring.send(0, makeMsg(1, 0, 0));
+    queue.run();
+    EXPECT_EQ(arrival, 36u); // started at 26 (busy link), +latency 10
+    EXPECT_EQ(ring.linkTraversals(), 2u);
+}
+
+TEST(Ring, DeliverInvokesHandlerSynchronously)
+{
+    EventQueue queue;
+    Ring ring(queue, 4, RingParams{}, "r");
+    NodeId got = kInvalidNode;
+    TransactionId txn = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+        ring.setHandler(n, [&, n](const SnoopMessage &m) {
+            got = n;
+            txn = m.txn;
+        });
+    }
+    ring.deliver(2, makeMsg(77, 0, 0));
+    EXPECT_EQ(got, 2u);       // no event was scheduled
+    EXPECT_EQ(txn, 77u);
+    EXPECT_EQ(queue.pending(), 0u);
+}
+
 } // namespace
 } // namespace flexsnoop
