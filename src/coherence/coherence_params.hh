@@ -39,7 +39,38 @@ struct CoherenceParams
      * Also disabled at runtime by FLEXSNOOP_STRICT_RING=1.
      */
     bool ringExpress = true;
+
+    /**
+     * Per-transaction watchdog (docs/FAULTS.md): a transaction whose
+     * ring round has not concluded after this many cycles is reissued
+     * (bounded by maxRetries). 0 disables the watchdog — the default,
+     * because pending watchdog events extend the drain tail of the
+     * event queue. Armed automatically by the CLI when fault injection
+     * is on.
+     */
+    Cycle watchdogCycles = 0;
+
+    /**
+     * Cap on squash/watchdog reissues of one logical request. A
+     * transaction exceeding it throws RetryStormError with a dump
+     * naming the contended line, instead of retrying forever on a
+     * pathological workload.
+     */
+    unsigned maxRetries = 1000;
 };
+
+/**
+ * Backoff before reissue attempt number @p retries: exponential in the
+ * attempt count and capped at 16x the base, so it is monotonically
+ * non-decreasing and bounded (the paper's squash-retry scheme leaves
+ * the backoff policy open).
+ */
+inline Cycle
+retryBackoffCycles(const CoherenceParams &params, unsigned retries)
+{
+    return params.retryBackoff *
+           (Cycle{1} << (retries < 4u ? retries : 4u));
+}
 
 } // namespace flexsnoop
 

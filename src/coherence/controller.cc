@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <sstream>
 
 #include "coherence/express.hh"
+#include "sim/fault_injector.hh"
 #include "sim/log.hh"
 
 namespace flexsnoop
@@ -40,7 +42,12 @@ CoherenceController::HotStats::HotStats(StatGroup &g)
       invalidateOnFill(g.counter("invalidate_on_fill")),
       readLatency(g.scalar("read_latency")),
       writeLatency(g.scalar("write_latency")),
-      readLatencyHist(g.histogram("read_latency_hist", 50.0, 80))
+      readLatencyHist(g.histogram("read_latency_hist", 50.0, 80)),
+      watchdogTimeouts(g.counter("watchdog_timeouts")),
+      staleAbsorbed(g.counter("stale_messages_absorbed")),
+      flipDegrades(g.counter("predictor_flip_degrades")),
+      incompleteRejected(g.counter("incomplete_conclusions_rejected")),
+      retryStormAborts(g.counter("retry_storm_aborts"))
 {
 }
 
@@ -77,6 +84,14 @@ const StatGroup *
 CoherenceController::expressStats() const
 {
     return _express ? &_express->stats() : nullptr;
+}
+
+void
+CoherenceController::setFaultInjector(FaultInjector *faults)
+{
+    _faults = faults;
+    if (_faults && _faults->armed())
+        _express.reset(); // refuse coalescing: every hop must be real
 }
 
 CoherenceController::PoolUsage
@@ -356,6 +371,67 @@ CoherenceController::startRingTransaction(CoreId core, Addr line,
         if (Transaction *t = findTransaction(id))
             issueRingMessage(*t);
     });
+
+    if (_params.watchdogCycles > 0)
+        scheduleWatchdog(id);
+}
+
+void
+CoherenceController::scheduleWatchdog(TransactionId id)
+{
+    _queue.schedule(_params.watchdogCycles,
+                    [this, id]() { watchdogExpire(id); });
+}
+
+void
+CoherenceController::watchdogExpire(TransactionId id)
+{
+    Transaction *txn = findTransaction(id);
+    if (!txn)
+        return; // completed (or reissued under a new id)
+    if (txn->ringDone || txn->memoryPending) {
+        // The ring round concluded; only the (never faulted) data
+        // network or memory is outstanding. Keep watching.
+        scheduleWatchdog(id);
+        return;
+    }
+
+    // The ring traffic of this transaction was lost: reclaim its
+    // gateway state everywhere, then recover.
+    _c.watchdogTimeouts.inc();
+    FS_LOG(Info, _queue.now(), "ctrl",
+           "watchdog: txn " << id << " line 0x" << std::hex << txn->line
+                            << std::dec << " ring traffic lost after "
+                            << _params.watchdogCycles << " cycles; "
+                            << (txn->kind == SnoopKind::Read &&
+                                        txn->dataArrived
+                                    ? "finishing"
+                                    : "reissuing"));
+
+    if (txn->kind == SnoopKind::Read && txn->dataArrived) {
+        // The data already reached the core; only the conclusion
+        // message was lost. Reissuing would double-complete the load,
+        // so just close the record (finishAndErase sweeps the leftover
+        // ring-side state). We cannot know whether a colliding write's
+        // squash (which mandates invalidate-on-fill) was among the lost
+        // traffic, so drop the cached copy as if it were -- the core
+        // already consumed the data, only the L2 state goes.
+        _nodes[txn->requester]->invalidateAll(txn->line);
+        txn->ringDone = true;
+        finishAndErase(id);
+        return;
+    }
+    retryTransaction(*txn);
+    finishAndErase(id);
+}
+
+void
+CoherenceController::sweepTransactionState(TransactionId id, Addr line)
+{
+    for (NodeId n = 0; n < _nodes.size(); ++n) {
+        erasePending(n, id);
+        releaseGate(n, line, id);
+    }
 }
 
 void
@@ -417,6 +493,15 @@ void
 CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
                                         bool from_gate)
 {
+    // Fault recovery: traffic of a transaction that no longer exists
+    // (closed by its watchdog, or a duplicate of an already-concluded
+    // round) must die here, or it would plant zombie pending/gate
+    // state that wedges the line forever.
+    if (hardened() && !findTransaction(msg.txn)) {
+        _c.staleAbsorbed.inc();
+        return;
+    }
+
     // Home-node prefetch heuristic: a still-unanswered read passing its
     // home node may trigger a DRAM prefetch (paper §2.2).
     if (msg.kind == SnoopKind::Read && !msg.found && !msg.squashed &&
@@ -472,12 +557,21 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
         if (PresencePredictor *presence =
                 _nodes[node]->presencePredictor()) {
             decision_latency = presence->accessLatency();
-            if (!presence->mayBePresent(msg.line)) {
-                prim = Primitive::Forward;
-                // The filter has no false negatives by construction; a
-                // surviving copy here would break coherence.
-                assert(!_nodes[node]->hasAnyCopy(msg.line) &&
-                       "presence predictor false negative");
+            bool absent = !presence->mayBePresent(msg.line);
+            if (_faults && _faults->flipPrediction())
+                absent = !absent;
+            if (absent) {
+                if (_nodes[node]->hasAnyCopy(msg.line)) {
+                    // The filter has no false negatives by
+                    // construction; only an injected soft error gets
+                    // here. Degrade to the safe (snooping) primitive
+                    // instead of skipping live copies.
+                    assert(_faults &&
+                           "presence predictor false negative");
+                    _c.flipDegrades.inc();
+                } else {
+                    prim = Primitive::Forward;
+                }
             }
         }
     } else if (!_policy.usesPredictor()) {
@@ -485,24 +579,49 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
     } else {
         SupplierPredictor *pred = _nodes[node]->predictor();
         assert(pred && "policy requires a predictor");
-        const bool predicted = pred->predict(msg.line);
+        bool predicted = pred->predict(msg.line);
+        if (_faults && _faults->flipPrediction())
+            predicted = !predicted;
         const bool actual = _nodes[node]->hasSupplier(msg.line);
         pred->recordOutcome(predicted, actual);
         prim = _policy.onPrediction(predicted);
         decision_latency = pred->accessLatency();
-        // A predictor with no false negatives must never filter the
-        // supplier node; this is the correctness property of §4.3.4.
-        assert(!(prim == Primitive::Forward && actual) &&
-               "false negative filtered the supplier: protocol violation");
+        if (prim == Primitive::Forward && actual) {
+            // A predictor with no false negatives must never filter
+            // the supplier node (the correctness property of §4.3.4);
+            // only an injected soft error can produce this. Model the
+            // hardware's parity fallback: treat the answer as
+            // untrusted and snoop before forwarding.
+            assert(_faults &&
+                   "false negative filtered the supplier: protocol "
+                   "violation");
+            prim = Primitive::SnoopThenForward;
+            _c.flipDegrades.inc();
+        }
     }
 
     if (prim == Primitive::Forward) {
         (msg.kind == SnoopKind::Read ? _c.readFiltered
                                      : _c.writeFiltered)
             .inc();
-        const SnoopMessage out = msg;
-        _queue.schedule(decision_latency, [this, node, out]() {
-            forwardMessage(node, out);
+        SnoopMessage out = msg;
+        out.visits = msg.visits + 1;
+        if (_faults && msg.type == MsgType::SnoopRequest) {
+            // A trailing reply is following this request. Its visit
+            // count only reflects nodes it merged at, so leave a marker
+            // recording that the request did pass here; the reply picks
+            // the count up in handleTrailingReply. Without the marker a
+            // reply that outlived a dropped request is indistinguishable
+            // from a complete round.
+            NodePending &p = pending(node, msg.txn);
+            p.prim = Primitive::Forward;
+            p.snoopDone = true;
+            p.waitingForReply = true;
+            p.requestVisits = out.visits;
+        }
+        const SnoopMessage fwd = out;
+        _queue.schedule(decision_latency, [this, node, fwd]() {
+            forwardMessage(node, fwd);
         });
         return;
     }
@@ -521,6 +640,7 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
     if (prim == Primitive::ForwardThenSnoop) {
         SnoopMessage req = msg;
         req.type = MsgType::SnoopRequest; // split: the request races ahead
+        req.visits = msg.visits + 1; // our reply will carry the same count
         _queue.schedule(decision_latency, [this, node, req]() {
             forwardMessage(node, req);
         });
@@ -604,7 +724,13 @@ void
 CoherenceController::snoopComplete(NodeId node, SnoopMessage msg)
 {
     NodePending *pp = findPending(node, msg.txn);
-    assert(pp && "snoop completed with no pending state");
+    if (!pp) {
+        // Only reachable when a watchdog closed this transaction and
+        // swept its pending state while the CMP snoop was in flight.
+        assert(hardened() && "snoop completed with no pending state");
+        _c.staleAbsorbed.inc();
+        return;
+    }
     NodePending &p = *pp;
     p.snoopPending = false;
     p.snoopDone = true;
@@ -671,6 +797,7 @@ CoherenceController::snoopComplete(NodeId node, SnoopMessage msg)
         // received; emit our own message directly.
         SnoopMessage out = msg;
         out.acksCollected = msg.acksCollected + 1;
+        out.visits = msg.visits + 1;
         out.type = p.prim == Primitive::ForwardThenSnoop
                        ? MsgType::SnoopReply // the request went ahead
                        : MsgType::CombinedRR;
@@ -684,6 +811,9 @@ CoherenceController::snoopComplete(NodeId node, SnoopMessage msg)
     if (p.replyBuffered) {
         SnoopMessage out = p.bufferedReply;
         out.acksCollected += 1;
+        // msg is the held *request*: its count is the authoritative ring
+        // coverage (the buffered reply's stopped at its last merge).
+        out.visits = msg.visits + 1;
         out.type = p.prim == Primitive::SnoopThenForward
                        ? MsgType::CombinedRR
                        : MsgType::SnoopReply;
@@ -692,6 +822,7 @@ CoherenceController::snoopComplete(NodeId node, SnoopMessage msg)
         releaseGate(node, msg.line, msg.txn);
         return;
     }
+    p.requestVisits = msg.visits + 1;
     p.waitingForReply = true;
 }
 
@@ -715,6 +846,7 @@ CoherenceController::supplierHit(NodeId node, SnoopMessage msg,
     out.found = true;
     out.supplier = node;
     out.acksCollected = msg.acksCollected + 1;
+    out.visits = msg.visits + 1;
     out.type = p.prim == Primitive::ForwardThenSnoop ? MsgType::SnoopReply
                                                      : MsgType::CombinedRR;
     forwardMessage(node, out);
@@ -726,6 +858,8 @@ CoherenceController::supplierHit(NodeId node, SnoopMessage msg,
         if (Transaction *txn = findTransaction(id)) {
             if (txn->squashed)
                 return; // the supplier kept its copy; retry refetches
+            if (txn->dataArrived)
+                return; // duplicated request hit a second supplier
             txn->dataArrived = true;
             deliverReadData(*txn, false);
         }
@@ -762,7 +896,11 @@ CoherenceController::handleTrailingReply(NodeId node,
     }
     if (p->waitingForReply) {
         SnoopMessage out = msg;
-        out.acksCollected += 1;
+        // A Forward marker (fault mode) passed the request on without
+        // snooping: it contributes coverage, not an ack.
+        if (p->prim != Primitive::Forward)
+            out.acksCollected += 1;
+        out.visits = p->requestVisits;
         out.type = p->prim == Primitive::SnoopThenForward
                        ? MsgType::CombinedRR
                        : MsgType::SnoopReply;
@@ -804,6 +942,15 @@ CoherenceController::handleAtRequester(Transaction &txn,
         return;
     }
 
+    // Fault recovery: a duplicated conclusion for a round that already
+    // ended -- every effect below was applied when the first copy
+    // arrived. (Squashes are handled above even when duplicated: a
+    // squash racing a found reply must still invalidate/retry.)
+    if (hardened() && txn.ringDone) {
+        _c.staleAbsorbed.inc();
+        return;
+    }
+
     if (msg.found) {
         txn.ringDone = true;
         _c.ringRoundsFound.inc();
@@ -819,6 +966,21 @@ CoherenceController::handleAtRequester(Transaction &txn,
     if (msg.type == MsgType::SnoopRequest) {
         // Our own request came back negative; the trailing reply (or a
         // found reply racing behind it) concludes the round.
+        return;
+    }
+
+    if (_faults && msg.visits != numNodes() - 1) {
+        // Part of the ring never processed the request (it was dropped,
+        // or a delayed copy was overtaken by its own trailing reply).
+        // Acting on this conclusion would skip live copies -- for a
+        // read, fetch a second supplier from memory; for a write, leave
+        // stale copies uninvalidated. Absorb it; the watchdog reissues.
+        _c.incompleteRejected.inc();
+        FS_LOG(Debug, _queue.now(), "ctrl",
+               "reject incomplete conclusion txn "
+                   << txn.id << " line 0x" << std::hex << txn.line
+                   << std::dec << " (visits " << msg.visits << "/"
+                   << numNodes() - 1 << ")");
         return;
     }
 
@@ -955,17 +1117,35 @@ CoherenceController::finishAndErase(TransactionId id)
     if (!slot)
         return;
     Transaction *txn = *slot;
+    const Addr line = txn->line;
     auto &out = _outstandingByLine[txn->requester];
-    const TransactionId *oid = out.find(txn->line);
+    const TransactionId *oid = out.find(line);
     if (oid && *oid == id)
-        out.erase(txn->line);
+        out.erase(line);
     _transactions.erase(id);
     _txnPool.release(txn);
+    // Fault recovery: traffic of this transaction may still be stuck in
+    // pending entries or line gates (its messages were dropped, or the
+    // watchdog closed it early). Reclaim them so the line cannot wedge;
+    // drained stale messages are absorbed on re-entry.
+    if (hardened())
+        sweepTransactionState(id, line);
 }
 
 void
 CoherenceController::retryTransaction(const Transaction &txn)
 {
+    if (txn.retries >= _params.maxRetries) {
+        _c.retryStormAborts.inc();
+        std::ostringstream os;
+        os << "retry storm: core " << txn.core << " exceeded "
+           << _params.maxRetries << " reissues of "
+           << (txn.kind == SnoopKind::Read ? "read" : "write")
+           << " to contended line 0x" << std::hex << txn.line << std::dec
+           << " at cycle " << _queue.now() << "\n";
+        dumpOutstanding(os);
+        throw RetryStormError(txn.line, txn.retries, os.str());
+    }
     _c.retries.inc();
     const CoreId core = txn.core;
     const Addr line = txn.line;
@@ -981,10 +1161,8 @@ CoherenceController::scheduleRetry(CoreId core, Addr line, SnoopKind kind,
                                    std::vector<CoreId> waiters)
 {
     // Exponential backoff keeps retry storms on heavily-contended lines
-    // from compounding (the paper's squash-retry scheme leaves the
-    // backoff policy open).
-    const Cycle backoff =
-        _params.retryBackoff * (Cycle{1} << std::min(retries, 4u));
+    // from compounding.
+    const Cycle backoff = retryBackoffCycles(_params, retries);
     _queue.schedule(backoff, [this, core, line, kind, retries,
                               waiters]() {
         // Re-enter through the full request path: the world may have

@@ -19,6 +19,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +42,28 @@ namespace flexsnoop
 {
 
 class ExpressPath;
+class FaultInjector;
+
+/**
+ * A transaction exceeded CoherenceParams::maxRetries. what() carries a
+ * diagnostic dump of all in-flight protocol state; line() names the
+ * contended line.
+ */
+class RetryStormError : public std::runtime_error
+{
+  public:
+    RetryStormError(Addr line, unsigned retries, const std::string &what)
+        : std::runtime_error(what), _line(line), _retries(retries)
+    {
+    }
+
+    Addr line() const { return _line; }
+    unsigned retries() const { return _retries; }
+
+  private:
+    Addr _line;
+    unsigned _retries;
+};
 
 class CoherenceController : public RequestPort
 {
@@ -97,6 +121,14 @@ class CoherenceController : public RequestPort
     StatGroup *expressStats();
     const StatGroup *expressStats() const;
 
+    /**
+     * Install the fault injector (unreliable-ring mode). Arming it
+     * disables the express path: coalesced plans assume loss-free
+     * per-hop delivery, so with injection on every hop must be a real
+     * link event the injector sees.
+     */
+    void setFaultInjector(FaultInjector *faults);
+
     /** Allocation behaviour of one object pool (docs/METRICS.md). */
     struct PoolUsage
     {
@@ -149,6 +181,23 @@ class CoherenceController : public RequestPort
     void scheduleRetry(CoreId core, Addr line, SnoopKind kind,
                        unsigned retries, std::vector<CoreId> waiters);
     void complete(CoreId core, Addr line, bool is_write, Cycle delay);
+
+    // --- Fault recovery (docs/FAULTS.md) --------------------------------
+    /**
+     * True when fault tolerance is active: stale/duplicate traffic is
+     * absorbed instead of asserting, and closed transactions sweep
+     * their leftover gateway state. Off by default so the fault-free
+     * protocol path is bit-identical to a build without the hooks.
+     */
+    bool
+    hardened() const
+    {
+        return _faults != nullptr || _params.watchdogCycles > 0;
+    }
+    void scheduleWatchdog(TransactionId id);
+    void watchdogExpire(TransactionId id);
+    /** Reclaim pending snoop state and line gates held by @p id. */
+    void sweepTransactionState(TransactionId id, Addr line);
 
     // --- Ring gateway side ----------------------------------------------
     void onRingMessage(NodeId node, const SnoopMessage &msg);
@@ -241,6 +290,12 @@ class CoherenceController : public RequestPort
         ScalarStat &readLatency;
         ScalarStat &writeLatency;
         Histogram &readLatencyHist;
+        // Fault recovery (docs/FAULTS.md); zero in fault-free runs.
+        Counter &watchdogTimeouts;
+        Counter &staleAbsorbed;
+        Counter &flipDegrades;
+        Counter &incompleteRejected;
+        Counter &retryStormAborts;
     };
 
     EventQueue &_queue;
@@ -276,6 +331,9 @@ class CoherenceController : public RequestPort
     /** Coalesced pass-through runs; null when disabled (strict mode). */
     std::unique_ptr<ExpressPath> _express;
     friend class ExpressPath; ///< probes/replays controller internals
+
+    /** Unreliable-ring mode; null (zero-cost) by default. */
+    FaultInjector *_faults = nullptr;
 
     StatGroup _stats;
     HotStats _c; ///< pre-resolved handles into _stats (must follow it)

@@ -44,6 +44,13 @@ ExpressPath::observe(void *self, Cycle when)
 bool
 ExpressPath::trySend(NodeId from, const SnoopMessage &msg)
 {
+    // Coalesced plans assume loss-free per-hop delivery; with fault
+    // injection armed every hop must be a real link event the injector
+    // sees. setFaultInjector() destroys the express path outright --
+    // this guard is belt-and-suspenders for any other wiring order.
+    if (_ctrl._faults)
+        return false;
+
     // Only one plan can be active (quiescence means the queue holds
     // nothing inside its window). A second send in the creation cycle
     // is exactly the interference cancel() exists for; the rescheduled

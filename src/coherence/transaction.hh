@@ -103,6 +103,12 @@ struct NodePending
      * running: the outcome is moot, finish the snoop silently.
      */
     bool abandoned = false;
+    /**
+     * SnoopMessage::visits of the request as of this node (this node
+     * included). Stamped onto the trailing reply when it merges here,
+     * so the conclusion carries the request's true ring coverage.
+     */
+    std::uint32_t requestVisits = 0;
 
     /** Re-initialize a recycled pool slot. */
     void
@@ -118,6 +124,7 @@ struct NodePending
         bufferedReply = SnoopMessage{};
         waitingForReply = false;
         abandoned = false;
+        requestVisits = 0;
     }
 };
 

@@ -9,19 +9,49 @@ namespace flexsnoop
 namespace
 {
 
+/**
+ * Strict unsigned parser with positional diagnostics. std::stoull alone
+ * is too permissive for config input: it accepts leading whitespace and
+ * a minus sign (wrapping the value), and silently stops at the first
+ * non-digit. Every rejection names the key, the offending value, and
+ * where in it the problem sits.
+ */
 std::uint64_t
 parseUnsigned(const std::string &key, const std::string &value)
 {
-    try {
-        std::size_t pos = 0;
-        const std::uint64_t parsed = std::stoull(value, &pos);
-        if (pos != value.size())
-            throw std::invalid_argument("trailing characters");
-        return parsed;
-    } catch (const std::exception &) {
-        throw std::invalid_argument("bad unsigned value for " + key +
-                                    ": '" + value + "'");
+    if (value.empty()) {
+        throw std::invalid_argument("empty value for " + key +
+                                    " (expected an unsigned integer)");
     }
+    for (std::size_t i = 0; i < value.size(); ++i) {
+        if (value[i] < '0' || value[i] > '9') {
+            std::ostringstream oss;
+            oss << "bad unsigned value for " << key << ": '" << value
+                << "' (unexpected character '" << value[i]
+                << "' at position " << i << ")";
+            throw std::invalid_argument(oss.str());
+        }
+    }
+    try {
+        return std::stoull(value);
+    } catch (const std::out_of_range &) {
+        throw std::invalid_argument("value for " + key +
+                                    " is out of range: '" + value + "'");
+    }
+}
+
+std::uint64_t
+parseUnsignedAtLeast(const std::string &key, const std::string &value,
+                     std::uint64_t minimum)
+{
+    const std::uint64_t parsed = parseUnsigned(key, value);
+    if (parsed < minimum) {
+        std::ostringstream oss;
+        oss << key << " must be at least " << minimum << ", got "
+            << parsed;
+        throw std::invalid_argument(oss.str());
+    }
+    return parsed;
 }
 
 bool
@@ -32,7 +62,17 @@ parseBool(const std::string &key, const std::string &value)
     if (value == "0" || value == "false" || value == "off")
         return false;
     throw std::invalid_argument("bad boolean value for " + key + ": '" +
-                                value + "'");
+                                value +
+                                "' (expected 0/1, true/false, on/off)");
+}
+
+std::string
+knownKeysMessage()
+{
+    std::string msg = "known keys:";
+    for (const auto &k : configKeys())
+        msg += " " + k;
+    return msg;
 }
 
 } // namespace
@@ -46,7 +86,8 @@ configKeys()
         "ring_serialization", "mem_local_rt",  "mem_remote_rt",
         "mem_prefetch_rt",  "prefetch_enabled", "cmp_snoop_time",
         "retry_backoff",    "max_outstanding", "algorithm",
-        "predictor",        "write_filtering",
+        "predictor",        "write_filtering", "watchdog_cycles",
+        "max_retries",
     };
     return kKeys;
 }
@@ -55,26 +96,32 @@ void
 applyOverride(MachineConfig &config, const std::string &assignment)
 {
     const auto eq = assignment.find('=');
-    if (eq == std::string::npos || eq == 0)
+    if (eq == std::string::npos) {
         throw std::invalid_argument("expected key=value, got '" +
-                                    assignment + "'");
+                                    assignment + "' (no '=' found)");
+    }
+    if (eq == 0) {
+        throw std::invalid_argument("expected key=value, got '" +
+                                    assignment + "' (empty key)");
+    }
     const std::string key = assignment.substr(0, eq);
     const std::string value = assignment.substr(eq + 1);
 
     if (key == "num_cmps") {
-        config.setNumCmps(
-            static_cast<std::size_t>(parseUnsigned(key, value)));
+        config.setNumCmps(static_cast<std::size_t>(
+            parseUnsignedAtLeast(key, value, 2)));
     } else if (key == "cores_per_cmp") {
-        config.coresPerCmp =
-            static_cast<std::size_t>(parseUnsigned(key, value));
+        config.coresPerCmp = static_cast<std::size_t>(
+            parseUnsignedAtLeast(key, value, 1));
     } else if (key == "l2_entries") {
-        config.l2Entries =
-            static_cast<std::size_t>(parseUnsigned(key, value));
+        config.l2Entries = static_cast<std::size_t>(
+            parseUnsignedAtLeast(key, value, 1));
     } else if (key == "l2_ways") {
-        config.l2Ways = static_cast<std::size_t>(parseUnsigned(key, value));
+        config.l2Ways = static_cast<std::size_t>(
+            parseUnsignedAtLeast(key, value, 1));
     } else if (key == "num_rings") {
-        config.numRings =
-            static_cast<std::size_t>(parseUnsigned(key, value));
+        config.numRings = static_cast<std::size_t>(
+            parseUnsignedAtLeast(key, value, 1));
     } else if (key == "ring_link_latency") {
         config.ring.linkLatency = parseUnsigned(key, value);
     } else if (key == "ring_serialization") {
@@ -91,9 +138,14 @@ applyOverride(MachineConfig &config, const std::string &assignment)
         config.coherence.cmpSnoopTime = parseUnsigned(key, value);
     } else if (key == "retry_backoff") {
         config.coherence.retryBackoff = parseUnsigned(key, value);
+    } else if (key == "watchdog_cycles") {
+        config.coherence.watchdogCycles = parseUnsigned(key, value);
+    } else if (key == "max_retries") {
+        config.coherence.maxRetries = static_cast<unsigned>(
+            parseUnsignedAtLeast(key, value, 1));
     } else if (key == "max_outstanding") {
-        config.core.maxOutstanding =
-            static_cast<std::size_t>(parseUnsigned(key, value));
+        config.core.maxOutstanding = static_cast<std::size_t>(
+            parseUnsignedAtLeast(key, value, 1));
     } else if (key == "write_filtering") {
         config.writeFiltering = parseBool(key, value);
     } else if (key == "algorithm") {
@@ -108,7 +160,8 @@ applyOverride(MachineConfig &config, const std::string &assignment)
         }
         config.predictor = forced;
     } else {
-        throw std::invalid_argument("unknown configuration key: " + key);
+        throw std::invalid_argument("unknown configuration key '" + key +
+                                    "'; " + knownKeysMessage());
     }
 }
 
@@ -116,8 +169,16 @@ void
 applyOverrides(MachineConfig &config,
                const std::vector<std::string> &assignments)
 {
-    for (const auto &assignment : assignments)
-        applyOverride(config, assignment);
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        try {
+            applyOverride(config, assignments[i]);
+        } catch (const std::invalid_argument &e) {
+            std::ostringstream oss;
+            oss << "override #" << (i + 1) << " ('" << assignments[i]
+                << "'): " << e.what();
+            throw std::invalid_argument(oss.str());
+        }
+    }
 }
 
 std::string
@@ -138,7 +199,9 @@ describeConfig(const MachineConfig &config)
         << " mem_prefetch_rt=" << config.memory.remotePrefetchRoundTrip
         << " prefetch_enabled=" << config.memory.prefetchEnabled
         << " write_filtering=" << config.writeFiltering
-        << " max_outstanding=" << config.core.maxOutstanding;
+        << " max_outstanding=" << config.core.maxOutstanding
+        << " watchdog_cycles=" << config.coherence.watchdogCycles
+        << " max_retries=" << config.coherence.maxRetries;
     return oss.str();
 }
 

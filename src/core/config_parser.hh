@@ -8,7 +8,13 @@
  * cores_per_cmp, l2_entries, l2_ways, num_rings, ring_link_latency,
  * ring_serialization, mem_local_rt, mem_remote_rt, mem_prefetch_rt,
  * prefetch_enabled, cmp_snoop_time, retry_backoff, max_outstanding,
- * algorithm, predictor.
+ * algorithm, predictor, write_filtering, watchdog_cycles, max_retries.
+ *
+ * Values are validated strictly: malformed numbers are rejected with
+ * the offending character position, structurally-invalid sizes (e.g.
+ * num_cmps=1) name the violated bound, and unknown keys list the
+ * accepted ones. applyOverrides() additionally reports which override
+ * in the sequence failed.
  */
 
 #ifndef FLEXSNOOP_CORE_CONFIG_PARSER_HH

@@ -1,11 +1,17 @@
 #include "core/experiment.hh"
 
 #include <cassert>
+#include <cctype>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <iomanip>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/parallel_executor.hh"
+#include "core/report.hh"
 #include "workload/synthetic_generator.hh"
 
 namespace flexsnoop
@@ -114,6 +120,131 @@ runMatrix(const std::vector<Algorithm> &algorithms,
         out[p].runs.reserve(width);
         for (std::size_t i = 0; i < width; ++i)
             out[p].runs.push_back(std::move(runs[p * width + i]));
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Resume key: a cell is identified by what writeCsvRow records. */
+std::string
+cellKey(const std::string &workload, const std::string &algorithm,
+        const std::string &predictor)
+{
+    return workload + '\x1f' + algorithm + '\x1f' + predictor;
+}
+
+std::string
+sanitizeFileComponent(std::string s)
+{
+    for (char &c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+            c != '_')
+            c = '_';
+    }
+    return s;
+}
+
+} // namespace
+
+std::vector<RunResult>
+runCellsHardened(const std::vector<PlannedCell> &cells, std::size_t jobs,
+                 const SweepHardening &hardening)
+{
+    // Resume: rows already checkpointed by a previous (partial) sweep
+    // are reused verbatim. Only successful rows ever reach the file,
+    // so failed cells are retried automatically.
+    std::map<std::string, RunResult> resumed;
+    if (!hardening.checkpointPath.empty()) {
+        for (RunResult &r : loadCsvFile(hardening.checkpointPath)) {
+            if (!r.failed) {
+                std::string key =
+                    cellKey(r.workload, r.algorithm, r.predictor);
+                resumed.emplace(std::move(key), std::move(r));
+            }
+        }
+    }
+
+    std::ofstream checkpoint;
+    std::mutex checkpoint_mutex;
+    if (!hardening.checkpointPath.empty()) {
+        // Rewrite rather than append: resumed rows are re-emitted below
+        // as their cells complete, and rows of cells no longer in the
+        // plan must not linger.
+        checkpoint.open(hardening.checkpointPath, std::ios::trunc);
+        if (!checkpoint) {
+            throw std::runtime_error("cannot open checkpoint file: " +
+                                     hardening.checkpointPath);
+        }
+        writeCsvHeader(checkpoint);
+        checkpoint.flush();
+    }
+
+    std::vector<RunResult> out(cells.size());
+    std::vector<ParallelExecutor::Job> batch;
+    batch.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        batch.push_back([&, i]() {
+            const PlannedCell &cell = cells[i];
+            MachineConfig cfg = cell.cfg;
+            if (hardening.cellWallClockLimitSec > 0 &&
+                cfg.guards.wallClockLimitSec == 0)
+                cfg.guards.wallClockLimitSec =
+                    hardening.cellWallClockLimitSec;
+
+            const std::string key =
+                cellKey(cell.workload,
+                        std::string(toString(cfg.algorithm)),
+                        cfg.predictor.id);
+            if (auto it = resumed.find(key); it != resumed.end()) {
+                out[i] = it->second;
+            } else {
+                assert(cell.traces && "planned cell without traces");
+                out[i] = runSimulation(cfg, *cell.traces, cell.workload);
+            }
+
+            if (checkpoint.is_open()) {
+                std::lock_guard<std::mutex> lock(checkpoint_mutex);
+                writeCsvRow(checkpoint, out[i]);
+                checkpoint.flush();
+            }
+        });
+    }
+
+    ParallelExecutor pool(jobs);
+    const auto errors = pool.runCollect(batch);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!errors[i])
+            continue;
+        RunResult &r = out[i];
+        r = RunResult{};
+        r.workload = cells[i].workload;
+        r.algorithm = std::string(toString(cells[i].cfg.algorithm));
+        r.predictor = cells[i].cfg.predictor.id;
+        r.failed = true;
+        std::string dump;
+        try {
+            std::rethrow_exception(errors[i]);
+        } catch (const SimulationStuckError &e) {
+            r.error = e.what();
+            dump = e.stuckDump();
+        } catch (const std::exception &e) {
+            r.error = e.what();
+        } catch (...) {
+            r.error = "unknown error";
+        }
+        if (!hardening.dumpDir.empty() && !dump.empty()) {
+            std::filesystem::create_directories(hardening.dumpDir);
+            const std::string path =
+                hardening.dumpDir + "/stuck_cell" + std::to_string(i) +
+                "_" + sanitizeFileComponent(r.workload) + "_" +
+                sanitizeFileComponent(r.algorithm) + ".txt";
+            std::ofstream df(path);
+            if (df)
+                df << r.error << "\n\n" << dump;
+        }
     }
     return out;
 }

@@ -82,6 +82,50 @@ runMatrix(const std::vector<Algorithm> &algorithms,
 RunResult runOne(Algorithm algorithm, const WorkloadProfile &profile,
                  const std::string &predictor_name = "");
 
+/**
+ * One cell of a hardened sweep: a fully-resolved machine configuration
+ * plus the (shared, caller-owned) traces it replays. @p traces must
+ * outlive the runCellsHardened() call.
+ */
+struct PlannedCell
+{
+    MachineConfig cfg;
+    const CoreTraces *traces = nullptr;
+    std::string workload;
+};
+
+/** Robustness options of runCellsHardened() (docs/FAULTS.md). */
+struct SweepHardening
+{
+    /**
+     * Per-cell wall-clock budget in seconds (0 = none). Applied to any
+     * cell that does not already set guards.wallClockLimitSec.
+     */
+    double cellWallClockLimitSec = 0.0;
+
+    /**
+     * Incremental checkpoint CSV (empty = off). Each successful cell
+     * appends its row immediately; on a re-run, cells whose
+     * (workload, algorithm, predictor) key is already present are
+     * served from the file instead of re-simulated. Failed cells are
+     * never checkpointed, so a resume retries them.
+     */
+    std::string checkpointPath;
+
+    /** Directory for stuck-transaction dumps (empty = don't write). */
+    std::string dumpDir;
+};
+
+/**
+ * Run every cell across @p jobs workers with crash isolation: a cell
+ * that throws (stuck simulation, retry storm, coherence violation) is
+ * returned as a RunResult with failed=true and the message in `error`,
+ * and the other cells run to completion. Results are in @p cells order.
+ */
+std::vector<RunResult>
+runCellsHardened(const std::vector<PlannedCell> &cells, std::size_t jobs,
+                 const SweepHardening &hardening);
+
 /** Arithmetic mean of @p metric over a set of runs. */
 double arithMean(const std::vector<double> &values);
 

@@ -56,6 +56,12 @@ Machine::Machine(const MachineConfig &config)
         _queue, *_ring, *_data, *_memory, _energy, *_policy, _nodes,
         config.coherence);
     _checker = std::make_unique<CoherenceChecker>(_nodes);
+
+    if (config.faults.armed()) {
+        _faults = std::make_unique<FaultInjector>(config.faults);
+        _ring->setFaultInjector(_faults.get());
+        _controller->setFaultInjector(_faults.get());
+    }
 }
 
 void
@@ -67,6 +73,8 @@ Machine::resetStats()
         express->reset();
     _memory->stats().reset();
     _data->stats().reset();
+    if (_faults)
+        _faults->stats().reset();
     for (std::size_t r = 0; r < _ring->numRings(); ++r)
         _ring->ring(r).stats().reset();
     for (auto &node : _nodes) {

@@ -39,6 +39,10 @@ class Machine
     std::size_t numNodes() const { return _nodes.size(); }
     const CoherenceChecker &checker() const { return *_checker; }
 
+    /** Fault injector, or nullptr when config().faults is disarmed. */
+    FaultInjector *faultInjector() { return _faults.get(); }
+    const FaultInjector *faultInjector() const { return _faults.get(); }
+
     /**
      * Reset all statistics and the energy account (used at the warmup
      * barrier so only the measured phase is reported).
@@ -74,6 +78,7 @@ class Machine
     std::vector<std::unique_ptr<CmpNode>> _nodes;
     std::unique_ptr<CoherenceController> _controller;
     std::unique_ptr<CoherenceChecker> _checker;
+    std::unique_ptr<FaultInjector> _faults; ///< null when disarmed
 };
 
 } // namespace flexsnoop

@@ -12,6 +12,7 @@
 #include "net/data_network.hh"
 #include "net/ring.hh"
 #include "predictor/predictor_config.hh"
+#include "sim/fault_injector.hh"
 #include "snoop/snoop_policy.hh"
 #include "workload/core_model.hh"
 
@@ -51,6 +52,27 @@ struct MachineConfig
      */
     bool writeFiltering = false;
     std::vector<unsigned> presenceBloomFields = {12, 8, 10};
+
+    /**
+     * Unreliable-ring mode (docs/FAULTS.md): when armed(), the machine
+     * instantiates a FaultInjector on every ring link and predictor.
+     * Disarmed by default; the machine is then built without any
+     * injector and is bit-identical to a build without the hooks.
+     */
+    FaultConfig faults;
+
+    /**
+     * Machine-level liveness guards used by runSimulation (docs/
+     * FAULTS.md). Zero values disable each guard.
+     */
+    struct SimGuards
+    {
+        /** Abort if no core makes progress for this many cycles. */
+        Cycle progressCheckCycles = 0;
+        /** Abort a run exceeding this wall-clock budget (seconds). */
+        double wallClockLimitSec = 0.0;
+    };
+    SimGuards guards;
 
     std::size_t numCores() const { return numCmps * coresPerCmp; }
 

@@ -45,7 +45,31 @@ ParallelExecutor::run(const std::vector<Job> &jobs)
         return;
     }
 
+    auto errors = runCollect(jobs);
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+std::vector<std::exception_ptr>
+ParallelExecutor::runCollect(const std::vector<Job> &jobs)
+{
     std::vector<std::exception_ptr> errors(jobs.size());
+    if (jobs.empty())
+        return errors;
+
+    if (_threads.empty()) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            try {
+                jobs[i]();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+        return errors;
+    }
+
     {
         std::lock_guard<std::mutex> lock(_m);
         _jobs = &jobs;
@@ -62,11 +86,7 @@ ParallelExecutor::run(const std::vector<Job> &jobs)
         _jobs = nullptr;
         _errors = nullptr;
     }
-
-    for (auto &e : errors) {
-        if (e)
-            std::rethrow_exception(e);
-    }
+    return errors;
 }
 
 void

@@ -61,6 +61,16 @@ class ParallelExecutor
     void run(const std::vector<Job> &jobs);
 
     /**
+     * Like run(), but with per-job crash isolation: every job executes
+     * regardless of other jobs' failures, and nothing is rethrown. The
+     * returned vector holds one entry per job, null on success and the
+     * captured exception otherwise — the hardened-sweep building block
+     * (one failing cell must not kill the batch).
+     */
+    std::vector<std::exception_ptr>
+    runCollect(const std::vector<Job> &jobs);
+
+    /**
      * Evaluate fn(0..count-1) across the pool and return the results in
      * index order. The result type must be default-constructible and
      * move-assignable.

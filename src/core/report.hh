@@ -7,6 +7,7 @@
 #ifndef FLEXSNOOP_CORE_REPORT_HH
 #define FLEXSNOOP_CORE_REPORT_HH
 
+#include <istream>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -20,9 +21,30 @@ namespace flexsnoop
  * Write @p results as CSV with a header row. Columns cover every
  * figure's metric: workload, algorithm, predictor, exec_cycles,
  * read_requests, snoops_per_request, link_msgs_per_request, energy_nj
- * (+ breakdown), predictor accuracy counts, and supporting detail.
+ * (+ breakdown), predictor accuracy counts, fault/recovery counters,
+ * and supporting detail. The free-text `error` column is sanitized
+ * (commas and newlines become ';') so rows stay one line.
  */
 void writeCsv(std::ostream &os, const std::vector<RunResult> &results);
+
+/** Write only the CSV header row (incremental checkpoint files). */
+void writeCsvHeader(std::ostream &os);
+
+/** Append one result as a CSV row (no header). */
+void writeCsvRow(std::ostream &os, const RunResult &r);
+
+/**
+ * Parse CSV previously produced by writeCsv()/writeCsvRow() back into
+ * results (sweep resume). Columns are matched by header name, so a file
+ * from an older build lacking newer columns still loads; unknown
+ * columns or malformed cells throw std::runtime_error naming the
+ * line/column.
+ */
+std::vector<RunResult> loadCsv(std::istream &is);
+
+/** loadCsv() on @p path; returns {} when the file does not open (a
+ *  resume with no previous checkpoint). */
+std::vector<RunResult> loadCsvFile(const std::string &path);
 
 /** Write @p results as a JSON array of objects (same fields as CSV). */
 void writeJson(std::ostream &os, const std::vector<RunResult> &results);

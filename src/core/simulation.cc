@@ -1,14 +1,61 @@
 #include "core/simulation.hh"
 
 #include <cassert>
+#include <chrono>
+#include <functional>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/fault_injector.hh"
 #include "sim/log.hh"
 
 namespace flexsnoop
 {
+
+namespace
+{
+
+/** Full liveness post-mortem: every unfinished core, its in-flight
+ *  lines, and the controller's transaction/gateway state. */
+std::string
+describeStuckState(Machine &machine, WorkloadRunner &runner)
+{
+    std::ostringstream os;
+    os << "stuck at cycle " << machine.queue().now() << "\n";
+    for (std::size_t c = 0; c < runner.numCores(); ++c) {
+        TraceCore &core = runner.core(c);
+        if (core.done())
+            continue;
+        os << "core " << core.id() << ": issued " << core.refsIssued()
+           << ", outstanding " << core.outstanding()
+           << (core.atBarrier() ? ", at warmup barrier" : "") << "\n";
+        for (const auto &[line, count] : core.inFlight()) {
+            os << "  awaiting line 0x" << std::hex << line << std::dec
+               << " x" << count << "\n";
+        }
+    }
+    machine.controller().dumpOutstanding(os);
+    return os.str();
+}
+
+/** Sum of references issued and completed over all cores: strictly
+ *  increases while the workload moves, frozen in deadlock *and* in
+ *  livelock (endless squash/retry completes nothing). */
+std::uint64_t
+progressMetric(WorkloadRunner &runner)
+{
+    std::uint64_t progress = 0;
+    for (std::size_t c = 0; c < runner.numCores(); ++c) {
+        TraceCore &core = runner.core(c);
+        progress += core.refsIssued() +
+                    core.stats().counterValue("completions");
+    }
+    return progress;
+}
+
+} // namespace
 
 void
 RunResult::dump(std::ostream &os) const
@@ -29,6 +76,19 @@ RunResult::dump(std::ostream &os) const
            << trueNegatives / n << " / " << falsePositives / n << " / "
            << falseNegatives / n << '\n';
     }
+    if (faultLinkDecisions > 0) {
+        os << "  faults drop/dup/delay  " << faultDrops << " / "
+           << faultDups << " / " << faultDelays << " (of "
+           << faultLinkDecisions << " link sends)\n"
+           << "  predictor flips        " << faultPredictorFlips
+           << " (degrades " << predictorFlipDegrades << ")\n"
+           << "  watchdog timeouts      " << watchdogTimeouts << '\n'
+           << "  stale msgs absorbed    " << staleMessagesAbsorbed << '\n'
+           << "  incomplete rejected    "
+           << incompleteConclusionsRejected << '\n';
+    }
+    if (failed)
+        os << "  FAILED: " << error << '\n';
     os.unsetf(std::ios::fixed);
 }
 
@@ -44,7 +104,64 @@ runSimulation(const MachineConfig &config, const CoreTraces &traces,
                           config.core);
     runner.setWarmupDoneFn([&machine]() { machine.resetStats(); });
 
+    // Liveness guards (docs/FAULTS.md): armed whenever faults are on or
+    // a guard is configured explicitly; never scheduled otherwise, so a
+    // plain run's event stream is untouched. The self-rescheduling
+    // check event can extend the drain tail by up to one interval.
+    const bool guardsOn = config.faults.armed() ||
+                          config.guards.progressCheckCycles > 0 ||
+                          config.guards.wallClockLimitSec > 0;
+    if (guardsOn) {
+        const Cycle step = config.guards.progressCheckCycles > 0
+                               ? config.guards.progressCheckCycles
+                               : Cycle{1'000'000};
+        const double wall_limit = config.guards.wallClockLimitSec;
+        const auto wall_start = std::chrono::steady_clock::now();
+        auto last = std::make_shared<std::uint64_t>(progressMetric(runner));
+        auto tick = std::make_shared<std::function<void()>>();
+        *tick = [&machine, &runner, step, wall_limit, wall_start, last,
+                 tick]() {
+            if (runner.allDone() &&
+                machine.controller().outstanding() == 0)
+                return; // finished; stop rescheduling so the queue drains
+            if (wall_limit > 0) {
+                const double sec =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+                if (sec > wall_limit) {
+                    std::ostringstream oss;
+                    oss << "simulation exceeded wall-clock limit ("
+                        << wall_limit << " s)";
+                    throw SimulationStuckError(
+                        oss.str(), describeStuckState(machine, runner));
+                }
+            }
+            const std::uint64_t now_progress = progressMetric(runner);
+            if (now_progress == *last) {
+                std::ostringstream oss;
+                oss << "no forward progress for " << step
+                    << " cycles (deadlock or livelock)";
+                throw SimulationStuckError(
+                    oss.str(), describeStuckState(machine, runner));
+            }
+            *last = now_progress;
+            machine.queue().schedule(step, [tick]() { (*tick)(); });
+        };
+        machine.queue().schedule(step, [tick]() { (*tick)(); });
+    }
+
     const Cycle measured = runner.run();
+
+    // The queue drained; nothing can ever move again. Any unfinished
+    // core or live transaction is a hard deadlock (e.g. a dropped
+    // message with the watchdog disabled).
+    if (!runner.allDone() || machine.controller().outstanding() != 0) {
+        throw SimulationStuckError(
+            "event queue drained with unfinished work: protocol deadlock",
+            describeStuckState(machine, runner));
+    }
+
     machine.finalizeEnergy();
 
     // The protocol must leave the caches in a coherent state. This is a
@@ -119,6 +236,22 @@ runSimulation(const MachineConfig &config, const CoreTraces &traces,
             "read_latency_hist", 50.0, 80);
         r.p50ReadLatency = hist.percentile(0.5);
         r.p95ReadLatency = hist.percentile(0.95);
+    }
+
+    r.watchdogTimeouts = cstats.counterValue("watchdog_timeouts");
+    r.staleMessagesAbsorbed =
+        cstats.counterValue("stale_messages_absorbed");
+    r.predictorFlipDegrades =
+        cstats.counterValue("predictor_flip_degrades");
+    r.incompleteConclusionsRejected =
+        cstats.counterValue("incomplete_conclusions_rejected");
+    r.retryStormAborts = cstats.counterValue("retry_storm_aborts");
+    if (const FaultInjector *faults = machine.faultInjector()) {
+        r.faultLinkDecisions = faults->linkDecisions();
+        r.faultDrops = faults->dropsInjected();
+        r.faultDups = faults->dupsInjected();
+        r.faultDelays = faults->delaysInjected();
+        r.faultPredictorFlips = faults->predictorFlips();
     }
     return r;
 }

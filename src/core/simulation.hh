@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 
 #include "core/machine.hh"
@@ -65,6 +66,25 @@ struct RunResult
     double p50ReadLatency = 0.0;
     double p95ReadLatency = 0.0;
 
+    // Fault injection & recovery (docs/FAULTS.md); all zero when the
+    // machine runs without a fault injector.
+    std::uint64_t faultLinkDecisions = 0;  ///< link sends the injector saw
+    std::uint64_t faultDrops = 0;
+    std::uint64_t faultDups = 0;
+    std::uint64_t faultDelays = 0;
+    std::uint64_t faultPredictorFlips = 0;
+    std::uint64_t watchdogTimeouts = 0;
+    std::uint64_t staleMessagesAbsorbed = 0;
+    std::uint64_t predictorFlipDegrades = 0;
+    std::uint64_t incompleteConclusionsRejected = 0;
+    std::uint64_t retryStormAborts = 0;
+
+    // Hardened-sweep bookkeeping (Experiment::runCellsHardened): a cell
+    // whose run threw is recorded as failed instead of killing the
+    // sweep; `error` carries the exception message.
+    bool failed = false;
+    std::string error;
+
     std::uint64_t
     predictions() const
     {
@@ -73,6 +93,27 @@ struct RunResult
     }
 
     void dump(std::ostream &os) const;
+};
+
+/**
+ * A simulation lost liveness: the event queue drained with unfinished
+ * cores/transactions (deadlock), the progress monitor saw no forward
+ * progress for a whole check interval (livelock), or the wall-clock
+ * budget was exceeded. stuckDump() carries the full state of every
+ * stuck core and in-flight transaction for post-mortem.
+ */
+class SimulationStuckError : public std::runtime_error
+{
+  public:
+    SimulationStuckError(const std::string &what, std::string dump)
+        : std::runtime_error(what), _dump(std::move(dump))
+    {
+    }
+
+    const std::string &stuckDump() const { return _dump; }
+
+  private:
+    std::string _dump;
 };
 
 /**

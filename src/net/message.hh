@@ -71,6 +71,15 @@ struct SnoopMessage
      * accumulated so far (used to know when a reply is complete).
      */
     std::uint32_t acksCollected = 0;
+    /**
+     * Number of ring nodes whose processing of the *request* is folded
+     * into this message — snooped, filtered, or consciously forwarded.
+     * A full round ends with visits == numNodes - 1; anything less
+     * means part of the ring never saw the request (a lost message).
+     * Only consulted in unreliable-ring mode (docs/FAULTS.md): on a
+     * loss-free ring every conclusion is trivially complete.
+     */
+    std::uint32_t visits = 0;
 };
 
 } // namespace flexsnoop

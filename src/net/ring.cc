@@ -3,6 +3,7 @@
 #include <cassert>
 #include <memory>
 
+#include "sim/fault_injector.hh"
 #include "sim/log.hh"
 
 namespace flexsnoop
@@ -33,7 +34,7 @@ Ring::send(NodeId from, const SnoopMessage &msg)
     const Cycle now = _queue.now();
     const Cycle start = std::max(now, _linkFree[from]);
     _linkFree[from] = start + _params.serialization;
-    const Cycle arrive = start + _params.linkLatency;
+    Cycle arrive = start + _params.linkLatency;
 
     _linkTraversals.inc();
     if (start > now)
@@ -43,6 +44,39 @@ Ring::send(NodeId from, const SnoopMessage &msg)
            toString(msg.type) << " txn " << msg.txn << " line 0x"
                               << std::hex << msg.line << std::dec << " "
                               << from << "->" << to << " arr " << arrive);
+
+    if (_faults) {
+        switch (_faults->onLinkSend()) {
+          case FaultInjector::LinkAction::Drop:
+            // The message occupied the link but never arrives; the
+            // requester's watchdog recovers the transaction.
+            FS_LOG(Debug, now, _stats.name(),
+                   "FAULT drop txn " << msg.txn << " " << from << "->"
+                                     << to);
+            return;
+          case FaultInjector::LinkAction::Duplicate: {
+            // A second copy follows back-to-back: it occupies the link
+            // again and arrives one serialization slot later.
+            const Cycle start2 = _linkFree[from];
+            _linkFree[from] = start2 + _params.serialization;
+            _linkTraversals.inc();
+            FS_LOG(Debug, now, _stats.name(),
+                   "FAULT dup txn " << msg.txn << " " << from << "->"
+                                    << to);
+            _queue.scheduleAt(start2 + _params.linkLatency,
+                              [this, to, msg]() { _handlers[to](msg); });
+            break;
+          }
+          case FaultInjector::LinkAction::Delay:
+            FS_LOG(Debug, now, _stats.name(),
+                   "FAULT delay txn " << msg.txn << " " << from << "->"
+                                      << to);
+            arrive += _faults->delayCycles();
+            break;
+          case FaultInjector::LinkAction::None:
+            break;
+        }
+    }
 
     _queue.scheduleAt(arrive, [this, to, msg]() {
         assert(_handlers[to] && "message arrived at node with no handler");
@@ -67,6 +101,13 @@ RingNetwork::setHandler(NodeId n, Ring::Handler h)
 {
     for (auto &ring : _rings)
         ring->setHandler(n, h);
+}
+
+void
+RingNetwork::setFaultInjector(FaultInjector *faults)
+{
+    for (auto &ring : _rings)
+        ring->setFaultInjector(faults);
 }
 
 std::uint64_t

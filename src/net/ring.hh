@@ -26,6 +26,8 @@
 namespace flexsnoop
 {
 
+class FaultInjector;
+
 /** Timing configuration of one embedded ring. */
 struct RingParams
 {
@@ -76,8 +78,19 @@ class Ring
     /**
      * Transmit @p msg on the link leaving node @p from; it is delivered
      * to the successor node. Accounts one link-message (energy/stats).
+     *
+     * With a fault injector installed, the traversal may be dropped
+     * (link occupied, message never arrives), duplicated (a second
+     * copy follows back-to-back), or delayed.
      */
     void send(NodeId from, const SnoopMessage &msg);
+
+    /**
+     * Install (or remove, with nullptr) the fault injector consulted
+     * on every link traversal. Unset by default: the hook is a single
+     * null-pointer check on the send path.
+     */
+    void setFaultInjector(FaultInjector *faults) { _faults = faults; }
 
     /** Total messages that traversed any link of this ring. */
     std::uint64_t linkTraversals() const
@@ -123,6 +136,7 @@ class Ring
     RingParams _params;
     std::vector<Handler> _handlers;
     std::vector<Cycle> _linkFree; ///< next cycle each outgoing link is idle
+    FaultInjector *_faults = nullptr; ///< unreliable-ring mode hook
     StatGroup _stats;
     Counter &_linkTraversals;   ///< cached handle (send() hot path)
     ScalarStat &_linkQueueing;  ///< cached handle (send() hot path)
@@ -156,6 +170,9 @@ class RingNetwork
 
     /** Register node @p n's handler on every ring. */
     void setHandler(NodeId n, Ring::Handler h);
+
+    /** Install the fault injector on every ring. */
+    void setFaultInjector(FaultInjector *faults);
 
     /** Send @p msg (routed by its line address) out of node @p from. */
     void

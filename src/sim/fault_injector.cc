@@ -1,0 +1,149 @@
+#include "sim/fault_injector.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+double
+parseRate(const std::string &key, const std::string &value)
+{
+    double rate = 0.0;
+    std::size_t pos = 0;
+    try {
+        rate = std::stod(value, &pos);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("fault spec: bad rate for '" + key +
+                                    "': '" + value + "'");
+    }
+    if (pos != value.size())
+        throw std::invalid_argument(
+            "fault spec: trailing characters in rate for '" + key +
+            "': '" + value + "'");
+    if (rate < 0.0 || rate >= 1.0)
+        throw std::invalid_argument("fault spec: rate for '" + key +
+                                    "' must be in [0, 1), got '" + value +
+                                    "'");
+    return rate;
+}
+
+std::uint64_t
+parseCount(const std::string &key, const std::string &value)
+{
+    std::uint64_t parsed = 0;
+    std::size_t pos = 0;
+    try {
+        parsed = std::stoull(value, &pos);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("fault spec: bad value for '" + key +
+                                    "': '" + value + "'");
+    }
+    if (pos != value.size() || (!value.empty() && value[0] == '-'))
+        throw std::invalid_argument("fault spec: bad value for '" + key +
+                                    "': '" + value + "'");
+    return parsed;
+}
+
+} // namespace
+
+FaultConfig
+FaultConfig::fromSpec(const std::string &spec)
+{
+    FaultConfig config;
+    std::istringstream iss(spec);
+    std::string item;
+    bool any = false;
+    while (std::getline(iss, item, ',')) {
+        if (item.empty())
+            continue;
+        any = true;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw std::invalid_argument(
+                "fault spec: expected key=value, got '" + item + "'");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "drop") {
+            config.dropRate = parseRate(key, value);
+        } else if (key == "dup") {
+            config.dupRate = parseRate(key, value);
+        } else if (key == "delay") {
+            config.delayRate = parseRate(key, value);
+        } else if (key == "predictor") {
+            config.predictorRate = parseRate(key, value);
+        } else if (key == "seed") {
+            config.seed = parseCount(key, value);
+        } else if (key == "delay_cycles") {
+            config.delayCycles = parseCount(key, value);
+        } else {
+            throw std::invalid_argument(
+                "fault spec: unknown key '" + key +
+                "' (expected drop, dup, delay, predictor, seed, "
+                "delay_cycles)");
+        }
+    }
+    if (!any)
+        throw std::invalid_argument("fault spec: empty specification");
+    if (config.dropRate + config.dupRate + config.delayRate >= 1.0)
+        throw std::invalid_argument(
+            "fault spec: drop+dup+delay rates must sum below 1");
+    return config;
+}
+
+std::string
+FaultConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "drop=" << dropRate << ",dup=" << dupRate
+        << ",delay=" << delayRate << ",predictor=" << predictorRate
+        << ",seed=" << seed << ",delay_cycles=" << delayCycles;
+    return oss.str();
+}
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : _config(config), _linkRng(config.seed),
+      _predRng(config.seed ^ 0xf4a7c159e3779b97ull), _stats("faults"),
+      _linkDecisions(_stats.counter("link_decisions")),
+      _drops(_stats.counter("drops_injected")),
+      _dups(_stats.counter("dups_injected")),
+      _delays(_stats.counter("delays_injected")),
+      _predLookups(_stats.counter("predictor_lookups")),
+      _flips(_stats.counter("predictor_flips"))
+{
+}
+
+FaultInjector::LinkAction
+FaultInjector::onLinkSend()
+{
+    _linkDecisions.inc();
+    const double u = _linkRng.nextDouble();
+    if (u < _config.dropRate) {
+        _drops.inc();
+        return LinkAction::Drop;
+    }
+    if (u < _config.dropRate + _config.dupRate) {
+        _dups.inc();
+        return LinkAction::Duplicate;
+    }
+    if (u < _config.dropRate + _config.dupRate + _config.delayRate) {
+        _delays.inc();
+        return LinkAction::Delay;
+    }
+    return LinkAction::None;
+}
+
+bool
+FaultInjector::flipPrediction()
+{
+    _predLookups.inc();
+    if (!_predRng.chance(_config.predictorRate))
+        return false;
+    _flips.inc();
+    return true;
+}
+
+} // namespace flexsnoop

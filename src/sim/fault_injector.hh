@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the unreliable-ring mode
+ * (docs/FAULTS.md).
+ *
+ * The injector models two hardware failure classes of an embedded-ring
+ * multiprocessor:
+ *  - link faults: a snoop message traversing a ring link may be
+ *    dropped, duplicated, or delayed (transient link/router errors);
+ *  - predictor soft errors: a supplier/presence predictor lookup
+ *    returns the flipped answer (SRAM bit flips), which violates the
+ *    Subset FN-only / Superset FP-only contracts and must be absorbed
+ *    by degrading to the safe primitive in the controller.
+ *
+ * All decisions are drawn from seeded xoshiro256** streams (one for
+ * link faults, one for predictor flips) in event-execution order, so a
+ * run with a given (workload, config, fault seed) is bit-reproducible.
+ */
+
+#ifndef FLEXSNOOP_SIM_FAULT_INJECTOR_HH
+#define FLEXSNOOP_SIM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+/**
+ * Fault-injection configuration. All rates are per-decision
+ * probabilities in [0, 1): link rates apply per link traversal,
+ * predictorRate per predictor lookup at a gateway.
+ */
+struct FaultConfig
+{
+    double dropRate = 0.0;      ///< message vanishes on the link
+    double dupRate = 0.0;       ///< message delivered twice
+    double delayRate = 0.0;     ///< message arrives delayCycles late
+    double predictorRate = 0.0; ///< predictor answer is inverted
+    Cycle delayCycles = 500;    ///< extra latency of a delayed message
+    std::uint64_t seed = 1;     ///< seed of the fault streams
+
+    /** True when any fault class has a non-zero rate. */
+    bool
+    armed() const
+    {
+        return dropRate > 0.0 || dupRate > 0.0 || delayRate > 0.0 ||
+               predictorRate > 0.0;
+    }
+
+    /**
+     * Parse a CLI spec of comma-separated assignments, e.g.
+     * "drop=1e-3,dup=1e-4,delay=1e-3,predictor=1e-4,seed=7".
+     * Accepted keys: drop, dup, delay, predictor (rates in [0, 1)),
+     * seed, delay_cycles (unsigned).
+     * @throws std::invalid_argument naming the offending key/value
+     */
+    static FaultConfig fromSpec(const std::string &spec);
+
+    /** One-line spec rendering (inverse of fromSpec). */
+    std::string describe() const;
+};
+
+/**
+ * Draws fault decisions and accounts them. One injector per Machine;
+ * the ring consults it per link send, the controller per predictor
+ * lookup. Zero-cost when not installed (the hooks are null-checked
+ * pointers).
+ */
+class FaultInjector
+{
+  public:
+    /** Outcome of one link-traversal decision. */
+    enum class LinkAction : std::uint8_t
+    {
+        None,      ///< deliver normally
+        Drop,      ///< never deliver
+        Duplicate, ///< deliver twice
+        Delay,     ///< deliver delayCycles() late
+    };
+
+    explicit FaultInjector(const FaultConfig &config);
+
+    const FaultConfig &config() const { return _config; }
+    bool armed() const { return _config.armed(); }
+    Cycle delayCycles() const { return _config.delayCycles; }
+
+    /**
+     * Decide the fate of one message about to traverse a ring link.
+     * Exactly one uniform draw per call; drop wins over duplicate over
+     * delay when rates overlap.
+     */
+    LinkAction onLinkSend();
+
+    /** Decide whether one predictor lookup's answer is inverted. */
+    bool flipPrediction();
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+    // Injected-fault counts (measured phase once stats are reset).
+    std::uint64_t linkDecisions() const { return _linkDecisions.value(); }
+    std::uint64_t dropsInjected() const { return _drops.value(); }
+    std::uint64_t dupsInjected() const { return _dups.value(); }
+    std::uint64_t delaysInjected() const { return _delays.value(); }
+    std::uint64_t predictorLookups() const { return _predLookups.value(); }
+    std::uint64_t predictorFlips() const { return _flips.value(); }
+
+  private:
+    FaultConfig _config;
+    Rng _linkRng;
+    Rng _predRng;
+
+    StatGroup _stats;
+    Counter &_linkDecisions; ///< link traversals that drew a decision
+    Counter &_drops;
+    Counter &_dups;
+    Counter &_delays;
+    Counter &_predLookups; ///< predictor lookups that drew a decision
+    Counter &_flips;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SIM_FAULT_INJECTOR_HH

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace flexsnoop
@@ -25,14 +26,25 @@ writePod(std::ostream &os, const T &value)
     os.write(reinterpret_cast<const char *>(&value), sizeof(T));
 }
 
+/**
+ * Read one fixed-width field; a short read reports the byte offset the
+ * field started at and which field it was, so a damaged trace file can
+ * be diagnosed (and re-generated from that point) instead of guessed
+ * at.
+ */
 template <typename T>
 T
-readPod(std::istream &is)
+readPod(std::istream &is, const char *what)
 {
+    const std::streampos at = is.tellg();
     T value{};
     is.read(reinterpret_cast<char *>(&value), sizeof(T));
-    if (!is)
-        throw std::runtime_error("trace file truncated");
+    if (!is) {
+        std::ostringstream oss;
+        oss << "trace file truncated at byte offset "
+            << static_cast<long long>(at) << " while reading " << what;
+        throw std::runtime_error(oss.str());
+    }
     return value;
 }
 
@@ -64,28 +76,50 @@ readTraces(std::istream &is)
     is.read(magic, sizeof(magic));
     if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
         throw std::runtime_error("not a flexsnoop trace file");
-    const auto version = readPod<std::uint32_t>(is);
+    const auto version = readPod<std::uint32_t>(is, "format version");
     if (version != kTraceFormatVersion)
         throw std::runtime_error("unsupported trace format version " +
                                  std::to_string(version));
-    const auto num_cores = readPod<std::uint64_t>(is);
-    if (num_cores == 0 || num_cores > kMaxCores)
-        throw std::runtime_error("implausible core count in trace file");
+    const auto num_cores = readPod<std::uint64_t>(is, "core count");
+    if (num_cores == 0 || num_cores > kMaxCores) {
+        std::ostringstream oss;
+        oss << "implausible core count " << num_cores
+            << " in trace file (limit " << kMaxCores
+            << "): header corrupt?";
+        throw std::runtime_error(oss.str());
+    }
     CoreTraces traces;
     traces.warmupRefs =
-        static_cast<std::size_t>(readPod<std::uint64_t>(is));
+        static_cast<std::size_t>(readPod<std::uint64_t>(is, "warmup refs"));
     traces.traces.resize(static_cast<std::size_t>(num_cores));
     for (Trace &trace : traces.traces) {
-        const auto num_refs = readPod<std::uint64_t>(is);
-        if (num_refs > kMaxRefsPerCore)
-            throw std::runtime_error("implausible ref count in trace "
-                                     "file");
+        const auto num_refs = readPod<std::uint64_t>(is, "ref count");
+        if (num_refs > kMaxRefsPerCore) {
+            std::ostringstream oss;
+            oss << "implausible ref count " << num_refs
+                << " in trace file (limit " << kMaxRefsPerCore
+                << "): length field corrupt?";
+            throw std::runtime_error(oss.str());
+        }
         trace.reserve(static_cast<std::size_t>(num_refs));
         for (std::uint64_t i = 0; i < num_refs; ++i) {
             MemRef ref;
-            ref.addr = readPod<std::uint64_t>(is);
-            ref.isWrite = readPod<std::uint8_t>(is) != 0;
-            ref.gap = readPod<std::uint32_t>(is);
+            ref.addr = readPod<std::uint64_t>(is, "ref address");
+            const std::streampos flag_at = is.tellg();
+            const auto is_write = readPod<std::uint8_t>(is, "write flag");
+            if (is_write > 1) {
+                // The flag is written as exactly 0 or 1; anything else
+                // means the stream lost alignment (bit rot, or a write
+                // interrupted mid-record).
+                std::ostringstream oss;
+                oss << "corrupt write flag " << unsigned{is_write}
+                    << " at byte offset "
+                    << static_cast<long long>(flag_at)
+                    << " (expected 0 or 1)";
+                throw std::runtime_error(oss.str());
+            }
+            ref.isWrite = is_write != 0;
+            ref.gap = readPod<std::uint32_t>(is, "ref gap");
             trace.push_back(ref);
         }
     }

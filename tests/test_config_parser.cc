@@ -85,6 +85,87 @@ TEST(ConfigParser, MalformedInputsRejected)
                  std::invalid_argument);
 }
 
+/** The message of the error thrown by @p assignment. */
+std::string
+errorFor(const std::string &assignment)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);
+    try {
+        applyOverride(cfg, assignment);
+    } catch (const std::invalid_argument &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "'" << assignment << "' was accepted";
+    return "";
+}
+
+TEST(ConfigParser, DiagnosticsNameKeyAndPosition)
+{
+    // One assertion per malformed-input class: each diagnostic must
+    // carry enough context to fix the input without reading the code.
+    std::string msg = errorFor("l2_entries=12x7");
+    EXPECT_NE(msg.find("l2_entries"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'x'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("position 2"), std::string::npos) << msg;
+
+    msg = errorFor("ring_link_latency=");
+    EXPECT_NE(msg.find("empty value"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ring_link_latency"), std::string::npos) << msg;
+
+    msg = errorFor("l2_ways=-3");
+    EXPECT_NE(msg.find("'-'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("position 0"), std::string::npos) << msg;
+
+    msg = errorFor("cmp_snoop_time=99999999999999999999999");
+    EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+
+    msg = errorFor("num_cmps=1"); // structurally invalid: ring needs 2+
+    EXPECT_NE(msg.find("at least 2"), std::string::npos) << msg;
+
+    msg = errorFor("max_outstanding=0");
+    EXPECT_NE(msg.find("at least 1"), std::string::npos) << msg;
+
+    msg = errorFor("prefetch_enabled=maybe");
+    EXPECT_NE(msg.find("on/off"), std::string::npos) << msg;
+
+    msg = errorFor("bogus_key=1");
+    EXPECT_NE(msg.find("bogus_key"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("known keys"), std::string::npos) << msg;
+
+    msg = errorFor("l2_entries");
+    EXPECT_NE(msg.find("no '='"), std::string::npos) << msg;
+
+    msg = errorFor("=5");
+    EXPECT_NE(msg.find("empty key"), std::string::npos) << msg;
+}
+
+TEST(ConfigParser, ApplyOverridesNamesFailingEntry)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);
+    try {
+        applyOverrides(cfg, {"l2_ways=2", "num_rings=zero", "l2_ways=4"});
+        FAIL() << "expected the second override to be rejected";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("override #2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("num_rings=zero"), std::string::npos) << msg;
+    }
+    // Overrides before the failing one were applied, later ones not.
+    EXPECT_EQ(cfg.l2Ways, 2u);
+}
+
+TEST(ConfigParser, WatchdogAndRetryKeys)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);
+    EXPECT_EQ(cfg.coherence.watchdogCycles, 0u);
+    applyOverride(cfg, "watchdog_cycles=20000");
+    applyOverride(cfg, "max_retries=32");
+    EXPECT_EQ(cfg.coherence.watchdogCycles, 20000u);
+    EXPECT_EQ(cfg.coherence.maxRetries, 32u);
+    EXPECT_THROW(applyOverride(cfg, "max_retries=0"),
+                 std::invalid_argument);
+}
+
 TEST(ConfigParser, ApplyOverridesInOrder)
 {
     MachineConfig cfg = MachineConfig::paperDefault(Algorithm::Lazy);

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault injector (docs/FAULTS.md):
+ * spec parsing, seeded reproducibility, empirical rates, and the
+ * drop > duplicate > delay precedence of overlapping link rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault_injector.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TEST(FaultConfig, FromSpecParsesAllKeys)
+{
+    const FaultConfig c = FaultConfig::fromSpec(
+        "drop=1e-3,dup=2e-3,delay=5e-4,predictor=1e-4,seed=9,"
+        "delay_cycles=123");
+    EXPECT_DOUBLE_EQ(c.dropRate, 1e-3);
+    EXPECT_DOUBLE_EQ(c.dupRate, 2e-3);
+    EXPECT_DOUBLE_EQ(c.delayRate, 5e-4);
+    EXPECT_DOUBLE_EQ(c.predictorRate, 1e-4);
+    EXPECT_EQ(c.seed, 9u);
+    EXPECT_EQ(c.delayCycles, 123u);
+    EXPECT_TRUE(c.armed());
+}
+
+TEST(FaultConfig, PartialSpecKeepsDefaults)
+{
+    const FaultConfig c = FaultConfig::fromSpec("drop=0.01");
+    EXPECT_DOUBLE_EQ(c.dropRate, 0.01);
+    EXPECT_DOUBLE_EQ(c.dupRate, 0.0);
+    EXPECT_EQ(c.seed, 1u);
+    EXPECT_EQ(c.delayCycles, 500u);
+}
+
+TEST(FaultConfig, DescribeRoundTripsThroughFromSpec)
+{
+    const FaultConfig c = FaultConfig::fromSpec(
+        "drop=0.001,dup=0.002,delay=0.0005,predictor=0.0001,seed=42");
+    const FaultConfig r = FaultConfig::fromSpec(c.describe());
+    EXPECT_DOUBLE_EQ(r.dropRate, c.dropRate);
+    EXPECT_DOUBLE_EQ(r.dupRate, c.dupRate);
+    EXPECT_DOUBLE_EQ(r.delayRate, c.delayRate);
+    EXPECT_DOUBLE_EQ(r.predictorRate, c.predictorRate);
+    EXPECT_EQ(r.seed, c.seed);
+    EXPECT_EQ(r.delayCycles, c.delayCycles);
+}
+
+TEST(FaultConfig, RejectsMalformedSpecs)
+{
+    // Each class of malformed input is rejected with invalid_argument.
+    EXPECT_THROW(FaultConfig::fromSpec(""), std::invalid_argument);
+    EXPECT_THROW(FaultConfig::fromSpec("drop"), std::invalid_argument);
+    EXPECT_THROW(FaultConfig::fromSpec("=0.1"), std::invalid_argument);
+    EXPECT_THROW(FaultConfig::fromSpec("bogus=0.1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::fromSpec("drop=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::fromSpec("drop=0.1x"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::fromSpec("drop=-0.1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::fromSpec("drop=1.0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::fromSpec("seed=12junk"),
+                 std::invalid_argument);
+    // Link rates must leave room for normal delivery.
+    EXPECT_THROW(FaultConfig::fromSpec("drop=0.5,dup=0.3,delay=0.3"),
+                 std::invalid_argument);
+}
+
+TEST(FaultConfig, UnarmedWhenAllRatesZero)
+{
+    FaultConfig c;
+    EXPECT_FALSE(c.armed());
+    c = FaultConfig::fromSpec("seed=7"); // seed alone arms nothing
+    EXPECT_FALSE(c.armed());
+    c.predictorRate = 1e-6;
+    EXPECT_TRUE(c.armed());
+}
+
+TEST(FaultInjector, SameSeedSameDecisionStream)
+{
+    const FaultConfig cfg = FaultConfig::fromSpec(
+        "drop=0.05,dup=0.05,delay=0.05,predictor=0.1,seed=1234");
+    FaultInjector a(cfg);
+    FaultInjector b(cfg);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_EQ(a.onLinkSend(), b.onLinkSend()) << "draw " << i;
+        EXPECT_EQ(a.flipPrediction(), b.flipPrediction()) << "draw " << i;
+    }
+    EXPECT_EQ(a.dropsInjected(), b.dropsInjected());
+    EXPECT_EQ(a.predictorFlips(), b.predictorFlips());
+}
+
+TEST(FaultInjector, DifferentSeedDifferentDecisionStream)
+{
+    FaultConfig cfg = FaultConfig::fromSpec("drop=0.2,seed=1");
+    FaultInjector a(cfg);
+    cfg.seed = 2;
+    FaultInjector b(cfg);
+    bool diverged = false;
+    for (int i = 0; i < 10000 && !diverged; ++i)
+        diverged = a.onLinkSend() != b.onLinkSend();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, EmpiricalRatesMatchConfiguration)
+{
+    const int kDraws = 50000;
+    const FaultConfig cfg = FaultConfig::fromSpec(
+        "drop=0.1,dup=0.05,delay=0.02,predictor=0.08,seed=99");
+    FaultInjector inj(cfg);
+    for (int i = 0; i < kDraws; ++i) {
+        inj.onLinkSend();
+        inj.flipPrediction();
+    }
+    EXPECT_EQ(inj.linkDecisions(), static_cast<std::uint64_t>(kDraws));
+    EXPECT_EQ(inj.predictorLookups(),
+              static_cast<std::uint64_t>(kDraws));
+    // The streams are seeded, so these are deterministic; +-20% bounds
+    // just document how close to nominal the sampling sits.
+    EXPECT_NEAR(static_cast<double>(inj.dropsInjected()), 0.1 * kDraws,
+                0.02 * kDraws);
+    EXPECT_NEAR(static_cast<double>(inj.dupsInjected()), 0.05 * kDraws,
+                0.01 * kDraws);
+    EXPECT_NEAR(static_cast<double>(inj.delaysInjected()), 0.02 * kDraws,
+                0.004 * kDraws);
+    EXPECT_NEAR(static_cast<double>(inj.predictorFlips()), 0.08 * kDraws,
+                0.016 * kDraws);
+}
+
+TEST(FaultInjector, DropTakesPrecedenceOnOverlap)
+{
+    // One uniform draw decides all three link classes: with rates
+    // (0.3, 0.3, 0.3) the partition is [0,.3) drop, [.3,.6) dup,
+    // [.6,.9) delay -- so every class still occurs and their counts
+    // sum to at most the decision count.
+    FaultConfig cfg;
+    cfg.dropRate = 0.3;
+    cfg.dupRate = 0.3;
+    cfg.delayRate = 0.3;
+    cfg.seed = 5;
+    FaultInjector inj(cfg);
+    const int kDraws = 20000;
+    int none = 0;
+    for (int i = 0; i < kDraws; ++i) {
+        if (inj.onLinkSend() == FaultInjector::LinkAction::None)
+            ++none;
+    }
+    EXPECT_GT(inj.dropsInjected(), 0u);
+    EXPECT_GT(inj.dupsInjected(), 0u);
+    EXPECT_GT(inj.delaysInjected(), 0u);
+    EXPECT_EQ(inj.dropsInjected() + inj.dupsInjected() +
+                  inj.delaysInjected() + none,
+              static_cast<std::uint64_t>(kDraws));
+    EXPECT_NEAR(static_cast<double>(none), 0.1 * kDraws, 0.03 * kDraws);
+    // Disjoint partition: each class near its nominal rate, which is
+    // only possible if drop consumes its band before dup and delay.
+    EXPECT_NEAR(static_cast<double>(inj.dropsInjected()), 0.3 * kDraws,
+                0.03 * kDraws);
+    EXPECT_NEAR(static_cast<double>(inj.dupsInjected()), 0.3 * kDraws,
+                0.03 * kDraws);
+}
+
+TEST(FaultInjector, StatsResetClearsMeasuredCounts)
+{
+    FaultConfig cfg;
+    cfg.dropRate = 0.5;
+    FaultInjector inj(cfg);
+    for (int i = 0; i < 100; ++i)
+        inj.onLinkSend();
+    EXPECT_GT(inj.dropsInjected(), 0u);
+    inj.stats().reset();
+    EXPECT_EQ(inj.linkDecisions(), 0u);
+    EXPECT_EQ(inj.dropsInjected(), 0u);
+}
+
+} // namespace
+} // namespace flexsnoop

@@ -101,5 +101,94 @@ TEST(Report, EmptyResultSetStillValid)
     EXPECT_NE(json.str().find(']'), std::string::npos);
 }
 
+TEST(Report, CsvRoundTripPreservesEveryField)
+{
+    RunResult r = sampleResult();
+    r.faultLinkDecisions = 4242;
+    r.faultDrops = 7;
+    r.faultDups = 3;
+    r.faultDelays = 2;
+    r.faultPredictorFlips = 5;
+    r.watchdogTimeouts = 4;
+    r.staleMessagesAbsorbed = 11;
+    r.predictorFlipDegrades = 6;
+    r.incompleteConclusionsRejected = 9;
+    r.retryStormAborts = 1;
+
+    std::ostringstream oss;
+    writeCsv(oss, {r});
+    std::istringstream iss(oss.str());
+    const auto loaded = loadCsv(iss);
+    ASSERT_EQ(loaded.size(), 1u);
+    const RunResult &l = loaded.front();
+    EXPECT_EQ(l.workload, r.workload);
+    EXPECT_EQ(l.algorithm, r.algorithm);
+    EXPECT_EQ(l.predictor, r.predictor);
+    EXPECT_EQ(l.execCycles, r.execCycles);
+    EXPECT_EQ(l.readSnoops, r.readSnoops);
+    EXPECT_DOUBLE_EQ(l.energyNj, r.energyNj);
+    EXPECT_DOUBLE_EQ(l.avgReadLatency, r.avgReadLatency);
+    EXPECT_EQ(l.faultLinkDecisions, r.faultLinkDecisions);
+    EXPECT_EQ(l.faultDrops, r.faultDrops);
+    EXPECT_EQ(l.faultDups, r.faultDups);
+    EXPECT_EQ(l.faultDelays, r.faultDelays);
+    EXPECT_EQ(l.faultPredictorFlips, r.faultPredictorFlips);
+    EXPECT_EQ(l.watchdogTimeouts, r.watchdogTimeouts);
+    EXPECT_EQ(l.staleMessagesAbsorbed, r.staleMessagesAbsorbed);
+    EXPECT_EQ(l.predictorFlipDegrades, r.predictorFlipDegrades);
+    EXPECT_EQ(l.incompleteConclusionsRejected,
+              r.incompleteConclusionsRejected);
+    EXPECT_EQ(l.retryStormAborts, r.retryStormAborts);
+    EXPECT_FALSE(l.failed);
+    EXPECT_TRUE(l.error.empty());
+}
+
+TEST(Report, FailedCellRoundTripsWithSanitizedError)
+{
+    RunResult r = sampleResult();
+    r.failed = true;
+    r.error = "stuck: line 0x42,\ncore 3 wedged\r";
+
+    std::ostringstream oss;
+    writeCsv(oss, {r});
+    // The error cell must not break the CSV structure: still one
+    // header line and one row.
+    std::size_t lines = 0;
+    for (char c : oss.str())
+        lines += c == '\n';
+    EXPECT_EQ(lines, 2u);
+
+    std::istringstream iss(oss.str());
+    const auto loaded = loadCsv(iss);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.front().failed);
+    // Commas/newlines were sanitized to ';' on write.
+    EXPECT_EQ(loaded.front().error, "stuck: line 0x42;;core 3 wedged;");
+}
+
+TEST(Report, LoadCsvRejectsUnknownColumn)
+{
+    std::istringstream iss("workload,bogus_column\nmini,1\n");
+    EXPECT_THROW(loadCsv(iss), std::runtime_error);
+}
+
+TEST(Report, LoadCsvNamesBadCell)
+{
+    std::istringstream iss("workload,exec_cycles\nmini,not_a_number\n");
+    try {
+        loadCsv(iss);
+        FAIL() << "expected malformed cell rejection";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("exec_cycles"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    }
+}
+
+TEST(Report, LoadCsvFileReturnsEmptyWhenMissing)
+{
+    EXPECT_TRUE(loadCsvFile("/nonexistent/dir/results.csv").empty());
+}
+
 } // namespace
 } // namespace flexsnoop

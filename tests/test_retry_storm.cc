@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Retry-storm behaviour under heavy contention: exponential backoff of
+ * squash retries, forward progress on a single hammered line across all
+ * paper algorithms, and the configurable retry cap that converts an
+ * unbounded storm into a diagnosable RetryStormError.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "coherence/controller.hh"
+#include "core/simulation.hh"
+#include "snoop/snoop_policy.hh"
+#include "workload/trace.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TEST(RetryBackoff, MonotoneAndCapped)
+{
+    CoherenceParams params;
+    params.retryBackoff = 200;
+    Cycle prev = 0;
+    for (unsigned retries = 0; retries < 32; ++retries) {
+        const Cycle b = retryBackoffCycles(params, retries);
+        EXPECT_GE(b, prev) << "backoff must not shrink with retries";
+        EXPECT_LE(b, params.retryBackoff * 16)
+            << "backoff must cap (no overflow for large retry counts)";
+        prev = b;
+    }
+    EXPECT_EQ(retryBackoffCycles(params, 0), 200u);
+    EXPECT_EQ(retryBackoffCycles(params, 1), 400u);
+    EXPECT_EQ(retryBackoffCycles(params, 4), 3200u);
+    EXPECT_EQ(retryBackoffCycles(params, 100), 3200u) << "capped at 16x";
+}
+
+/**
+ * Every core hammers the same line with interleaved reads and writes:
+ * the worst case for collision squashes. @p refs per core, gap cycles
+ * between refs.
+ */
+CoreTraces
+contendedTraces(std::size_t cores, std::size_t refs, std::uint32_t gap)
+{
+    constexpr Addr kHotAddr = 0x4000;
+    CoreTraces traces;
+    traces.warmupRefs = 0;
+    traces.traces.resize(cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+        for (std::size_t i = 0; i < refs; ++i) {
+            MemRef ref;
+            ref.addr = kHotAddr;
+            // Writes dominate so write-write and read-write collisions
+            // both occur on every algorithm.
+            ref.isWrite = (i + c) % 3 != 0;
+            ref.gap = gap;
+            traces.traces[c].push_back(ref);
+        }
+    }
+    return traces;
+}
+
+class RetryStormSweep : public ::testing::TestWithParam<Algorithm>
+{
+};
+
+TEST_P(RetryStormSweep, ContendedLineCompletesWithBoundedRetries)
+{
+    MachineConfig cfg = MachineConfig::paperDefault(GetParam(), 1);
+    const CoreTraces traces = contendedTraces(cfg.numCores(), 120, 40);
+    // Completion with a clean checker: runSimulation throws on stuck
+    // cores or coherence violations.
+    const RunResult r = runSimulation(cfg, traces, "contended");
+    EXPECT_GT(r.collisions, 0u)
+        << "a single hammered line must collide";
+    EXPECT_GT(r.retries, 0u) << "collisions must squash and retry";
+    EXPECT_EQ(r.retryStormAborts, 0u)
+        << "the default cap must not trip on a finite workload";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, RetryStormSweep,
+    ::testing::ValuesIn(paperAlgorithms()),
+    [](const ::testing::TestParamInfo<Algorithm> &info) {
+        return std::string(toString(info.param));
+    });
+
+TEST(RetryStorm, TinyCapAbortsWithDiagnostic)
+{
+    MachineConfig cfg =
+        MachineConfig::paperDefault(Algorithm::Lazy, 1);
+    cfg.coherence.maxRetries = 1;
+    const CoreTraces traces = contendedTraces(cfg.numCores(), 200, 20);
+    try {
+        runSimulation(cfg, traces, "contended");
+        FAIL() << "expected RetryStormError with max_retries=1";
+    } catch (const RetryStormError &e) {
+        EXPECT_GE(e.retries(), 1u);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("retry storm"), std::string::npos) << what;
+        // The diagnostic names the contended line and dumps the
+        // in-flight transactions that were fighting over it.
+        EXPECT_NE(what.find("line"), std::string::npos) << what;
+        EXPECT_NE(what.find("txn"), std::string::npos) << what;
+    }
+}
+
+TEST(RetryStorm, GenerousCapDoesNotTrip)
+{
+    MachineConfig cfg =
+        MachineConfig::paperDefault(Algorithm::Lazy, 1);
+    cfg.coherence.maxRetries = 1000;
+    const CoreTraces traces = contendedTraces(cfg.numCores(), 200, 20);
+    const RunResult r = runSimulation(cfg, traces, "contended");
+    EXPECT_EQ(r.retryStormAborts, 0u);
+    EXPECT_GT(r.retries, 0u);
+}
+
+} // namespace
+} // namespace flexsnoop

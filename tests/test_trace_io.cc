@@ -120,5 +120,92 @@ TEST(TraceIo, MissingFileThrows)
                  std::runtime_error);
 }
 
+/** Serialized sample stream (for damage-injection tests). */
+std::string
+sampleBytes()
+{
+    std::stringstream buffer;
+    writeTraces(buffer, sampleTraces());
+    return buffer.str();
+}
+
+/** The message readTraces() rejects @p data with. */
+std::string
+rejectionFor(const std::string &data)
+{
+    std::stringstream damaged(data);
+    try {
+        readTraces(damaged);
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "damaged trace stream was accepted";
+    return "";
+}
+
+TEST(TraceIo, TruncationNamesFieldAndByteOffset)
+{
+    const std::string data = sampleBytes();
+    // Cut inside the very first per-ref record: magic(4) + version(4) +
+    // core count(8) + warmup(8) + ref count(8) = 32, then the 8-byte
+    // ref address starts at offset 32.
+    const std::string msg = rejectionFor(data.substr(0, 36));
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("byte offset 32"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ref address"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, TruncatedHeaderNamesHeaderField)
+{
+    const std::string data = sampleBytes();
+    const std::string msg = rejectionFor(data.substr(0, 10));
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("core count"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, EveryTruncationPointIsRejectedNotCrashed)
+{
+    // A trace cut at any byte must produce a clean exception -- never
+    // garbage traces, hangs, or out-of-bounds reads.
+    const std::string data = sampleBytes();
+    for (std::size_t cut = 0; cut + 1 < data.size(); cut += 3) {
+        std::stringstream damaged(data.substr(0, cut));
+        EXPECT_THROW(readTraces(damaged), std::runtime_error)
+            << "cut at " << cut;
+    }
+}
+
+TEST(TraceIo, CorruptWriteFlagNamesOffsetAndValue)
+{
+    std::string data = sampleBytes();
+    // First ref record: address at 32, write flag at 40.
+    data[40] = 7;
+    const std::string msg = rejectionFor(data);
+    EXPECT_NE(msg.find("corrupt write flag 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("byte offset 40"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, ImplausibleCoreCountRejected)
+{
+    std::string data = sampleBytes();
+    // Core count is the u64 at offset 8: overwrite with a huge value.
+    for (int i = 0; i < 8; ++i)
+        data[8 + i] = static_cast<char>(0xff);
+    const std::string msg = rejectionFor(data);
+    EXPECT_NE(msg.find("implausible core count"), std::string::npos)
+        << msg;
+}
+
+TEST(TraceIo, ImplausibleRefCountRejected)
+{
+    std::string data = sampleBytes();
+    // First per-core ref count is the u64 at offset 24.
+    for (int i = 0; i < 8; ++i)
+        data[24 + i] = static_cast<char>(0xff);
+    const std::string msg = rejectionFor(data);
+    EXPECT_NE(msg.find("implausible ref count"), std::string::npos)
+        << msg;
+}
+
 } // namespace
 } // namespace flexsnoop

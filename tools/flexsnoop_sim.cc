@@ -21,10 +21,27 @@
  *     --json PATH             write results as JSON
  *     key=value               machine overrides (see config_parser.hh)
  *
+ * Unreliable-ring mode and sweep hardening (docs/FAULTS.md):
+ *     --faults SPEC           arm fault injection; SPEC is a comma list
+ *                             of drop=R, dup=R, delay=R, predictor=R,
+ *                             seed=S, delay_cycles=N
+ *     --watchdog-cycles N     per-transaction watchdog timeout
+ *                             (defaults to 20000 when --faults is on)
+ *     --max-retries N         squash/watchdog reissue cap per request
+ *     --cell-timeout SEC      per-cell wall-clock budget
+ *     --checkpoint PATH       incremental result CSV; re-running skips
+ *                             cells already present (sweep resume)
+ *     --dump-dir PATH         write stuck-transaction dumps here
+ *   Any of these switches routes the sweep through the hardened runner:
+ *   a failing cell is reported (and the exit status is 1) instead of
+ *   aborting the remaining cells.
+ *
  * Examples:
  *   flexsnoop_sim --workloads barnes,specjbb --algorithms lazy,supagg
  *   flexsnoop_sim --workloads ocean --algorithms paper --csv out.csv \
  *       num_rings=1 prefetch_enabled=off
+ *   flexsnoop_sim --workloads mini --faults drop=1e-3,seed=7 \
+ *       --dump-dir dumps
  */
 
 #include <iomanip>
@@ -32,6 +49,7 @@
 #include <sstream>
 
 #include "core/config_parser.hh"
+#include "core/experiment.hh"
 #include "core/parallel_executor.hh"
 #include "core/report.hh"
 #include "workload/synthetic_generator.hh"
@@ -62,6 +80,9 @@ usage()
            "  --workloads w1,w2,... --algorithms a1,...|paper\n"
            "  --predictor NAME --refs N --warmup N --jobs N\n"
            "  --trace-out PATH --trace-in PATH --csv PATH --json PATH\n"
+           "  --faults drop=R,dup=R,delay=R,predictor=R,seed=S\n"
+           "  --watchdog-cycles N --max-retries N --cell-timeout SEC\n"
+           "  --checkpoint PATH --dump-dir PATH\n"
            "machine override keys:";
     for (const auto &key : configKeys())
         std::cerr << ' ' << key;
@@ -73,10 +94,14 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> workloads = {"mini"};
     std::vector<Algorithm> algorithms = paperAlgorithms();
+    std::vector<std::string> workloads = {"mini"};
     std::string predictor, trace_out, trace_in, csv_path, json_path;
+    std::string faults_spec;
+    SweepHardening hardening;
     std::size_t refs = 0, warmup = SIZE_MAX;
+    std::uint64_t watchdog_cycles = UINT64_MAX; // unset
+    std::uint64_t max_retries = 0;              // unset
     std::size_t jobs = ParallelExecutor::defaultWorkers();
     std::vector<std::string> overrides;
 
@@ -117,6 +142,18 @@ main(int argc, char **argv)
                 csv_path = next();
             } else if (arg == "--json") {
                 json_path = next();
+            } else if (arg == "--faults") {
+                faults_spec = next();
+            } else if (arg == "--watchdog-cycles") {
+                watchdog_cycles = std::stoull(next());
+            } else if (arg == "--max-retries") {
+                max_retries = std::stoull(next());
+            } else if (arg == "--cell-timeout") {
+                hardening.cellWallClockLimitSec = std::stod(next());
+            } else if (arg == "--checkpoint") {
+                hardening.checkpointPath = next();
+            } else if (arg == "--dump-dir") {
+                hardening.dumpDir = next();
             } else if (arg == "--help" || arg == "-h") {
                 usage();
                 return 0;
@@ -146,7 +183,18 @@ main(int argc, char **argv)
     std::vector<CoreTraces> all_traces;
     std::vector<PlannedRun> plan;
     std::vector<RunResult> results;
+
+    // Any robustness switch routes the sweep through the hardened
+    // runner (crash isolation, per-cell timeout, checkpoint/resume).
+    const bool hardened_run = !faults_spec.empty() ||
+                              hardening.cellWallClockLimitSec > 0 ||
+                              !hardening.checkpointPath.empty() ||
+                              !hardening.dumpDir.empty();
     try {
+        FaultConfig fault_config;
+        if (!faults_spec.empty())
+            fault_config = FaultConfig::fromSpec(faults_spec);
+
         for (const auto &workload : workloads) {
             WorkloadProfile profile = profileByName(workload);
             if (refs > 0)
@@ -174,6 +222,15 @@ main(int argc, char **argv)
                     cfg.predictor.kind != PredictorKind::Perfect) {
                     applyOverride(cfg, "predictor=" + predictor);
                 }
+                cfg.faults = fault_config;
+                if (watchdog_cycles != UINT64_MAX)
+                    cfg.coherence.watchdogCycles = watchdog_cycles;
+                else if (cfg.faults.armed() &&
+                         cfg.coherence.watchdogCycles == 0)
+                    cfg.coherence.watchdogCycles = 20000;
+                if (max_retries > 0)
+                    cfg.coherence.maxRetries =
+                        static_cast<unsigned>(max_retries);
                 std::cerr << "planned " << workload << " / "
                           << toString(algorithm) << '\n';
                 plan.push_back(PlannedRun{std::move(cfg),
@@ -183,13 +240,29 @@ main(int argc, char **argv)
         }
 
         std::cerr << "running " << plan.size() << " simulation(s) on "
-                  << jobs << " worker(s)...\n";
-        ParallelExecutor pool(jobs);
-        results = pool.map(plan.size(), [&](std::size_t i) {
-            const PlannedRun &run = plan[i];
-            return runSimulation(run.cfg, all_traces[run.traces],
-                                 run.workload);
-        });
+                  << jobs << " worker(s)"
+                  << (hardened_run ? " (hardened)" : "") << "...\n";
+        if (!faults_spec.empty())
+            std::cerr << "fault injection: " << fault_config.describe()
+                      << '\n';
+        if (hardened_run) {
+            // all_traces is complete here, so the pointers are stable.
+            std::vector<PlannedCell> cells;
+            cells.reserve(plan.size());
+            for (const PlannedRun &run : plan) {
+                cells.push_back(PlannedCell{run.cfg,
+                                            &all_traces[run.traces],
+                                            run.workload});
+            }
+            results = runCellsHardened(cells, jobs, hardening);
+        } else {
+            ParallelExecutor pool(jobs);
+            results = pool.map(plan.size(), [&](std::size_t i) {
+                const PlannedRun &run = plan[i];
+                return runSimulation(run.cfg, all_traces[run.traces],
+                                     run.workload);
+            });
+        }
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;
@@ -203,7 +276,15 @@ main(int argc, char **argv)
               << "energy (uJ)" << std::setw(10) << "lat p50"
               << std::setw(10) << "lat p95" << '\n'
               << std::string(95, '-') << '\n';
+    std::size_t failed_cells = 0;
     for (const auto &r : results) {
+        if (r.failed) {
+            ++failed_cells;
+            std::cout << std::left << std::setw(12) << r.workload
+                      << std::setw(14) << r.algorithm
+                      << "  FAILED: " << r.error << '\n';
+            continue;
+        }
         std::cout << std::left << std::setw(12) << r.workload
                   << std::setw(14) << r.algorithm << std::right
                   << std::setw(13) << r.execCycles << std::fixed
@@ -223,6 +304,11 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         saveJson(json_path, results);
         std::cerr << "wrote " << json_path << '\n';
+    }
+    if (failed_cells > 0) {
+        std::cerr << failed_cells << " of " << results.size()
+                  << " cell(s) failed\n";
+        return 1;
     }
     return 0;
 }
