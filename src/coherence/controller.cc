@@ -162,6 +162,12 @@ CoherenceController::deferIfGated(NodeId node, const SnoopMessage &msg)
     // trailing reply can never overtake its own parked request.
     gate.deferred.push_back(msg);
     _c.gateDeferrals.inc();
+    if (_trace)
+        _trace->record(TraceEvent::GateDefer, _queue.now(), msg.txn,
+                       msg.line,
+                       gate.active == kInvalidTransaction ? 0
+                                                          : gate.active,
+                       static_cast<std::uint16_t>(node));
     return true;
 }
 
@@ -367,6 +373,12 @@ CoherenceController::startRingTransaction(CoreId core, Addr line,
     _transactions.put(id, txn);
     _outstandingByLine[n].put(line, id);
 
+    if (_trace)
+        _trace->record(TraceEvent::TxnStart, _queue.now(), id, line, core,
+                       static_cast<std::uint16_t>(n),
+                       kind == SnoopKind::Write ? 1 : 0,
+                       static_cast<std::uint16_t>(retries));
+
     _queue.schedule(extra_delay, [this, id]() {
         if (Transaction *t = findTransaction(id))
             issueRingMessage(*t);
@@ -399,6 +411,13 @@ CoherenceController::watchdogExpire(TransactionId id)
     // The ring traffic of this transaction was lost: reclaim its
     // gateway state everywhere, then recover.
     _c.watchdogTimeouts.inc();
+    if (_trace)
+        _trace->record(TraceEvent::WatchdogExpire, _queue.now(), id,
+                       txn->line, 0,
+                       static_cast<std::uint16_t>(txn->requester),
+                       txn->kind == SnoopKind::Read && txn->dataArrived
+                           ? 1
+                           : 0);
     FS_LOG(Info, _queue.now(), "ctrl",
            "watchdog: txn " << id << " line 0x" << std::hex << txn->line
                             << std::dec << " ring traffic lost after "
@@ -455,6 +474,11 @@ CoherenceController::issueRingMessage(Transaction &txn)
                     << txn.line << std::dec << " from node "
                     << txn.requester);
 
+    if (_trace)
+        _trace->record(TraceEvent::RingIssue, _queue.now(), txn.id,
+                       txn.line, 0,
+                       static_cast<std::uint16_t>(txn.requester));
+
     forwardMessage(txn.requester, msg);
 }
 
@@ -493,12 +517,20 @@ void
 CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
                                         bool from_gate)
 {
+    if (_trace && from_gate)
+        _trace->record(TraceEvent::GateResume, _queue.now(), msg.txn,
+                       msg.line, 0, static_cast<std::uint16_t>(node));
+
     // Fault recovery: traffic of a transaction that no longer exists
     // (closed by its watchdog, or a duplicate of an already-concluded
     // round) must die here, or it would plant zombie pending/gate
     // state that wedges the line forever.
     if (hardened() && !findTransaction(msg.txn)) {
         _c.staleAbsorbed.inc();
+        if (_trace)
+            _trace->record(TraceEvent::StaleAbsorbed, _queue.now(),
+                           msg.txn, msg.line, 0,
+                           static_cast<std::uint16_t>(node));
         return;
     }
 
@@ -547,6 +579,7 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
     // Choose the primitive.
     Primitive prim;
     Cycle decision_latency = 0;
+    std::uint16_t pred_trace = 2; // 0/1 = predictor answer, 2 = none
     if (msg.kind == SnoopKind::Write) {
         // Write snoops cannot use supplier predictors (paper §5.3):
         // every node invalidates, eagerly or lazily per algorithm class
@@ -558,8 +591,14 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
                 _nodes[node]->presencePredictor()) {
             decision_latency = presence->accessLatency();
             bool absent = !presence->mayBePresent(msg.line);
-            if (_faults && _faults->flipPrediction())
+            if (_faults && _faults->flipPrediction()) {
                 absent = !absent;
+                if (_trace)
+                    _trace->record(TraceEvent::PredictorFlip,
+                                   _queue.now(), msg.txn, msg.line, 0,
+                                   static_cast<std::uint16_t>(node), 1);
+            }
+            pred_trace = absent ? 0 : 1;
             if (absent) {
                 if (_nodes[node]->hasAnyCopy(msg.line)) {
                     // The filter has no false negatives by
@@ -580,8 +619,14 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
         SupplierPredictor *pred = _nodes[node]->predictor();
         assert(pred && "policy requires a predictor");
         bool predicted = pred->predict(msg.line);
-        if (_faults && _faults->flipPrediction())
+        if (_faults && _faults->flipPrediction()) {
             predicted = !predicted;
+            if (_trace)
+                _trace->record(TraceEvent::PredictorFlip, _queue.now(),
+                               msg.txn, msg.line, 0,
+                               static_cast<std::uint16_t>(node), 0);
+        }
+        pred_trace = predicted ? 1 : 0;
         const bool actual = _nodes[node]->hasSupplier(msg.line);
         pred->recordOutcome(predicted, actual);
         prim = _policy.onPrediction(predicted);
@@ -599,6 +644,12 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
             _c.flipDegrades.inc();
         }
     }
+
+    if (_trace)
+        _trace->record(TraceEvent::HopDecision, _queue.now(), msg.txn,
+                       msg.line, decision_latency,
+                       static_cast<std::uint16_t>(node),
+                       static_cast<std::uint16_t>(prim), pred_trace);
 
     if (prim == Primitive::Forward) {
         (msg.kind == SnoopKind::Read ? _c.readFiltered
@@ -666,11 +717,19 @@ CoherenceController::detectCollision(NodeId node, SnoopMessage &msg)
         return false; // concurrent reads never conflict
 
     _c.collisions.inc();
+    const auto traceCollision = [&](CollisionOutcome outcome) {
+        if (_trace)
+            _trace->record(TraceEvent::Collision, _queue.now(), msg.txn,
+                           msg.line, t->id,
+                           static_cast<std::uint16_t>(node),
+                           static_cast<std::uint16_t>(outcome));
+    };
 
     if (msg.kind == SnoopKind::Read) {
         // Passing read vs. our write: the read retries after the write.
         msg.squashed = true;
         _c.squashes.inc();
+        traceCollision(CollisionOutcome::PassingSquashed);
         return true;
     }
 
@@ -682,9 +741,11 @@ CoherenceController::detectCollision(NodeId node, SnoopMessage &msg)
         if (t->dataArrived || t->ringDone || t->memoryPending ||
             t->invalidateOnFill) {
             t->invalidateOnFill = true;
+            traceCollision(CollisionOutcome::InvalidateOnFill);
         } else {
             t->squashed = true;
             _c.squashes.inc();
+            traceCollision(CollisionOutcome::LocalSquashed);
         }
         return false;
     }
@@ -693,10 +754,12 @@ CoherenceController::detectCollision(NodeId node, SnoopMessage &msg)
     if (t->id < msg.txn) {
         msg.squashed = true;
         _c.squashes.inc();
+        traceCollision(CollisionOutcome::PassingSquashed);
         return true;
     }
     t->squashed = true;
     _c.squashes.inc();
+    traceCollision(CollisionOutcome::LocalSquashed);
     return false;
 }
 
@@ -729,6 +792,10 @@ CoherenceController::snoopComplete(NodeId node, SnoopMessage msg)
         // swept its pending state while the CMP snoop was in flight.
         assert(hardened() && "snoop completed with no pending state");
         _c.staleAbsorbed.inc();
+        if (_trace)
+            _trace->record(TraceEvent::StaleAbsorbed, _queue.now(),
+                           msg.txn, msg.line, 0,
+                           static_cast<std::uint16_t>(node));
         return;
     }
     NodePending &p = *pp;
@@ -739,10 +806,15 @@ CoherenceController::snoopComplete(NodeId node, SnoopMessage msg)
         // The requester was already served (a found or squashed message
         // passed us mid-snoop). The snoop itself still happened: count
         // it, then retire quietly.
+        bool found;
         if (msg.kind == SnoopKind::Read)
-            ringSnoopRead(node, msg.line);
+            found = ringSnoopRead(node, msg.line);
         else
-            ringSnoopWrite(node, msg);
+            found = ringSnoopWrite(node, msg);
+        if (_trace)
+            _trace->record(TraceEvent::SnoopDone, _queue.now(), msg.txn,
+                           msg.line, 0, static_cast<std::uint16_t>(node),
+                           found ? 1 : 0, 1);
         erasePending(node, msg.txn);
         releaseGate(node, msg.line, msg.txn);
         return;
@@ -750,6 +822,10 @@ CoherenceController::snoopComplete(NodeId node, SnoopMessage msg)
 
     if (msg.kind == SnoopKind::Read) {
         const bool found = ringSnoopRead(node, msg.line);
+        if (_trace)
+            _trace->record(TraceEvent::SnoopDone, _queue.now(), msg.txn,
+                           msg.line, 0, static_cast<std::uint16_t>(node),
+                           found ? 1 : 0);
         if (found) {
             _nodes[node]->supplyRemote(msg.line);
             supplierHit(node, msg, p);
@@ -765,6 +841,10 @@ CoherenceController::snoopComplete(NodeId node, SnoopMessage msg)
         }
     } else {
         const bool supplied = ringSnoopWrite(node, msg);
+        if (_trace)
+            _trace->record(TraceEvent::SnoopDone, _queue.now(), msg.txn,
+                           msg.line, 0, static_cast<std::uint16_t>(node),
+                           supplied ? 1 : 0);
         if (supplied) {
             // A supplier copy was invalidated: its data travels to the
             // writer over the data network.
@@ -853,6 +933,9 @@ CoherenceController::supplierHit(NodeId node, SnoopMessage msg,
 
     // Ship the line to the requester over the data network.
     const Cycle lat = _data.transfer(node, msg.requester);
+    if (_trace)
+        _trace->record(TraceEvent::SupplierHit, _queue.now(), msg.txn,
+                       msg.line, lat, static_cast<std::uint16_t>(node));
     const TransactionId id = msg.txn;
     _queue.schedule(lat, [this, id]() {
         if (Transaction *txn = findTransaction(id)) {
@@ -948,12 +1031,20 @@ CoherenceController::handleAtRequester(Transaction &txn,
     // squash racing a found reply must still invalidate/retry.)
     if (hardened() && txn.ringDone) {
         _c.staleAbsorbed.inc();
+        if (_trace)
+            _trace->record(TraceEvent::StaleAbsorbed, _queue.now(),
+                           txn.id, txn.line, 0,
+                           static_cast<std::uint16_t>(txn.requester));
         return;
     }
 
     if (msg.found) {
         txn.ringDone = true;
         _c.ringRoundsFound.inc();
+        if (_trace)
+            _trace->record(TraceEvent::RingDone, _queue.now(), txn.id,
+                           txn.line, msg.supplier,
+                           static_cast<std::uint16_t>(txn.requester), 1);
         if (txn.kind == SnoopKind::Write) {
             if (txn.dataArrived)
                 completeWrite(txn);
@@ -976,6 +1067,12 @@ CoherenceController::handleAtRequester(Transaction &txn,
         // read, fetch a second supplier from memory; for a write, leave
         // stale copies uninvalidated. Absorb it; the watchdog reissues.
         _c.incompleteRejected.inc();
+        if (_trace)
+            _trace->record(TraceEvent::IncompleteRejected, _queue.now(),
+                           txn.id, txn.line, 0,
+                           static_cast<std::uint16_t>(txn.requester),
+                           static_cast<std::uint16_t>(msg.visits),
+                           static_cast<std::uint16_t>(numNodes() - 1));
         FS_LOG(Debug, _queue.now(), "ctrl",
                "reject incomplete conclusion txn "
                    << txn.id << " line 0x" << std::hex << txn.line
@@ -987,6 +1084,10 @@ CoherenceController::handleAtRequester(Transaction &txn,
     // Negative conclusion: no supplier anywhere on the ring.
     txn.ringDone = true;
     _c.ringRoundsNegative.inc();
+    if (_trace)
+        _trace->record(TraceEvent::RingDone, _queue.now(), txn.id,
+                       txn.line, 0,
+                       static_cast<std::uint16_t>(txn.requester), 0);
     if (txn.kind == SnoopKind::Read) {
         goToMemory(txn);
     } else {
@@ -1008,6 +1109,10 @@ CoherenceController::goToMemory(Transaction &txn)
                                << txn.line << std::dec);
     const Cycle lat =
         _memory.readLatency(txn.line, txn.requester, _queue.now());
+    if (_trace)
+        _trace->record(TraceEvent::MemFetch, _queue.now(), txn.id,
+                       txn.line, lat,
+                       static_cast<std::uint16_t>(txn.requester));
     // Exact-algorithm energy attribution: a memory read that only exists
     // because the predictor downgraded the supplier copy (paper §6.1.4).
     if (consumeDowngradeMarkAnywhere(txn.line))
@@ -1026,6 +1131,10 @@ CoherenceController::goToMemory(Transaction &txn)
             }
             t->dataArrived = true;
             t->memoryPending = false;
+            if (_trace)
+                _trace->record(TraceEvent::MemData, _queue.now(), id,
+                               t->line, 0,
+                               static_cast<std::uint16_t>(t->requester));
             if (t->kind == SnoopKind::Read)
                 deliverReadData(*t, true);
             else
@@ -1060,9 +1169,14 @@ CoherenceController::deliverReadData(Transaction &txn, bool from_memory)
         node.fillFromRemote(local, line);
     }
 
-    const auto latency = static_cast<double>(_queue.now() - txn.issued);
+    const Cycle lat_cycles = _queue.now() - txn.issued;
+    const auto latency = static_cast<double>(lat_cycles);
     _c.readLatency.sample(latency);
     _c.readLatencyHist.sample(latency);
+    if (_trace)
+        _trace->record(TraceEvent::DataDelivered, _queue.now(), txn.id,
+                       line, lat_cycles, static_cast<std::uint16_t>(n),
+                       from_memory ? 1 : 0);
     complete(txn.core, line, false, 0);
     for (CoreId w : txn.waiters) {
         const std::size_t wl = localOf(w);
@@ -1106,6 +1220,10 @@ CoherenceController::completeWrite(Transaction &txn)
 
     _c.writeLatency.sample(
         static_cast<double>(_queue.now() - txn.issued));
+    if (_trace)
+        _trace->record(TraceEvent::WriteComplete, _queue.now(), txn.id,
+                       line, _queue.now() - txn.issued,
+                       static_cast<std::uint16_t>(n));
     complete(txn.core, line, true, 0);
     finishAndErase(txn.id);
 }
@@ -1118,6 +1236,9 @@ CoherenceController::finishAndErase(TransactionId id)
         return;
     Transaction *txn = *slot;
     const Addr line = txn->line;
+    if (_trace)
+        _trace->record(TraceEvent::TxnRetire, _queue.now(), id, line, 0,
+                       static_cast<std::uint16_t>(txn->requester));
     auto &out = _outstandingByLine[txn->requester];
     const TransactionId *oid = out.find(line);
     if (oid && *oid == id)
@@ -1147,6 +1268,12 @@ CoherenceController::retryTransaction(const Transaction &txn)
         throw RetryStormError(txn.line, txn.retries, os.str());
     }
     _c.retries.inc();
+    if (_trace)
+        _trace->record(TraceEvent::RetryScheduled, _queue.now(), txn.id,
+                       txn.line,
+                       retryBackoffCycles(_params, txn.retries + 1),
+                       static_cast<std::uint16_t>(txn.requester),
+                       static_cast<std::uint16_t>(txn.retries + 1));
     const CoreId core = txn.core;
     const Addr line = txn.line;
     const SnoopKind kind = txn.kind;

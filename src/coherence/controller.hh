@@ -37,6 +37,7 @@
 #include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 #include "snoop/snoop_policy.hh"
+#include "trace/trace_sink.hh"
 
 namespace flexsnoop
 {
@@ -128,6 +129,13 @@ class CoherenceController : public RequestPort
      * link event the injector sees.
      */
     void setFaultInjector(FaultInjector *faults);
+
+    /**
+     * Install the event trace sink (docs/TRACING.md), or remove it with
+     * nullptr. Unset by default: every trace point is a single branch
+     * on this cached pointer.
+     */
+    void setTraceSink(TraceSink *trace) { _trace = trace; }
 
     /** Allocation behaviour of one object pool (docs/METRICS.md). */
     struct PoolUsage
@@ -334,6 +342,9 @@ class CoherenceController : public RequestPort
 
     /** Unreliable-ring mode; null (zero-cost) by default. */
     FaultInjector *_faults = nullptr;
+
+    /** Event tracing (docs/TRACING.md); null (zero-cost) by default. */
+    TraceSink *_trace = nullptr;
 
     StatGroup _stats;
     HotStats _c; ///< pre-resolved handles into _stats (must follow it)

@@ -130,6 +130,18 @@ ExpressPath::cancel()
     Ring *ring = _planRing;
     const NodeId to = ring->successor(_planFrom);
     const SnoopMessage m = _planMsg;
+    if (_ctrl._trace) {
+        // The hand-performed first link bypasses Ring::send(), so its
+        // Hop record is emitted here. Express plans never carry found
+        // or squashed messages.
+        std::uint16_t flags = 0;
+        if (m.kind == SnoopKind::Write)
+            flags |= 4;
+        _ctrl._trace->record(TraceEvent::Hop, _planT0, m.txn, m.line,
+                             _planT0 + ring->params().linkLatency,
+                             static_cast<std::uint16_t>(_planFrom),
+                             static_cast<std::uint16_t>(m.type), flags);
+    }
     _ctrl._queue.reschedule(_planSeq,
                             _planT0 + ring->params().linkLatency,
                             [ring, to, m]() { ring->deliver(to, m); });
@@ -145,6 +157,17 @@ ExpressPath::retire()
     // that no longer concern this plan.
     _active = false;
     _retired.inc();
+
+    if (_ctrl._trace) {
+        const NodeId req = _planMsg.requester;
+        const std::uint32_t links =
+            _planFrom == req
+                ? static_cast<std::uint32_t>(_planRing->numNodes())
+                : _planRing->distance(_planFrom, req);
+        _ctrl._trace->record(TraceEvent::ExpressRun, _planT0,
+                             _planMsg.txn, links, _planRetire,
+                             static_cast<std::uint16_t>(_planFrom));
+    }
 
     Cycle t_retire = 0;
     SnoopMessage final_msg;
@@ -200,7 +223,7 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
     // (it does so before handing the message to the express path);
     // every later virtual send replays both, and each occupies the
     // link exactly as the per-hop Ring::send() would.
-    const auto account = [&](Cycle send_time) {
+    const auto account = [&](Cycle send_time, const SnoopMessage &m) {
         if (apply) {
             ring.recordVirtualTraversal(cur, send_time);
             if (!first_send) {
@@ -208,6 +231,18 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
                 (msg.kind == SnoopKind::Read ? c._c.readLinkMessages
                                              : c._c.writeLinkMessages)
                     .inc();
+            }
+            if (c._trace) {
+                // Replay with the historical send time; the decoder
+                // orders records by cycle, not file position.
+                std::uint16_t flags = 0;
+                if (m.kind == SnoopKind::Write)
+                    flags |= 4;
+                c._trace->record(TraceEvent::Hop, send_time, m.txn,
+                                 m.line, send_time + link_lat,
+                                 static_cast<std::uint16_t>(cur),
+                                 static_cast<std::uint16_t>(m.type),
+                                 flags);
             }
             _sendsVirtualized.inc();
         }
@@ -223,13 +258,13 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
             // Per-hop would queue on a busy link (and sample the
             // queueing stat); the express path refuses instead.
             FS_EXPRESS_REQUIRE(link_free <= front_send);
-            account(front_send);
+            account(front_send, front);
         }
         if (sends_reply) {
             const Cycle free_after =
                 sends_front ? front_send + ser : link_free;
             FS_EXPRESS_REQUIRE(free_after <= reply_send);
-            account(reply_send);
+            account(reply_send, reply);
         }
 
         const NodeId n = ring.successor(cur);
@@ -325,6 +360,7 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
         CmpNode &node = *c._nodes[n];
         Primitive prim;
         Cycle dl = 0;
+        std::uint16_t pred_trace = 2; // 0/1 = predictor answer, 2 = none
         if (msg.kind == SnoopKind::Write) {
             // The replayed snoop must be a guaranteed no-op: no copy
             // of the line anywhere in this CMP, so invalidateAll()
@@ -341,6 +377,7 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
                     assert(real == maybe);
                     (void)real;
                 }
+                pred_trace = maybe ? 1 : 0;
                 if (!maybe)
                     prim = Primitive::Forward;
             }
@@ -361,10 +398,17 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
             }
             prim = c._policy.onPrediction(predicted);
             dl = pred->accessLatency();
+            pred_trace = predicted ? 1 : 0;
         }
 
         // When this node's snoop completes (FTS / STF only).
         const Cycle snoop_done = front_arr + dl + snoop_lat;
+
+        if (apply && c._trace)
+            c._trace->record(TraceEvent::HopDecision, front_arr, msg.txn,
+                             line, dl, static_cast<std::uint16_t>(n),
+                             static_cast<std::uint16_t>(prim),
+                             pred_trace);
 
         // Replay the CMP snoop itself: counters, energy, and (for
         // positive-snooping policies) the false-positive training —
@@ -372,6 +416,10 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
         const auto replay_snoop = [&](Primitive chosen) {
             if (!apply)
                 return;
+            if (c._trace)
+                c._trace->record(TraceEvent::SnoopDone, snoop_done,
+                                 msg.txn, line, 0,
+                                 static_cast<std::uint16_t>(n), 0, 0);
             if (msg.kind == SnoopKind::Read) {
                 const bool found_now = c.ringSnoopRead(n, line);
                 assert(!found_now && "probe missed a supplier");

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line flag values.
+ *
+ * `std::stoul`-style parsing silently accepts trailing garbage
+ * ("10x" -> 10) and reports failures as a bare "stoul" message with no
+ * hint of which flag was wrong. These helpers validate the whole
+ * string with std::from_chars and throw std::invalid_argument naming
+ * the flag and the offending value, so drivers can print one clear
+ * diagnostic and exit.
+ */
+
+#ifndef FLEXSNOOP_CORE_CLI_PARSE_HH
+#define FLEXSNOOP_CORE_CLI_PARSE_HH
+
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace flexsnoop
+{
+
+/**
+ * Parse @p value as an unsigned decimal integer for flag @p flag.
+ * The whole string must be consumed; leading '+'/'-', whitespace,
+ * hex prefixes, and trailing characters are all rejected.
+ */
+inline std::uint64_t
+parseUnsignedArg(const std::string &flag, const std::string &value)
+{
+    std::uint64_t out = 0;
+    const char *begin = value.data();
+    const char *end = begin + value.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc() || ptr != end || value.empty()) {
+        throw std::invalid_argument("invalid value for " + flag + ": '" +
+                                    value +
+                                    "' (expected an unsigned integer)");
+    }
+    return out;
+}
+
+/**
+ * Parse @p value as a decimal floating-point number for flag @p flag.
+ * Accepts the usual fixed/scientific forms ("0.5", "2e-3"); the whole
+ * string must be consumed.
+ */
+inline double
+parseDoubleArg(const std::string &flag, const std::string &value)
+{
+    double out = 0.0;
+    const char *begin = value.data();
+    const char *end = begin + value.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc() || ptr != end || value.empty()) {
+        throw std::invalid_argument("invalid value for " + flag + ": '" +
+                                    value + "' (expected a number)");
+    }
+    return out;
+}
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_CORE_CLI_PARSE_HH

@@ -62,6 +62,36 @@ Machine::Machine(const MachineConfig &config)
         _ring->setFaultInjector(_faults.get());
         _controller->setFaultInjector(_faults.get());
     }
+
+    if (config.trace.enabled()) {
+        _trace = std::make_unique<TraceSink>(config.trace, config.numCmps,
+                                             config.numCores());
+        _ring->setTraceSink(_trace.get());
+        _controller->setTraceSink(_trace.get());
+        _trace->setSnapshotFn(
+            [this](Cycle cycle) { snapshotCounters(cycle); });
+    }
+}
+
+void
+Machine::snapshotCounters(Cycle cycle)
+{
+    const auto &s = _controller->stats();
+    const auto rec = [&](TraceCounterId id, std::uint64_t value) {
+        _trace->record(TraceEvent::CounterSnapshot, cycle, 0, value, 0,
+                       kTraceNoNode, static_cast<std::uint16_t>(id));
+    };
+    rec(TraceCounterId::ReadRingRequests,
+        s.counterValue("read_ring_requests"));
+    rec(TraceCounterId::ReadSnoops, s.counterValue("read_snoops"));
+    rec(TraceCounterId::ReadLinkMessages,
+        s.counterValue("read_link_messages"));
+    rec(TraceCounterId::WriteRingRequests,
+        s.counterValue("write_ring_requests"));
+    rec(TraceCounterId::Collisions, s.counterValue("collisions"));
+    rec(TraceCounterId::Retries, s.counterValue("retries"));
+    rec(TraceCounterId::WatchdogTimeouts,
+        s.counterValue("watchdog_timeouts"));
 }
 
 void

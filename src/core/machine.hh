@@ -43,6 +43,10 @@ class Machine
     FaultInjector *faultInjector() { return _faults.get(); }
     const FaultInjector *faultInjector() const { return _faults.get(); }
 
+    /** Trace sink, or nullptr when config().trace is disabled. */
+    TraceSink *traceSink() { return _trace.get(); }
+    const TraceSink *traceSink() const { return _trace.get(); }
+
     /**
      * Reset all statistics and the energy account (used at the warmup
      * barrier so only the measured phase is reported).
@@ -68,6 +72,10 @@ class Machine
   private:
     std::uint64_t sumPredictorCounter(const std::string &name) const;
 
+    /** CounterSnapshot hook: sample the controller's headline counters
+     *  into the trace (piggybacked on record(), never on the queue). */
+    void snapshotCounters(Cycle cycle);
+
     MachineConfig _config;
     EventQueue _queue;
     EnergyModel _energy;
@@ -79,6 +87,7 @@ class Machine
     std::unique_ptr<CoherenceController> _controller;
     std::unique_ptr<CoherenceChecker> _checker;
     std::unique_ptr<FaultInjector> _faults; ///< null when disarmed
+    std::unique_ptr<TraceSink> _trace;      ///< null when tracing is off
 };
 
 } // namespace flexsnoop

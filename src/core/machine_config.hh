@@ -14,6 +14,7 @@
 #include "predictor/predictor_config.hh"
 #include "sim/fault_injector.hh"
 #include "snoop/snoop_policy.hh"
+#include "trace/trace_sink.hh"
 #include "workload/core_model.hh"
 
 namespace flexsnoop
@@ -60,6 +61,14 @@ struct MachineConfig
      * injector and is bit-identical to a build without the hooks.
      */
     FaultConfig faults;
+
+    /**
+     * Event tracing (docs/TRACING.md): when enabled(), the machine
+     * owns a TraceSink writing trace.path and installs it on the ring
+     * and the controller. Disabled by default; the machine is then
+     * built without a sink and every trace point is one null check.
+     */
+    TraceConfig trace;
 
     /**
      * Machine-level liveness guards used by runSimulation (docs/

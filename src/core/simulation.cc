@@ -102,7 +102,12 @@ runSimulation(const MachineConfig &config, const CoreTraces &traces,
     Machine machine(config);
     WorkloadRunner runner(machine.queue(), machine.controller(), traces,
                           config.core);
-    runner.setWarmupDoneFn([&machine]() { machine.resetStats(); });
+    runner.setWarmupDoneFn([&machine]() {
+        machine.resetStats();
+        if (TraceSink *trace = machine.traceSink())
+            trace->record(TraceEvent::MeasureStart, machine.queue().now(),
+                          0, 0);
+    });
 
     // Liveness guards (docs/FAULTS.md): armed whenever faults are on or
     // a guard is configured explicitly; never scheduled otherwise, so a

@@ -5,9 +5,29 @@
 
 #include "sim/fault_injector.hh"
 #include "sim/log.hh"
+#include "trace/trace_sink.hh"
 
 namespace flexsnoop
 {
+
+namespace
+{
+
+/** Hop-record flag bits (TraceEvent::Hop `b` field). */
+std::uint16_t
+hopFlags(const SnoopMessage &msg)
+{
+    std::uint16_t f = 0;
+    if (msg.found)
+        f |= 1;
+    if (msg.squashed)
+        f |= 2;
+    if (msg.kind == SnoopKind::Write)
+        f |= 4;
+    return f;
+}
+
+} // namespace
 
 Ring::Ring(EventQueue &queue, std::size_t num_nodes,
            const RingParams &params, const std::string &name)
@@ -53,6 +73,11 @@ Ring::send(NodeId from, const SnoopMessage &msg)
             FS_LOG(Debug, now, _stats.name(),
                    "FAULT drop txn " << msg.txn << " " << from << "->"
                                      << to);
+            if (_trace)
+                _trace->record(TraceEvent::FaultDrop, now, msg.txn,
+                               msg.line, 0,
+                               static_cast<std::uint16_t>(from),
+                               static_cast<std::uint16_t>(msg.type));
             return;
           case FaultInjector::LinkAction::Duplicate: {
             // A second copy follows back-to-back: it occupies the link
@@ -63,6 +88,17 @@ Ring::send(NodeId from, const SnoopMessage &msg)
             FS_LOG(Debug, now, _stats.name(),
                    "FAULT dup txn " << msg.txn << " " << from << "->"
                                     << to);
+            if (_trace) {
+                _trace->record(TraceEvent::FaultDup, now, msg.txn,
+                               msg.line, start2 + _params.linkLatency,
+                               static_cast<std::uint16_t>(from),
+                               static_cast<std::uint16_t>(msg.type));
+                _trace->record(TraceEvent::Hop, start2, msg.txn,
+                               msg.line, start2 + _params.linkLatency,
+                               static_cast<std::uint16_t>(from),
+                               static_cast<std::uint16_t>(msg.type),
+                               hopFlags(msg));
+            }
             _queue.scheduleAt(start2 + _params.linkLatency,
                               [this, to, msg]() { _handlers[to](msg); });
             break;
@@ -71,12 +107,23 @@ Ring::send(NodeId from, const SnoopMessage &msg)
             FS_LOG(Debug, now, _stats.name(),
                    "FAULT delay txn " << msg.txn << " " << from << "->"
                                       << to);
+            if (_trace)
+                _trace->record(TraceEvent::FaultDelay, now, msg.txn,
+                               msg.line, _faults->delayCycles(),
+                               static_cast<std::uint16_t>(from),
+                               static_cast<std::uint16_t>(msg.type));
             arrive += _faults->delayCycles();
             break;
           case FaultInjector::LinkAction::None:
             break;
         }
     }
+
+    if (_trace)
+        _trace->record(TraceEvent::Hop, start, msg.txn, msg.line, arrive,
+                       static_cast<std::uint16_t>(from),
+                       static_cast<std::uint16_t>(msg.type),
+                       hopFlags(msg));
 
     _queue.scheduleAt(arrive, [this, to, msg]() {
         assert(_handlers[to] && "message arrived at node with no handler");
@@ -108,6 +155,13 @@ RingNetwork::setFaultInjector(FaultInjector *faults)
 {
     for (auto &ring : _rings)
         ring->setFaultInjector(faults);
+}
+
+void
+RingNetwork::setTraceSink(TraceSink *trace)
+{
+    for (auto &ring : _rings)
+        ring->setTraceSink(trace);
 }
 
 std::uint64_t

@@ -27,6 +27,7 @@ namespace flexsnoop
 {
 
 class FaultInjector;
+class TraceSink;
 
 /** Timing configuration of one embedded ring. */
 struct RingParams
@@ -92,6 +93,13 @@ class Ring
      */
     void setFaultInjector(FaultInjector *faults) { _faults = faults; }
 
+    /**
+     * Install (or remove, with nullptr) the event trace sink recording
+     * one Hop record per link traversal (docs/TRACING.md). Unset by
+     * default: a single null-pointer check on the send path.
+     */
+    void setTraceSink(TraceSink *trace) { _trace = trace; }
+
     /** Total messages that traversed any link of this ring. */
     std::uint64_t linkTraversals() const
     {
@@ -137,6 +145,7 @@ class Ring
     std::vector<Handler> _handlers;
     std::vector<Cycle> _linkFree; ///< next cycle each outgoing link is idle
     FaultInjector *_faults = nullptr; ///< unreliable-ring mode hook
+    TraceSink *_trace = nullptr;      ///< per-hop tracing hook
     StatGroup _stats;
     Counter &_linkTraversals;   ///< cached handle (send() hot path)
     ScalarStat &_linkQueueing;  ///< cached handle (send() hot path)
@@ -173,6 +182,9 @@ class RingNetwork
 
     /** Install the fault injector on every ring. */
     void setFaultInjector(FaultInjector *faults);
+
+    /** Install the trace sink on every ring. */
+    void setTraceSink(TraceSink *trace);
 
     /** Send @p msg (routed by its line address) out of node @p from. */
     void

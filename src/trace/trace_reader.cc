@@ -1,0 +1,70 @@
+#include "trace/trace_reader.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+TraceFile
+loadTrace(const std::string &path)
+{
+    struct Closer
+    {
+        void operator()(std::FILE *f) const { std::fclose(f); }
+    };
+    std::unique_ptr<std::FILE, Closer> file(
+        std::fopen(path.c_str(), "rb"));
+    if (!file)
+        throw std::runtime_error("cannot open trace file: " + path);
+
+    TraceFile out;
+    if (std::fread(&out.header, sizeof(out.header), 1, file.get()) != 1)
+        throw std::runtime_error("trace file too short for a header: " +
+                                 path);
+    if (std::memcmp(out.header.magic, kTraceMagic, sizeof(kTraceMagic)) !=
+        0)
+        throw std::runtime_error("not a .fstrace file (bad magic): " +
+                                 path);
+    if (out.header.version != kTraceVersion)
+        throw std::runtime_error(
+            "unsupported trace version " +
+            std::to_string(out.header.version) + ": " + path);
+    if (out.header.recordSize != sizeof(TraceRecord))
+        throw std::runtime_error(
+            "unsupported trace record size " +
+            std::to_string(out.header.recordSize) + ": " + path);
+
+    // Size the read from the file length; the header count (when the
+    // sink finished cleanly) must then agree.
+    if (std::fseek(file.get(), 0, SEEK_END) != 0)
+        throw std::runtime_error("cannot seek trace file: " + path);
+    const long end = std::ftell(file.get());
+    if (end < 0)
+        throw std::runtime_error("cannot size trace file: " + path);
+    const std::size_t payload =
+        static_cast<std::size_t>(end) - sizeof(TraceFileHeader);
+    if (payload % sizeof(TraceRecord) != 0)
+        throw std::runtime_error("trace file has a truncated record "
+                                 "tail: " +
+                                 path);
+    const std::size_t count = payload / sizeof(TraceRecord);
+    if (out.header.recorded != 0 && out.header.recorded != count)
+        throw std::runtime_error(
+            "trace header count (" + std::to_string(out.header.recorded) +
+            ") disagrees with file length (" + std::to_string(count) +
+            " records): " + path);
+
+    if (std::fseek(file.get(), sizeof(TraceFileHeader), SEEK_SET) != 0)
+        throw std::runtime_error("cannot seek trace file: " + path);
+    out.records.resize(count);
+    if (count > 0 &&
+        std::fread(out.records.data(), sizeof(TraceRecord), count,
+                   file.get()) != count)
+        throw std::runtime_error("short read of trace records: " + path);
+    return out;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Offline decoder for `.fstrace` files (docs/TRACING.md): validates the
+ * header and loads the record stream for the analysis library and the
+ * flexsnoop_trace CLI.
+ */
+
+#ifndef FLEXSNOOP_TRACE_TRACE_READER_HH
+#define FLEXSNOOP_TRACE_TRACE_READER_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.hh"
+
+namespace flexsnoop
+{
+
+/** A fully-decoded trace file. */
+struct TraceFile
+{
+    TraceFileHeader header;
+    std::vector<TraceRecord> records; ///< file order (capture order)
+};
+
+/**
+ * Load and validate @p path.
+ *
+ * @throws std::runtime_error on open failure, bad magic, unsupported
+ *         version/record size, or a truncated record tail. A header
+ *         whose `recorded` count is zero (sink crashed before
+ *         finish()) is accepted; the record count then comes from the
+ *         file length.
+ */
+TraceFile loadTrace(const std::string &path);
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_TRACE_TRACE_READER_HH

@@ -1,0 +1,199 @@
+#include "trace/trace_sink.hh"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+/** Parse an unsigned decimal field of the --trace spec. */
+std::uint64_t
+parseSpecUnsigned(const std::string &key, const std::string &value)
+{
+    if (value.empty())
+        throw std::invalid_argument("trace spec: empty value for " + key);
+    std::uint64_t out = 0;
+    for (char c : value) {
+        if (c < '0' || c > '9')
+            throw std::invalid_argument("trace spec: bad value for " +
+                                        key + ": '" + value + "'");
+        out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return out;
+}
+
+} // namespace
+
+TraceConfig
+TraceConfig::fromSpec(const std::string &spec)
+{
+    TraceConfig cfg;
+    std::istringstream iss(spec);
+    std::string item;
+    bool first = true;
+    while (std::getline(iss, item, ',')) {
+        if (first) {
+            // The first comma-field is the output path, no key.
+            if (item.empty())
+                throw std::invalid_argument(
+                    "trace spec: missing output path");
+            cfg.path = item;
+            first = false;
+            continue;
+        }
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "trace spec: expected key=value, got '" + item + "'");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "ring_kb") {
+            cfg.ringKb =
+                static_cast<std::size_t>(parseSpecUnsigned(key, value));
+            if (cfg.ringKb == 0)
+                throw std::invalid_argument(
+                    "trace spec: ring_kb must be >= 1");
+        } else if (key == "mode") {
+            if (value == "drop")
+                cfg.mode = TraceMode::Drop;
+            else if (value == "spill")
+                cfg.mode = TraceMode::Spill;
+            else
+                throw std::invalid_argument(
+                    "trace spec: mode must be drop or spill, got '" +
+                    value + "'");
+        } else if (key == "snapshot") {
+            cfg.snapshotCycles = parseSpecUnsigned(key, value);
+        } else {
+            throw std::invalid_argument("trace spec: unknown key '" +
+                                        key + "'");
+        }
+    }
+    if (first)
+        throw std::invalid_argument("trace spec: missing output path");
+    return cfg;
+}
+
+TraceSink::TraceSink(const TraceConfig &config, std::size_t num_nodes,
+                     std::size_t num_cores)
+    : _config(config),
+      _numNodes(static_cast<std::uint32_t>(num_nodes)),
+      _numCores(static_cast<std::uint32_t>(num_cores))
+{
+    _capacity = (_config.ringKb * 1024) / sizeof(TraceRecord);
+    if (_capacity == 0)
+        _capacity = 1;
+    _buffer.resize(_capacity);
+
+    _file = std::fopen(_config.path.c_str(), "wb");
+    if (!_file)
+        throw std::runtime_error("cannot create trace file: " +
+                                 _config.path);
+
+    TraceFileHeader header;
+    std::memcpy(header.magic, kTraceMagic, sizeof(kTraceMagic));
+    header.version = kTraceVersion;
+    header.recordSize = sizeof(TraceRecord);
+    header.numNodes = _numNodes;
+    header.numCores = _numCores;
+    header.mode = static_cast<std::uint32_t>(_config.mode);
+    header.ringKb = static_cast<std::uint32_t>(_config.ringKb);
+    if (std::fwrite(&header, sizeof(header), 1, _file) != 1) {
+        std::fclose(_file);
+        _file = nullptr;
+        throw std::runtime_error("cannot write trace header: " +
+                                 _config.path);
+    }
+}
+
+TraceSink::~TraceSink()
+{
+    finish();
+}
+
+void
+TraceSink::setSnapshotFn(std::function<void(Cycle)> fn)
+{
+    _snapshotFn = std::move(fn);
+    _nextSnapshot = _snapshotFn && _config.snapshotCycles > 0
+                        ? _config.snapshotCycles
+                        : kNoSnapshot;
+}
+
+bool
+TraceSink::overflow()
+{
+    if (_config.mode == TraceMode::Drop) {
+        ++_dropped;
+        return false;
+    }
+    flushBuffer();
+    ++_spills;
+    return true;
+}
+
+void
+TraceSink::flushBuffer()
+{
+    if (_count == 0 || !_file)
+        return;
+    // A failed write must not wedge the simulation: record the loss as
+    // drops and keep capturing into the (now empty) buffer.
+    const std::size_t written =
+        std::fwrite(_buffer.data(), sizeof(TraceRecord), _count, _file);
+    if (written < _count) {
+        const std::uint64_t lost = _count - written;
+        _dropped += lost;
+        _recorded -= lost;
+    }
+    _count = 0;
+}
+
+void
+TraceSink::snapshotDue(Cycle cycle)
+{
+    if (_inSnapshot)
+        return;
+    _inSnapshot = true;
+    _snapshotFn(cycle);
+    _inSnapshot = false;
+    // Next sample: the first record at or past the next multiple of the
+    // cadence after `cycle` (a quiet machine simply samples less often).
+    const Cycle step = _config.snapshotCycles;
+    _nextSnapshot = (cycle / step + 1) * step;
+}
+
+void
+TraceSink::finish()
+{
+    if (_finished)
+        return;
+    _finished = true;
+    _nextSnapshot = kNoSnapshot;
+    if (!_file)
+        return;
+    flushBuffer();
+
+    // Rewrite the whole header with the final counts.
+    TraceFileHeader patch;
+    std::memcpy(patch.magic, kTraceMagic, sizeof(kTraceMagic));
+    patch.version = kTraceVersion;
+    patch.recordSize = sizeof(TraceRecord);
+    patch.numNodes = _numNodes;
+    patch.numCores = _numCores;
+    patch.mode = static_cast<std::uint32_t>(_config.mode);
+    patch.ringKb = static_cast<std::uint32_t>(_config.ringKb);
+    patch.recorded = _recorded;
+    patch.dropped = _dropped;
+    patch.spills = _spills;
+    if (std::fseek(_file, 0, SEEK_SET) == 0)
+        std::fwrite(&patch, sizeof(patch), 1, _file);
+    std::fclose(_file);
+    _file = nullptr;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * TraceSink: the capture side of the tracing subsystem
+ * (docs/TRACING.md).
+ *
+ * One sink per simulation run (each run owns its machine and executes
+ * on one worker thread, so the sink is naturally per-worker and needs
+ * no locks). The hot path is a single bounds check plus one 40-byte
+ * struct store into a preallocated ring buffer; a full buffer either
+ * drops further records (counting them) or spills the buffer to the
+ * `.fstrace` file and keeps going, per TraceConfig::mode — the
+ * gator-style split between low-overhead in-process capture and
+ * offline decoding.
+ *
+ * Every instrumented component holds a `TraceSink *` that is null when
+ * tracing is off, so a disabled trace point costs one branch on a
+ * cached pointer.
+ */
+
+#ifndef FLEXSNOOP_TRACE_TRACE_SINK_HH
+#define FLEXSNOOP_TRACE_TRACE_SINK_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "trace/trace_format.hh"
+
+namespace flexsnoop
+{
+
+/**
+ * Runtime configuration of one trace capture. Disabled (empty path) by
+ * default; a MachineConfig with a disabled TraceConfig builds a
+ * machine without a sink, bit-identical to a build without the hooks.
+ */
+struct TraceConfig
+{
+    std::string path;           ///< output file; empty = tracing off
+    std::size_t ringKb = 256;   ///< capture buffer size in KiB
+    TraceMode mode = TraceMode::Spill;
+    Cycle snapshotCycles = 10000; ///< CounterSnapshot cadence (0 = off)
+
+    bool enabled() const { return !path.empty(); }
+
+    /**
+     * Parse the CLI spec "FILE[,ring_kb=N][,mode=drop|spill]
+     * [,snapshot=N]".
+     * @throws std::invalid_argument naming the offending key/value
+     */
+    static TraceConfig fromSpec(const std::string &spec);
+};
+
+class TraceSink
+{
+  public:
+    /**
+     * Opens @p config.path and writes a placeholder header; throws
+     * std::runtime_error if the file cannot be created.
+     *
+     * @param num_nodes / @p num_cores recorded in the file header
+     */
+    TraceSink(const TraceConfig &config, std::size_t num_nodes,
+              std::size_t num_cores);
+    ~TraceSink(); ///< finish()es if the owner did not
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /**
+     * Record one event. Hot path: one capacity branch and one struct
+     * store; never allocates. In drop mode a full buffer counts the
+     * record as dropped; in spill mode the buffer is flushed to disk
+     * first (the only slow path).
+     */
+    void
+    record(TraceEvent ev, Cycle cycle, TransactionId txn, Addr arg0,
+           std::uint64_t arg1 = 0, std::uint16_t node = kTraceNoNode,
+           std::uint16_t a = 0, std::uint16_t b = 0)
+    {
+        if (_count == _capacity && !overflow())
+            return;
+        TraceRecord &r = _buffer[_count++];
+        r.cycle = cycle;
+        r.txn = txn == kInvalidTransaction ? 0 : txn;
+        r.arg0 = arg0;
+        r.arg1 = arg1;
+        r.type = static_cast<std::uint16_t>(ev);
+        r.node = node;
+        r.a = a;
+        r.b = b;
+        ++_recorded;
+        if (cycle >= _nextSnapshot)
+            snapshotDue(cycle);
+    }
+
+    /**
+     * Install the periodic counter-sampling hook. Instead of scheduling
+     * its own events (which would perturb the simulated event stream
+     * and the run's exec-cycle count), the sink piggybacks on recorded
+     * events: the first record at or past the next snapshot cycle
+     * triggers @p fn, which emits CounterSnapshot records through the
+     * sink. Re-entrant records from inside the hook never re-trigger it.
+     */
+    void setSnapshotFn(std::function<void(Cycle)> fn);
+
+    /**
+     * Flush everything to the file, patch the header counts, and close.
+     * Idempotent; called by the destructor if the owner does not.
+     */
+    void finish();
+
+    const TraceConfig &config() const { return _config; }
+
+    // Capture accounting (docs/METRICS.md "trace.*").
+    std::uint64_t recorded() const { return _recorded; }
+    std::uint64_t dropped() const { return _dropped; }
+    std::uint64_t spills() const { return _spills; }
+
+  private:
+    /** Full-buffer slow path: true when the caller may store. */
+    bool overflow();
+    void flushBuffer();
+    void snapshotDue(Cycle cycle);
+
+    TraceConfig _config;
+    std::uint32_t _numNodes = 0; ///< header fields, rewritten by finish()
+    std::uint32_t _numCores = 0;
+    std::vector<TraceRecord> _buffer;
+    std::size_t _capacity = 0;
+    std::size_t _count = 0;
+
+    std::FILE *_file = nullptr;
+    std::uint64_t _recorded = 0;
+    std::uint64_t _dropped = 0;
+    std::uint64_t _spills = 0;
+    bool _finished = false;
+
+    std::function<void(Cycle)> _snapshotFn;
+    /** Next cycle a snapshot is due; max = no hook installed. */
+    Cycle _nextSnapshot = kNoSnapshot;
+    bool _inSnapshot = false;
+
+    static constexpr Cycle kNoSnapshot = ~Cycle{0};
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_TRACE_TRACE_SINK_HH

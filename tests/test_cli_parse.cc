@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the strict CLI numeric parsers (core/cli_parse.hh):
+ * whole-string validation and diagnostics that name the flag and the
+ * offending value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cli_parse.hh"
+
+namespace flexsnoop
+{
+namespace
+{
+
+TEST(CliParse, UnsignedAcceptsPlainDecimals)
+{
+    EXPECT_EQ(parseUnsignedArg("--refs", "0"), 0u);
+    EXPECT_EQ(parseUnsignedArg("--refs", "42"), 42u);
+    EXPECT_EQ(parseUnsignedArg("--refs", "18446744073709551615"),
+              UINT64_MAX);
+}
+
+TEST(CliParse, UnsignedRejectsGarbage)
+{
+    EXPECT_THROW(parseUnsignedArg("--jobs", ""), std::invalid_argument);
+    EXPECT_THROW(parseUnsignedArg("--jobs", "x"), std::invalid_argument);
+    EXPECT_THROW(parseUnsignedArg("--jobs", "10x"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseUnsignedArg("--jobs", "-1"), std::invalid_argument);
+    EXPECT_THROW(parseUnsignedArg("--jobs", "+1"), std::invalid_argument);
+    EXPECT_THROW(parseUnsignedArg("--jobs", " 1"), std::invalid_argument);
+    EXPECT_THROW(parseUnsignedArg("--jobs", "0x10"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseUnsignedArg("--jobs", "1.5"),
+                 std::invalid_argument);
+    // Overflow past uint64 is a parse error, not a silent wrap.
+    EXPECT_THROW(parseUnsignedArg("--jobs", "18446744073709551616"),
+                 std::invalid_argument);
+}
+
+TEST(CliParse, UnsignedDiagnosticNamesFlagAndValue)
+{
+    try {
+        parseUnsignedArg("--warmup", "lots");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--warmup"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'lots'"), std::string::npos) << msg;
+    }
+}
+
+TEST(CliParse, DoubleAcceptsFixedAndScientific)
+{
+    EXPECT_DOUBLE_EQ(parseDoubleArg("--cell-timeout", "0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(parseDoubleArg("--cell-timeout", "10"), 10.0);
+    EXPECT_DOUBLE_EQ(parseDoubleArg("--cell-timeout", "2e-3"), 2e-3);
+    EXPECT_DOUBLE_EQ(parseDoubleArg("--cell-timeout", "-1.25"), -1.25);
+}
+
+TEST(CliParse, DoubleRejectsGarbage)
+{
+    EXPECT_THROW(parseDoubleArg("--cell-timeout", ""),
+                 std::invalid_argument);
+    EXPECT_THROW(parseDoubleArg("--cell-timeout", "fast"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseDoubleArg("--cell-timeout", "1.5s"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseDoubleArg("--cell-timeout", "1.5 "),
+                 std::invalid_argument);
+}
+
+TEST(CliParse, DoubleDiagnosticNamesFlagAndValue)
+{
+    try {
+        parseDoubleArg("--cell-timeout", "soon");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--cell-timeout"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'soon'"), std::string::npos) << msg;
+    }
+}
+
+} // namespace
+} // namespace flexsnoop

@@ -17,8 +17,16 @@
  *                             concurrency; 1 = serial)
  *     --trace-out PATH        save the generated traces (binary)
  *     --trace-in PATH         replay traces from a file instead
+ *     --trace SPEC            record a .fstrace event trace per cell
+ *                             (docs/TRACING.md); SPEC is
+ *                             FILE[,ring_kb=N][,mode=drop|spill]
+ *                             [,snapshot=N]. With more than one cell,
+ *                             "_<workload>_<algorithm>" is inserted
+ *                             before FILE's extension.
  *     --csv PATH              write results as CSV
  *     --json PATH             write results as JSON
+ *     --list                  list workload profiles and algorithms
+ *     --version               print version and build type
  *     key=value               machine overrides (see config_parser.hh)
  *
  * Unreliable-ring mode and sweep hardening (docs/FAULTS.md):
@@ -48,12 +56,19 @@
 #include <iostream>
 #include <sstream>
 
+#include "core/cli_parse.hh"
 #include "core/config_parser.hh"
 #include "core/experiment.hh"
 #include "core/parallel_executor.hh"
 #include "core/report.hh"
+#include "core/version.hh"
+#include "workload/profile.hh"
 #include "workload/synthetic_generator.hh"
 #include "workload/trace_io.hh"
+
+#ifndef FLEXSNOOP_BUILD_TYPE
+#define FLEXSNOOP_BUILD_TYPE "unknown"
+#endif
 
 using namespace flexsnoop;
 
@@ -80,13 +95,91 @@ usage()
            "  --workloads w1,w2,... --algorithms a1,...|paper\n"
            "  --predictor NAME --refs N --warmup N --jobs N\n"
            "  --trace-out PATH --trace-in PATH --csv PATH --json PATH\n"
+           "  --trace FILE[,ring_kb=N][,mode=drop|spill][,snapshot=N]\n"
            "  --faults drop=R,dup=R,delay=R,predictor=R,seed=S\n"
            "  --watchdog-cycles N --max-retries N --cell-timeout SEC\n"
            "  --checkpoint PATH --dump-dir PATH\n"
+           "  --list --version --help\n"
            "machine override keys:";
     for (const auto &key : configKeys())
         std::cerr << ' ' << key;
     std::cerr << '\n';
+}
+
+void
+printVersion()
+{
+    std::cout << "flexsnoop_sim " << kVersionString << " ("
+              << FLEXSNOOP_BUILD_TYPE << " build)\n";
+}
+
+void
+printList()
+{
+    const auto profile_line = [](const WorkloadProfile &p,
+                                 const std::string &note) {
+        std::cout << "  " << std::left << std::setw(14) << p.name
+                  << p.numCores << " cores / " << p.numCmps()
+                  << " CMPs, " << p.refsPerCore << " refs/core"
+                  << (note.empty() ? "" : ", " + note) << '\n';
+    };
+    std::cout << "workload profiles:\n";
+    profile_line(miniProfile(), "small/fast SPLASH-2-like");
+    for (const auto &p : splash2Profiles())
+        profile_line(p, "SPLASH-2-like");
+    profile_line(specJbbProfile(), "SPECjbb-like, little sharing");
+    profile_line(specWebProfile(), "SPECweb-like, moderate sharing");
+
+    struct AlgoDesc
+    {
+        const char *name;
+        const char *desc;
+    };
+    // One line per paper algorithm (Tables 1 and 3), plus the adaptive
+    // extension; names are accepted case-insensitively.
+    static const AlgoDesc algos[] = {
+        {"lazy", "snoop then forward at every node (fewest messages)"},
+        {"eager", "forward then snoop at every node (lowest latency)"},
+        {"oracle", "perfect predictor: snoop only at the supplier"},
+        {"subset",
+         "subset predictor: positive snoops-then-forwards, negative "
+         "forwards-then-snoops"},
+        {"supersetcon",
+         "superset predictor, conservative: positive "
+         "snoops-then-forwards, negative just forwards"},
+        {"supersetagg",
+         "superset predictor, aggressive: positive "
+         "forwards-then-snoops, negative just forwards"},
+        {"exact",
+         "exact predictor with forced downgrades: positive "
+         "snoops-then-forwards, negative just forwards"},
+        {"adaptive",
+         "extension: switches between supersetcon and supersetagg at "
+         "run time"},
+    };
+    std::cout << "algorithms (--algorithms, or \"paper\" for the first "
+                 "seven):\n";
+    for (const AlgoDesc &a : algos)
+        std::cout << "  " << std::left << std::setw(14) << a.name
+                  << a.desc << '\n';
+}
+
+/**
+ * Per-cell trace path: insert "_<workload>_<algorithm>" before the
+ * extension of @p base (or append it when there is none), so each cell
+ * of a sweep writes its own file.
+ */
+std::string
+cellTracePath(const std::string &base, const std::string &workload,
+              std::string_view algorithm)
+{
+    std::string suffix = "_" + workload + "_" + std::string(algorithm);
+    const auto slash = base.find_last_of("/\\");
+    const auto dot = base.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return base + suffix;
+    return base.substr(0, dot) + suffix + base.substr(dot);
 }
 
 } // namespace
@@ -97,7 +190,7 @@ main(int argc, char **argv)
     std::vector<Algorithm> algorithms = paperAlgorithms();
     std::vector<std::string> workloads = {"mini"};
     std::string predictor, trace_out, trace_in, csv_path, json_path;
-    std::string faults_spec;
+    std::string faults_spec, trace_spec;
     SweepHardening hardening;
     std::size_t refs = 0, warmup = SIZE_MAX;
     std::uint64_t watchdog_cycles = UINT64_MAX; // unset
@@ -129,15 +222,18 @@ main(int argc, char **argv)
             } else if (arg == "--predictor") {
                 predictor = next();
             } else if (arg == "--refs") {
-                refs = std::stoul(next());
+                refs = parseUnsignedArg(arg, next());
             } else if (arg == "--warmup") {
-                warmup = std::stoul(next());
+                warmup = parseUnsignedArg(arg, next());
             } else if (arg == "--jobs") {
-                jobs = std::stoul(next());
+                jobs = parseUnsignedArg(arg, next());
             } else if (arg == "--trace-out") {
                 trace_out = next();
             } else if (arg == "--trace-in") {
                 trace_in = next();
+            } else if (arg == "--trace") {
+                trace_spec = next();
+                TraceConfig::fromSpec(trace_spec); // validate early
             } else if (arg == "--csv") {
                 csv_path = next();
             } else if (arg == "--json") {
@@ -145,15 +241,22 @@ main(int argc, char **argv)
             } else if (arg == "--faults") {
                 faults_spec = next();
             } else if (arg == "--watchdog-cycles") {
-                watchdog_cycles = std::stoull(next());
+                watchdog_cycles = parseUnsignedArg(arg, next());
             } else if (arg == "--max-retries") {
-                max_retries = std::stoull(next());
+                max_retries = parseUnsignedArg(arg, next());
             } else if (arg == "--cell-timeout") {
-                hardening.cellWallClockLimitSec = std::stod(next());
+                hardening.cellWallClockLimitSec =
+                    parseDoubleArg(arg, next());
             } else if (arg == "--checkpoint") {
                 hardening.checkpointPath = next();
             } else if (arg == "--dump-dir") {
                 hardening.dumpDir = next();
+            } else if (arg == "--list") {
+                printList();
+                return 0;
+            } else if (arg == "--version") {
+                printVersion();
+                return 0;
             } else if (arg == "--help" || arg == "-h") {
                 usage();
                 return 0;
@@ -194,6 +297,11 @@ main(int argc, char **argv)
         FaultConfig fault_config;
         if (!faults_spec.empty())
             fault_config = FaultConfig::fromSpec(faults_spec);
+        TraceConfig trace_config;
+        if (!trace_spec.empty())
+            trace_config = TraceConfig::fromSpec(trace_spec);
+        const std::size_t total_cells =
+            workloads.size() * algorithms.size();
 
         for (const auto &workload : workloads) {
             WorkloadProfile profile = profileByName(workload);
@@ -231,6 +339,13 @@ main(int argc, char **argv)
                 if (max_retries > 0)
                     cfg.coherence.maxRetries =
                         static_cast<unsigned>(max_retries);
+                if (trace_config.enabled()) {
+                    cfg.trace = trace_config;
+                    if (total_cells > 1)
+                        cfg.trace.path =
+                            cellTracePath(trace_config.path, workload,
+                                          toString(algorithm));
+                }
                 std::cerr << "planned " << workload << " / "
                           << toString(algorithm) << '\n';
                 plan.push_back(PlannedRun{std::move(cfg),
@@ -245,6 +360,9 @@ main(int argc, char **argv)
         if (!faults_spec.empty())
             std::cerr << "fault injection: " << fault_config.describe()
                       << '\n';
+        if (trace_config.enabled())
+            std::cerr << "event tracing: one .fstrace per cell "
+                         "(decode with flexsnoop_trace)\n";
         if (hardened_run) {
             // all_traces is complete here, so the pointers are stable.
             std::vector<PlannedCell> cells;

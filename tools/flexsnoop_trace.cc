@@ -1,0 +1,127 @@
+/**
+ * @file
+ * flexsnoop_trace — decoder/analyzer for `.fstrace` event traces
+ * recorded with `flexsnoop_sim --trace` (docs/TRACING.md).
+ *
+ * Usage:
+ *   flexsnoop_trace [options] TRACE.fstrace
+ *     (no option)         summary: header, counters, span count, and a
+ *                         per-event-type breakdown
+ *     --json PATH         write Chrome trace-event JSON (open in
+ *                         Perfetto or chrome://tracing)
+ *     --critical-path     per-transaction latency decomposition table;
+ *                         the components of each row sum exactly to the
+ *                         transaction's reported read latency
+ *     --top N             N slowest completed transactions with their
+ *                         full hop-by-hop timelines
+ *     --version           print version and build type
+ *
+ * Options combine: each selected report is printed in the order above,
+ * all from one decode of the input.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/cli_parse.hh"
+#include "core/version.hh"
+#include "trace/trace_analysis.hh"
+#include "trace/trace_reader.hh"
+
+#ifndef FLEXSNOOP_BUILD_TYPE
+#define FLEXSNOOP_BUILD_TYPE "unknown"
+#endif
+
+using namespace flexsnoop;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr << "usage: flexsnoop_trace [--json PATH] "
+                 "[--critical-path] [--top N] TRACE.fstrace\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input, json_path;
+    bool critical_path = false;
+    std::uint64_t top = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--json") {
+                json_path = next();
+            } else if (arg == "--critical-path") {
+                critical_path = true;
+            } else if (arg == "--top") {
+                top = parseUnsignedArg(arg, next());
+            } else if (arg == "--version") {
+                std::cout << "flexsnoop_trace " << kVersionString << " ("
+                          << FLEXSNOOP_BUILD_TYPE << " build)\n";
+                return 0;
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::cerr << "unknown argument: " << arg << '\n';
+                usage();
+                return 2;
+            } else if (input.empty()) {
+                input = arg;
+            } else {
+                std::cerr << "more than one input file: " << input
+                          << ", " << arg << '\n';
+                usage();
+                return 2;
+            }
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << '\n';
+            return 2;
+        }
+    }
+    if (input.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        const TraceFile file = loadTrace(input);
+        const TraceAnalysis analysis = analyzeTrace(file);
+
+        writeSummary(std::cout, file, analysis);
+        if (!json_path.empty()) {
+            std::ofstream os(json_path, std::ios::binary);
+            if (!os)
+                throw std::runtime_error("cannot open " + json_path +
+                                         " for writing");
+            writeChromeTrace(os, file, analysis);
+            if (!os)
+                throw std::runtime_error("write to " + json_path +
+                                         " failed");
+            std::cerr << "wrote " << json_path << '\n';
+        }
+        if (critical_path)
+            writeCriticalPathTable(std::cout, file, analysis);
+        if (top > 0)
+            writeTopSlowest(std::cout, file, analysis, top);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+    return 0;
+}
