@@ -74,7 +74,9 @@ ExpressPath::trySend(NodeId from, const SnoopMessage &msg)
     // Cheap quiescence pre-check: the earliest conceivable retirement
     // is one link latency per remaining link. Any event due before
     // that kills the plan anyway, so don't even walk — the common case
-    // in busy multi-core phases.
+    // in busy multi-core phases. (An empty queue reports
+    // EventQueue::kNoEvent, which compares greater than any real
+    // cycle, i.e. trivially quiescent.)
     const Cycle earliest = t0 + links * ring.params().linkLatency;
     if (_ctrl._queue.minPendingTime() <= earliest) {
         _probeRejects.inc();

@@ -14,6 +14,10 @@ Machine::Machine(const MachineConfig &config)
     assert(config.torus.columns * config.torus.rows == config.numCmps &&
            "torus shape must cover all CMPs");
 
+    // Size the scheduler's near wheel to this configuration's hot
+    // latencies before anything can schedule.
+    _queue.configureWheel(config.eventQueueNearBuckets());
+
     _policy = makePolicy(config.algorithm);
     assert(_policy->predictorKind() == config.predictor.kind &&
            "predictor family does not match the algorithm's requirement");

@@ -1,9 +1,33 @@
 #include "core/machine_config.hh"
 
+#include <algorithm>
 #include <cassert>
+
+#include "sim/timing_wheel.hh"
 
 namespace flexsnoop
 {
+
+std::size_t
+MachineConfig::eventQueueNearBuckets() const
+{
+    const Cycle hot = std::max<Cycle>(
+        {ring.linkLatency + ring.serialization,
+         coherence.cmpSnoopTime + coherence.l2RoundTrip +
+             predictor.latency,
+         coherence.localBusRoundTrip, coherence.waiterBusDelay,
+         memory.localRoundTrip, memory.remoteRoundTrip,
+         memory.remotePrefetchRoundTrip, memory.dramAccess,
+         torus.perHopLatency * (torus.columns / 2 + torus.rows / 2) +
+             torus.lineSerialization});
+    // Cover the largest single hot-path latency and no more: the near
+    // array's cache footprint costs more than the occasional overflow
+    // detour, so oversizing the wheel is a net loss (see DESIGN.md).
+    // TimingWheel::configure rounds up to a power of two — which adds
+    // its own headroom — and clamps to the supported range.
+    return static_cast<std::size_t>(
+        std::min<Cycle>(hot, TimingWheel::kMaxNearBuckets));
+}
 
 void
 MachineConfig::setNumCmps(std::size_t n)

@@ -86,6 +86,18 @@ struct MachineConfig
     std::size_t numCores() const { return numCmps * coresPerCmp; }
 
     /**
+     * Near-wheel size for the machine's EventQueue (see
+     * sim/timing_wheel.hh): the smallest power of two covering twice
+     * the largest single-event latency this configuration schedules on
+     * its hot paths (ring hop, CMP snoop, bus and memory round trips,
+     * data-network line transfers). Far-future events — watchdog
+     * timeouts, retry backoffs — are meant to miss the near wheel and
+     * ride the overflow levels; queue.overflow_scheduled counts them
+     * so sizing can be validated against a run's horizon histogram.
+     */
+    std::size_t eventQueueNearBuckets() const;
+
+    /**
      * Resize the machine to @p n CMPs, choosing a matching (roughly
      * square) torus shape.
      */

@@ -16,6 +16,14 @@ DirectoryMachine::DirectoryMachine(std::size_t num_cmps,
       _torus(torus), _stats("directory")
 {
     assert(torus.columns * torus.rows == num_cmps);
+    // Size the scheduler's near wheel to the directory's hot
+    // latencies: the DRAM access dominates, plus the widest request ->
+    // home -> owner indirection on the torus. Covered once, not with
+    // headroom — the wheel's cache footprint costs more than the rare
+    // overflow detour (see DESIGN.md).
+    _queue.configureWheel(static_cast<std::size_t>(
+        params.dramAccess +
+        torus.perHopLatency * (torus.columns / 2 + torus.rows / 2)));
     const std::size_t cores = num_cmps * cores_per_cmp;
     _l2s.reserve(cores);
     for (CoreId c = 0; c < cores; ++c) {

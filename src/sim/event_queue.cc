@@ -1,10 +1,32 @@
 #include "sim/event_queue.hh"
 
 #include <cassert>
+#include <cstdlib>
 #include <utility>
 
 namespace flexsnoop
 {
+namespace
+{
+
+EventQueue::Impl
+implFromEnv()
+{
+    return std::getenv("FLEXSNOOP_HEAP_QUEUE") ? EventQueue::Impl::Heap
+                                               : EventQueue::Impl::Wheel;
+}
+
+} // namespace
+
+EventQueue::EventQueue() : EventQueue(implFromEnv()) {}
+
+EventQueue::EventQueue(Impl impl) : _impl(impl)
+{
+    if (std::getenv("FLEXSNOOP_QUEUE_STATS"))
+        _wheel.enableHorizonHistogram(true);
+}
+
+// Heap (reference implementation) ------------------------------------
 
 void
 EventQueue::siftUp(std::size_t i)
@@ -52,33 +74,20 @@ EventQueue::popTop()
     return top;
 }
 
-void
-EventQueue::scheduleAt(Cycle when, EventFn fn)
-{
-    assert(when >= _now && "cannot schedule into the past");
-    // The observer may reschedule() an existing entry (express-plan
-    // cancellation); it runs before this entry is inserted so the heap
-    // is consistent throughout.
-    if (_observer)
-        _observer(_observerCtx, when);
-    _heap.push_back(Entry{when, _nextSeq++, std::move(fn)});
-    siftUp(_heap.size() - 1);
-}
-
-std::uint64_t
-EventQueue::scheduleAtTagged(Cycle when, EventFn fn)
-{
-    assert(when >= _now && "cannot schedule into the past");
-    const std::uint64_t seq = _nextSeq++;
-    _heap.push_back(Entry{when, seq, std::move(fn)});
-    siftUp(_heap.size() - 1);
-    return seq;
-}
+// Shared interface ---------------------------------------------------
 
 void
 EventQueue::reschedule(std::uint64_t seq, Cycle when, EventFn fn)
 {
     assert(when >= _now && "cannot schedule into the past");
+    if (_impl == Impl::Wheel) {
+        const bool found =
+            _wheel.reschedule(seq, _now, when, std::move(fn));
+        assert(found && "reschedule: no pending entry with that seq");
+        (void)found;
+        return;
+    }
+    // Reference heap: linear scan, O(pending).
     for (std::size_t i = 0; i < _heap.size(); ++i) {
         if (_heap[i].seq != seq)
             continue;
@@ -95,28 +104,21 @@ EventQueue::reschedule(std::uint64_t seq, Cycle when, EventFn fn)
     assert(false && "reschedule: no pending entry with that seq");
 }
 
-bool
-EventQueue::step()
-{
-    if (_heap.empty())
-        return false;
-    Entry entry = popTop();
-    assert(entry.when >= _now);
-    _now = entry.when;
-    ++_executed;
-    entry.fn();
-    return true;
-}
-
 std::uint64_t
 EventQueue::run(Cycle limit)
 {
     std::uint64_t fired = 0;
-    while (!_heap.empty() && _heap.front().when <= limit) {
+    if (limit == kNoEvent) {
+        // Unbounded drain: skip the per-step minimum lookup.
+        while (step())
+            ++fired;
+        return fired;
+    }
+    while (minPendingTime() <= limit) {
         step();
         ++fired;
     }
-    if (_heap.empty() && limit != ~Cycle{0} && _now < limit)
+    if (pending() == 0 && _now < limit)
         _now = limit;
     return fired;
 }
@@ -124,9 +126,12 @@ EventQueue::run(Cycle limit)
 void
 EventQueue::clear()
 {
-    // clear() keeps the vector's capacity: an EventQueue reused between
+    // clear() keeps bucket/heap capacity: an EventQueue reused between
     // experiment repetitions schedules into already-hot storage.
-    _heap.clear();
+    if (_impl == Impl::Heap)
+        _heap.clear();
+    else
+        _wheel.clear();
 }
 
 } // namespace flexsnoop

@@ -6,176 +6,107 @@
  * callables scheduled at absolute cycles; ties are broken by insertion
  * order so simulation is fully deterministic.
  *
+ * Two interchangeable scheduler implementations share this interface:
+ *
+ *  - the default hierarchical timing wheel (timing_wheel.hh), which
+ *    makes schedule/pop O(1) for the short, clustered event horizons a
+ *    fixed-latency embedded ring produces, and reschedule() an O(1)
+ *    indexed operation; and
+ *  - the original explicit binary heap, kept as the bit-exact
+ *    reference implementation and selected by setting the
+ *    FLEXSNOOP_HEAP_QUEUE environment variable (or constructing with
+ *    Impl::Heap).
+ *
+ * Both fire events in strict (cycle, seq) order, so every RunResult —
+ * and every .fstrace byte — is identical under either implementation.
+ *
  * The kernel is allocation-light: callables up to EventFn::kInlineSize
  * bytes (every lambda the simulator schedules today) are stored inline
- * in the heap entry, and the underlying entry vector's capacity is
- * reused across pops and clear()/run cycles, so steady-state operation
- * performs no heap allocation per event.
+ * in the entry, and bucket/heap storage keeps its capacity across pops
+ * and clear()/run cycles, so steady-state operation performs no heap
+ * allocation per event.
  */
 
 #ifndef FLEXSNOOP_SIM_EVENT_QUEUE_HH
 #define FLEXSNOOP_SIM_EVENT_QUEUE_HH
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <new>
-#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/event_fn.hh"
+#include "sim/timing_wheel.hh"
 #include "sim/types.hh"
 
 namespace flexsnoop
 {
 
 /**
- * Move-only callable wrapper with small-buffer optimization.
- *
- * Callables whose size fits kInlineSize (and that are nothrow
- * move-constructible) live inside the wrapper; larger ones fall back to
- * a heap allocation. Unlike std::function there is no copy support and
- * no RTTI, which keeps the inline fast path a single indirect call.
- */
-class EventFn
-{
-  public:
-    /** Inline storage: sized so a ring-hop lambda (this + NodeId +
-     *  SnoopMessage) and the retry lambdas stay allocation-free. */
-    static constexpr std::size_t kInlineSize = 64;
-
-    EventFn() noexcept = default;
-
-    template <typename F,
-              typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, EventFn> &&
-                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
-    EventFn(F &&fn)
-    {
-        using Fn = std::decay_t<F>;
-        if constexpr (fitsInline<Fn>()) {
-            ::new (static_cast<void *>(_storage)) Fn(std::forward<F>(fn));
-            _ops = &inlineOps<Fn>;
-        } else {
-            ::new (static_cast<void *>(_storage))
-                Fn *(new Fn(std::forward<F>(fn)));
-            _ops = &heapOps<Fn>;
-        }
-    }
-
-    EventFn(EventFn &&other) noexcept { moveFrom(std::move(other)); }
-
-    EventFn &
-    operator=(EventFn &&other) noexcept
-    {
-        if (this != &other) {
-            destroy();
-            moveFrom(std::move(other));
-        }
-        return *this;
-    }
-
-    EventFn(const EventFn &) = delete;
-    EventFn &operator=(const EventFn &) = delete;
-
-    ~EventFn() { destroy(); }
-
-    explicit operator bool() const noexcept { return _ops != nullptr; }
-
-    void
-    operator()()
-    {
-        _ops->invoke(_storage);
-    }
-
-    /** True if a callable of type @p Fn avoids the heap fallback. */
-    template <typename Fn>
-    static constexpr bool
-    fitsInline()
-    {
-        return sizeof(Fn) <= kInlineSize &&
-               alignof(Fn) <= alignof(std::max_align_t) &&
-               std::is_nothrow_move_constructible_v<Fn>;
-    }
-
-  private:
-    struct Ops
-    {
-        void (*invoke)(void *);
-        void (*moveTo)(void *src, void *dst); ///< move-construct + destroy src
-        void (*destroy)(void *);
-    };
-
-    template <typename Fn>
-    static constexpr Ops inlineOps = {
-        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
-        [](void *src, void *dst) {
-            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
-            ::new (dst) Fn(std::move(*s));
-            s->~Fn();
-        },
-        [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
-    };
-
-    template <typename Fn>
-    static constexpr Ops heapOps = {
-        [](void *p) {
-            (**std::launder(reinterpret_cast<Fn **>(p)))();
-        },
-        [](void *src, void *dst) {
-            Fn **s = std::launder(reinterpret_cast<Fn **>(src));
-            ::new (dst) Fn *(*s); // steal the pointer
-        },
-        [](void *p) { delete *std::launder(reinterpret_cast<Fn **>(p)); },
-    };
-
-    void
-    moveFrom(EventFn &&other) noexcept
-    {
-        _ops = other._ops;
-        if (_ops)
-            _ops->moveTo(other._storage, _storage);
-        other._ops = nullptr;
-    }
-
-    void
-    destroy() noexcept
-    {
-        if (_ops) {
-            _ops->destroy(_storage);
-            _ops = nullptr;
-        }
-    }
-
-    alignas(std::max_align_t) unsigned char _storage[kInlineSize];
-    const Ops *_ops = nullptr;
-};
-
-/**
  * Deterministic priority queue of timed events.
  *
  * Events scheduled for the same cycle fire in the order they were
  * scheduled (FIFO), which keeps runs reproducible across platforms.
- *
- * Implemented as an explicit binary heap over a std::vector whose
- * capacity persists across pops and clear(), so the steady-state
- * schedule/fire cycle does not touch the allocator.
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /**
+     * "No pending event" sentinel: returned by minPendingTime() on an
+     * empty queue, and the "no bound" default of run(). Larger than
+     * any schedulable cycle.
+     */
+    static constexpr Cycle kNoEvent = ~Cycle{0};
+
+    /** Scheduler implementation selector. */
+    enum class Impl
+    {
+        Wheel, ///< hierarchical timing wheel (default)
+        Heap,  ///< reference binary heap (FLEXSNOOP_HEAP_QUEUE)
+    };
+
+    /** Implementation from the environment: Impl::Heap when
+     *  FLEXSNOOP_HEAP_QUEUE is set, Impl::Wheel otherwise. */
+    EventQueue();
+
+    /** Force a specific implementation (tests and benches). */
+    explicit EventQueue(Impl impl);
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    Impl impl() const { return _impl; }
 
     /** Current simulated time. */
     Cycle now() const { return _now; }
 
     /** Number of events not yet fired. */
-    std::size_t pending() const { return _heap.size(); }
+    std::size_t
+    pending() const
+    {
+        return _impl == Impl::Heap ? _heap.size() : _wheel.size();
+    }
 
     /** Total events executed since construction. */
     std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Size the wheel's near level to cover @p near_buckets cycles of
+     * horizon (rounded up to a power of two). Machines derive this
+     * from their latency configuration so the common-case event lands
+     * in the near wheel. Only legal while the queue is empty; a no-op
+     * under the heap implementation.
+     */
+    void
+    configureWheel(std::size_t near_buckets)
+    {
+        if (_impl == Impl::Wheel)
+            _wheel.configure(near_buckets);
+    }
+
+    /** Near-wheel bucket count (meaningful under Impl::Wheel). */
+    std::size_t nearBuckets() const { return _wheel.nearBuckets(); }
 
     /**
      * Schedule @p fn to run @p delay cycles from now.
@@ -190,7 +121,25 @@ class EventQueue
     }
 
     /** Schedule @p fn at the absolute cycle @p when (>= now). */
-    void scheduleAt(Cycle when, EventFn fn);
+    void
+    scheduleAt(Cycle when, EventFn fn)
+    {
+        assert(when >= _now && "cannot schedule into the past");
+        // The observer may reschedule() an existing entry (express-plan
+        // cancellation); it runs before this entry is inserted so the
+        // scheduler is consistent throughout.
+        if (_observer)
+            _observer(_observerCtx, when);
+        const std::uint64_t seq = _nextSeq++;
+        if (_impl == Impl::Heap) {
+            _heap.push_back(Entry{when, seq, std::move(fn)});
+            siftUp(_heap.size() - 1);
+        } else {
+            _wheel.insert(
+                _now, WheelEntry{when, WheelEntry::packSeq(seq, false),
+                                 std::move(fn)});
+        }
+    }
 
     /**
      * Like scheduleAt(), but returns the entry's sequence number (its
@@ -199,16 +148,33 @@ class EventQueue
      * caller is the express path scheduling its own coalesced arrival,
      * which must not cancel itself.
      */
-    std::uint64_t scheduleAtTagged(Cycle when, EventFn fn);
+    std::uint64_t
+    scheduleAtTagged(Cycle when, EventFn fn)
+    {
+        assert(when >= _now && "cannot schedule into the past");
+        const std::uint64_t seq = _nextSeq++;
+        if (_impl == Impl::Heap) {
+            _heap.push_back(Entry{when, seq, std::move(fn)});
+            siftUp(_heap.size() - 1);
+        } else {
+            _wheel.insert(
+                _now, WheelEntry{when, WheelEntry::packSeq(seq, true),
+                                 std::move(fn)});
+        }
+        return seq;
+    }
 
     /**
-     * Earliest cycle at which any pending event fires; ~Cycle{0} when
-     * the queue is empty. O(1): the heap root.
+     * Earliest cycle at which any pending event fires; kNoEvent when
+     * the queue is empty. O(1): the heap root, or the wheel's cached
+     * minimum (a short bitmap scan right after a bucket drains).
      */
     Cycle
     minPendingTime() const
     {
-        return _heap.empty() ? ~Cycle{0} : _heap.front().when;
+        if (_impl == Impl::Heap)
+            return _heap.empty() ? kNoEvent : _heap.front().when;
+        return _wheel.empty() ? kNoEvent : _wheel.minPending();
     }
 
     /**
@@ -218,7 +184,10 @@ class EventQueue
      * against same-cycle events is exactly what the original
      * scheduling call order dictated — this is what makes an express
      * plan's same-cycle fall-back bit-identical to the per-hop path.
-     * O(pending) scan; only the rare cancellation path pays it.
+     *
+     * O(1) under the wheel (seq->slot index); O(pending) scan under
+     * the reference heap. Rescheduling a seq that is not pending is a
+     * Debug-build assertion failure.
      */
     void reschedule(std::uint64_t seq, Cycle when, EventFn fn);
 
@@ -243,10 +212,31 @@ class EventQueue
      *              queued. Defaults to "no bound".
      * @return number of events executed by this call.
      */
-    std::uint64_t run(Cycle limit = ~Cycle{0});
+    std::uint64_t run(Cycle limit = kNoEvent);
 
     /** Fire a single event; @return false if the queue is empty. */
-    bool step();
+    bool
+    step()
+    {
+        if (_impl == Impl::Heap) {
+            if (_heap.empty())
+                return false;
+            Entry entry = popTop();
+            assert(entry.when >= _now);
+            _now = entry.when;
+            ++_executed;
+            entry.fn();
+            return true;
+        }
+        if (_wheel.empty())
+            return false;
+        WheelEntry entry = _wheel.pop();
+        assert(entry.when >= _now);
+        _now = entry.when;
+        ++_executed;
+        entry.fn();
+        return true;
+    }
 
     /**
      * Drop all pending events (used between experiment repetitions).
@@ -254,10 +244,32 @@ class EventQueue
      */
     void clear();
 
-    /** Reserve heap capacity for @p events pending events. */
-    void reserve(std::size_t events) { _heap.reserve(events); }
+    /**
+     * Reserve storage for @p events pending events. Meaningful for the
+     * heap; the wheel's buckets grow on first use and keep their
+     * capacity, so it reaches the same steady state on its own.
+     */
+    void
+    reserve(std::size_t events)
+    {
+        if (_impl == Impl::Heap)
+            _heap.reserve(events);
+    }
+
+    /** Wheel self-measurement (docs/METRICS.md "queue.*"); zeros under
+     *  the heap implementation. */
+    const TimingWheel &wheel() const { return _wheel; }
+
+    /** Sample the horizon histogram on every schedule (off by default;
+     *  also enabled by the FLEXSNOOP_QUEUE_STATS environment var). */
+    void
+    enableHorizonHistogram(bool on)
+    {
+        _wheel.enableHorizonHistogram(on);
+    }
 
   private:
+    /** Heap entry (reference implementation). */
     struct Entry
     {
         Cycle when;
@@ -278,9 +290,11 @@ class EventQueue
     void siftUp(std::size_t i);
     /** Re-establish the heap property downward from the root. */
     void siftDown(std::size_t i);
-    /** Remove and return the minimum entry. */
+    /** Remove and return the minimum heap entry. */
     Entry popTop();
 
+    Impl _impl;
+    TimingWheel _wheel;
     std::vector<Entry> _heap; ///< binary min-heap by (when, seq)
     Cycle _now = 0;
     std::uint64_t _nextSeq = 0;

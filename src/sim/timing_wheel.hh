@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Hierarchical timing wheel: the O(1) scheduler behind EventQueue.
+ *
+ * A near wheel of power-of-two single-cycle buckets covers the common
+ * short event horizon (ring hops, gateway lookups, L2 and memory
+ * accesses); three cascading overflow levels of 256 buckets each cover
+ * far-future events (watchdog timeouts, retry backoffs, cell
+ * deadlines), and an unsorted far list absorbs anything beyond the
+ * last level. Every bucket keeps its entries ordered by the scheduler's
+ * sequence counter, so execution order — (cycle, seq) strict — is
+ * bit-identical to a binary min-heap over the same entries.
+ *
+ * Occupancy bitmaps per level make the "next non-empty bucket" scan a
+ * handful of word operations, so draining across empty cycle stretches
+ * costs O(horizon / 64) words instead of O(horizon) buckets.
+ *
+ * A seq->location index over *tagged* entries (the express path's
+ * retirement events) makes reschedule() an O(1) lookup instead of the
+ * heap's O(n) scan.
+ */
+
+#ifndef FLEXSNOOP_SIM_TIMING_WHEEL_HH
+#define FLEXSNOOP_SIM_TIMING_WHEEL_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_fn.hh"
+#include "sim/flat_map.hh"
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+/** One scheduled event inside the wheel. */
+struct WheelEntry
+{
+    Cycle when;
+    /** (seq << 1) | tagged. The tag rides in the low bit so the packed
+     *  word orders exactly as seq does (seqs are unique), keeping the
+     *  entry at 88 bytes — bucket traffic is the wheel's main cost. */
+    std::uint64_t seqTag;
+    EventFn fn;
+
+    static std::uint64_t
+    packSeq(std::uint64_t seq, bool tagged)
+    {
+        return (seq << 1) | (tagged ? 1u : 0u);
+    }
+    std::uint64_t seq() const { return seqTag >> 1; }
+    /** Tracked in the seq->location index. */
+    bool tagged() const { return (seqTag & 1) != 0; }
+};
+
+class TimingWheel
+{
+  public:
+    /** Overflow geometry: 3 levels x 256 buckets above the near wheel. */
+    static constexpr unsigned kOverflowBits = 8;
+    static constexpr std::size_t kOverflowSlots = 1u << kOverflowBits;
+    static constexpr std::size_t kOverflowLevels = 3;
+
+    static constexpr std::size_t kMinNearBuckets = 64;
+    static constexpr std::size_t kMaxNearBuckets = 1u << 16;
+
+    explicit TimingWheel(std::size_t near_buckets = 256);
+
+    /**
+     * Resize the near wheel (power of two, clamped to
+     * [kMinNearBuckets, kMaxNearBuckets]). Only legal while empty.
+     */
+    void configure(std::size_t near_buckets);
+
+    std::size_t nearBuckets() const { return _nearSize; }
+
+    bool empty() const { return _size == 0; }
+    std::size_t size() const { return _size; }
+
+    /**
+     * Insert an entry. @p now is the scheduler's current cycle; it
+     * re-anchors the wheel when the insert lands in an empty wheel
+     * (which is what keeps long idle jumps free). Requires
+     * entry.when >= now.
+     */
+    void insert(Cycle now, WheelEntry entry);
+
+    /** Remove and return the earliest entry ((when, seq) order).
+     *  Requires !empty(). */
+    WheelEntry pop();
+
+    /** Earliest pending cycle. Requires !empty(). Cached; O(1) in the
+     *  common case, a bitmap scan after a bucket drains. */
+    Cycle minPending() const;
+
+    /**
+     * Retarget the pending *tagged* entry @p seq to fire at @p when
+     * running @p fn, keeping its sequence number (and therefore its
+     * FIFO rank against same-cycle events). O(1) index lookup plus an
+     * O(bucket) splice. @return false when no pending entry carries
+     * @p seq.
+     */
+    bool reschedule(std::uint64_t seq, Cycle now, Cycle when, EventFn fn);
+
+    /** Drop all entries; bucket capacities are retained for reuse. */
+    void clear();
+
+    // Self-measurement (docs/METRICS.md "queue.*") --------------------
+
+    /** Overflow buckets cascaded down a level. */
+    std::uint64_t cascades() const { return _cascades; }
+    /** Entries re-filed by those cascades. */
+    std::uint64_t cascadedEntries() const { return _cascadedEntries; }
+    /** High-water mark of any single bucket's depth. */
+    std::uint64_t maxBucketDepth() const { return _maxBucketDepth; }
+    /** Inserts that missed the near wheel (validates sizing). */
+    std::uint64_t overflowScheduled() const { return _overflowScheduled; }
+    /** Inserts beyond even the last overflow level. */
+    std::uint64_t farScheduled() const { return _farScheduled; }
+
+    /**
+     * Horizon histogram: bucket i counts inserts whose delay
+     * (when - now) had bit-width i (i.e. delay in [2^(i-1), 2^i)).
+     * Only sampled while enableHorizonHistogram(true); the extra work
+     * is kept off the default hot path.
+     */
+    static constexpr std::size_t kHorizonBuckets = 64;
+    using HorizonHistogram = std::array<std::uint64_t, kHorizonBuckets>;
+    void enableHorizonHistogram(bool on) { _sampleHorizon = on; }
+    const HorizonHistogram &horizonHistogram() const { return _horizon; }
+
+  private:
+    using Bucket = std::vector<WheelEntry>;
+
+    /** Where a tagged entry currently lives. */
+    struct Loc
+    {
+        std::uint8_t level;  ///< 0 near, 1..3 overflow, 4 far
+        std::uint16_t slot;  ///< bucket index within the level
+        std::uint32_t pos;   ///< position within the bucket
+    };
+    static constexpr std::uint8_t kFarLevel = kOverflowLevels + 1;
+
+    /** Granularity shift of overflow level @p l (1-based). */
+    unsigned
+    granShift(std::size_t l) const
+    {
+        return _nearBits + kOverflowBits * static_cast<unsigned>(l - 1);
+    }
+
+    Cycle nearWindowEnd() const { return _w0 + _nearSize; }
+
+    Bucket &bucketAt(const Loc &loc);
+
+    /** File @p entry into the level its cycle belongs to, keeping the
+     *  target bucket seq-sorted. Does not touch _size. @return the
+     *  level chosen (0 near, 1..3 overflow, kFarLevel). */
+    std::uint8_t place(WheelEntry &&entry);
+
+    /** Seq-sorted insert into one bucket (append in the common case). */
+    void insertSorted(Bucket &bucket, std::uint8_t level,
+                      std::uint16_t slot, WheelEntry &&entry);
+
+    /** Advance _curSlot (cascading overflow levels and the far list as
+     *  needed) until the current near bucket holds an unconsumed
+     *  entry. @return false when the wheel is empty. */
+    bool advanceToPending();
+
+    /** Cascade the next occupied overflow bucket down one level and
+     *  re-anchor the lower windows at its start. @return false when
+     *  every overflow level is exhausted. */
+    bool refillFromOverflow();
+
+    /** Re-anchor an empty wheel at @p now. */
+    void resetTo(Cycle now);
+
+    /** Re-file far-list entries that fit the (re-anchored) levels. */
+    void redistributeFar();
+
+    Cycle recomputeMin() const;
+
+    // Occupancy bitmaps ----------------------------------------------
+    static void setBit(std::vector<std::uint64_t> &bm, std::size_t i);
+    static void clrBit(std::vector<std::uint64_t> &bm, std::size_t i);
+    /** First set bit at index >= @p from, or SIZE_MAX. */
+    static std::size_t scanFrom(const std::vector<std::uint64_t> &bm,
+                                std::size_t from, std::size_t bits);
+
+    unsigned _nearBits = 8;
+    std::size_t _nearSize = 256;
+    std::size_t _nearMask = 255;
+
+    std::vector<Bucket> _near;
+    std::array<std::vector<Bucket>, kOverflowLevels> _over;
+    Bucket _far; ///< seq-sorted; cycles beyond the last level
+
+    std::vector<std::uint64_t> _nearMap;
+    std::array<std::vector<std::uint64_t>, kOverflowLevels> _overMap;
+
+    Cycle _w0 = 0;            ///< near window start (aligned)
+    std::size_t _curSlot = 0; ///< near slot currently draining
+    std::size_t _head = 0;    ///< consumed prefix of _near[_curSlot]
+    /** Next overflow slot to examine per level (256 = exhausted). */
+    std::array<std::size_t, kOverflowLevels> _scan{};
+
+    std::size_t _size = 0;
+
+    FlatMap<Loc> _tagged;
+
+    mutable bool _minValid = false;
+    mutable Cycle _minCached = 0;
+
+    std::uint64_t _cascades = 0;
+    std::uint64_t _cascadedEntries = 0;
+    std::uint64_t _maxBucketDepth = 0;
+    std::uint64_t _overflowScheduled = 0;
+    std::uint64_t _farScheduled = 0;
+    bool _sampleHorizon = false;
+    HorizonHistogram _horizon{};
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_SIM_TIMING_WHEEL_HH

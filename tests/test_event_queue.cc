@@ -1,10 +1,19 @@
 /**
  * @file
  * Unit tests for the discrete-event kernel.
+ *
+ * Every behavioural test runs against both scheduler implementations
+ * (the default hierarchical timing wheel and the reference binary
+ * heap); wheel-specific structure — cascades, the far list, sizing,
+ * the horizon histogram — is covered separately, and a randomized
+ * differential test drives both implementations with one script and
+ * demands identical fire order.
  */
 
 #include <array>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -15,27 +24,39 @@ namespace flexsnoop
 namespace
 {
 
-TEST(EventQueue, StartsAtCycleZeroAndEmpty)
+class EventQueueImpl : public ::testing::TestWithParam<EventQueue::Impl>
 {
-    EventQueue q;
+  protected:
+    EventQueue q{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothImpls, EventQueueImpl,
+    ::testing::Values(EventQueue::Impl::Wheel, EventQueue::Impl::Heap),
+    [](const ::testing::TestParamInfo<EventQueue::Impl> &info) {
+        return info.param == EventQueue::Impl::Wheel ? "Wheel" : "Heap";
+    });
+
+TEST_P(EventQueueImpl, StartsAtCycleZeroAndEmpty)
+{
     EXPECT_EQ(q.now(), 0u);
     EXPECT_EQ(q.pending(), 0u);
     EXPECT_EQ(q.executed(), 0u);
+    EXPECT_EQ(q.minPendingTime(), EventQueue::kNoEvent);
 }
 
-TEST(EventQueue, ExecutesEventAtScheduledCycle)
+TEST_P(EventQueueImpl, ExecutesEventAtScheduledCycle)
 {
-    EventQueue q;
     Cycle fired_at = 0;
     q.schedule(42, [&]() { fired_at = q.now(); });
+    EXPECT_EQ(q.minPendingTime(), 42u);
     q.run();
     EXPECT_EQ(fired_at, 42u);
     EXPECT_EQ(q.now(), 42u);
 }
 
-TEST(EventQueue, ZeroDelayEventRunsAtCurrentCycle)
+TEST_P(EventQueueImpl, ZeroDelayEventRunsAtCurrentCycle)
 {
-    EventQueue q;
     bool fired = false;
     q.schedule(0, [&]() { fired = true; });
     q.run();
@@ -43,9 +64,8 @@ TEST(EventQueue, ZeroDelayEventRunsAtCurrentCycle)
     EXPECT_EQ(q.now(), 0u);
 }
 
-TEST(EventQueue, EventsFireInTimeOrder)
+TEST_P(EventQueueImpl, EventsFireInTimeOrder)
 {
-    EventQueue q;
     std::vector<int> order;
     q.schedule(30, [&]() { order.push_back(3); });
     q.schedule(10, [&]() { order.push_back(1); });
@@ -54,9 +74,8 @@ TEST(EventQueue, EventsFireInTimeOrder)
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, SameCycleEventsFireFifo)
+TEST_P(EventQueueImpl, SameCycleEventsFireFifo)
 {
-    EventQueue q;
     std::vector<int> order;
     for (int i = 0; i < 8; ++i)
         q.schedule(5, [&order, i]() { order.push_back(i); });
@@ -66,9 +85,8 @@ TEST(EventQueue, SameCycleEventsFireFifo)
         EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueue, EventsMayScheduleMoreEvents)
+TEST_P(EventQueueImpl, EventsMayScheduleMoreEvents)
 {
-    EventQueue q;
     int count = 0;
     std::function<void()> chain = [&]() {
         ++count;
@@ -81,9 +99,8 @@ TEST(EventQueue, EventsMayScheduleMoreEvents)
     EXPECT_EQ(q.now(), 50u);
 }
 
-TEST(EventQueue, RunHonorsCycleLimit)
+TEST_P(EventQueueImpl, RunHonorsCycleLimit)
 {
-    EventQueue q;
     int fired = 0;
     q.schedule(10, [&]() { ++fired; });
     q.schedule(100, [&]() { ++fired; });
@@ -94,9 +111,8 @@ TEST(EventQueue, RunHonorsCycleLimit)
     EXPECT_EQ(fired, 2);
 }
 
-TEST(EventQueue, StepExecutesExactlyOneEvent)
+TEST_P(EventQueueImpl, StepExecutesExactlyOneEvent)
 {
-    EventQueue q;
     int fired = 0;
     q.schedule(1, [&]() { ++fired; });
     q.schedule(2, [&]() { ++fired; });
@@ -107,9 +123,8 @@ TEST(EventQueue, StepExecutesExactlyOneEvent)
     EXPECT_FALSE(q.step());
 }
 
-TEST(EventQueue, ClearDropsPendingEvents)
+TEST_P(EventQueueImpl, ClearDropsPendingEvents)
 {
-    EventQueue q;
     int fired = 0;
     q.schedule(1, [&]() { ++fired; });
     q.clear();
@@ -117,18 +132,16 @@ TEST(EventQueue, ClearDropsPendingEvents)
     EXPECT_EQ(fired, 0);
 }
 
-TEST(EventQueue, ExecutedCountsAllFiredEvents)
+TEST_P(EventQueueImpl, ExecutedCountsAllFiredEvents)
 {
-    EventQueue q;
     for (int i = 0; i < 17; ++i)
         q.schedule(i, []() {});
     q.run();
     EXPECT_EQ(q.executed(), 17u);
 }
 
-TEST(EventQueue, ScheduleAtAbsoluteCycle)
+TEST_P(EventQueueImpl, ScheduleAtAbsoluteCycle)
 {
-    EventQueue q;
     q.schedule(10, []() {});
     q.run();
     Cycle fired_at = 0;
@@ -137,9 +150,8 @@ TEST(EventQueue, ScheduleAtAbsoluteCycle)
     EXPECT_EQ(fired_at, 25u);
 }
 
-TEST(EventQueue, NestedZeroDelayPreservesFifoWithinCycle)
+TEST_P(EventQueueImpl, NestedZeroDelayPreservesFifoWithinCycle)
 {
-    EventQueue q;
     std::vector<int> order;
     q.schedule(5, [&]() {
         order.push_back(1);
@@ -150,12 +162,11 @@ TEST(EventQueue, NestedZeroDelayPreservesFifoWithinCycle)
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, SameCycleFifoSurvivesHeavyInterleaving)
+TEST_P(EventQueueImpl, SameCycleFifoSurvivesHeavyInterleaving)
 {
-    // Stress the explicit heap's tie-breaking: many events on a few
-    // cycles, scheduled in a scattered order, must still fire grouped
-    // by cycle and FIFO within each cycle.
-    EventQueue q;
+    // Stress the tie-breaking: many events on a few cycles, scheduled
+    // in a scattered order, must still fire grouped by cycle and FIFO
+    // within each cycle.
     std::vector<std::pair<Cycle, int>> order;
     int seq_per_cycle[7] = {};
     for (int i = 0; i < 700; ++i) {
@@ -169,14 +180,14 @@ TEST(EventQueue, SameCycleFifoSurvivesHeavyInterleaving)
     ASSERT_EQ(order.size(), 700u);
     for (std::size_t i = 1; i < order.size(); ++i) {
         ASSERT_GE(order[i].first, order[i - 1].first);
-        if (order[i].first == order[i - 1].first)
+        if (order[i].first == order[i - 1].first) {
             ASSERT_EQ(order[i].second, order[i - 1].second + 1);
+        }
     }
 }
 
-TEST(EventQueue, ClearThenReuseSchedulesFreshEvents)
+TEST_P(EventQueueImpl, ClearThenReuseSchedulesFreshEvents)
 {
-    EventQueue q;
     int dropped = 0, fired = 0;
     q.schedule(10, [&]() { ++dropped; });
     q.schedule(20, [&]() { ++dropped; });
@@ -196,11 +207,10 @@ TEST(EventQueue, ClearThenReuseSchedulesFreshEvents)
     EXPECT_EQ(q.now(), 7u);
 }
 
-TEST(EventQueue, LargeCaptureFallsBackToHeapAndRuns)
+TEST_P(EventQueueImpl, LargeCaptureFallsBackToHeapAndRuns)
 {
     // A capture bigger than EventFn's inline buffer must still execute
     // correctly (heap fallback path).
-    EventQueue q;
     std::array<std::uint64_t, 32> payload{};
     for (std::size_t i = 0; i < payload.size(); ++i)
         payload[i] = i + 1;
@@ -215,11 +225,10 @@ TEST(EventQueue, LargeCaptureFallsBackToHeapAndRuns)
     EXPECT_EQ(sum, 32u * 33u / 2u);
 }
 
-TEST(EventQueue, MoveOnlyCallablesAreSupported)
+TEST_P(EventQueueImpl, MoveOnlyCallablesAreSupported)
 {
     // EventFn is move-only, so callables owning resources (unique_ptr)
     // can be scheduled directly — std::function could not hold these.
-    EventQueue q;
     auto owned = std::make_unique<int>(41);
     int result = 0;
     q.schedule(2, [p = std::move(owned), &result]() { result = *p + 1; });
@@ -227,9 +236,8 @@ TEST(EventQueue, MoveOnlyCallablesAreSupported)
     EXPECT_EQ(result, 42);
 }
 
-TEST(EventQueue, ReservePreservesBehavior)
+TEST_P(EventQueueImpl, ReservePreservesBehavior)
 {
-    EventQueue q;
     q.reserve(1024);
     int fired = 0;
     for (int i = 0; i < 100; ++i)
@@ -237,6 +245,345 @@ TEST(EventQueue, ReservePreservesBehavior)
     q.run();
     EXPECT_EQ(fired, 100);
     EXPECT_EQ(q.now(), 100u);
+}
+
+// Edge behaviour shared by both implementations --------------------------
+
+TEST_P(EventQueueImpl, MinPendingTimeTracksTheFrontier)
+{
+    q.schedule(90, []() {});
+    q.schedule(40, []() {});
+    EXPECT_EQ(q.minPendingTime(), 40u);
+    q.schedule(10, []() {});
+    EXPECT_EQ(q.minPendingTime(), 10u);
+    q.step();
+    EXPECT_EQ(q.minPendingTime(), 40u);
+    q.step();
+    EXPECT_EQ(q.minPendingTime(), 90u);
+    q.step();
+    EXPECT_EQ(q.minPendingTime(), EventQueue::kNoEvent);
+}
+
+TEST_P(EventQueueImpl, LongIdleJumpThenZeroDelay)
+{
+    // Drain far past the near window, then schedule at the new now:
+    // the wheel must re-anchor, not wrap onto stale buckets.
+    std::vector<Cycle> fired;
+    q.schedule(1'000'000, [&]() {
+        fired.push_back(q.now());
+        q.schedule(0, [&]() { fired.push_back(q.now()); });
+        q.schedule(3, [&]() { fired.push_back(q.now()); });
+    });
+    q.run();
+    EXPECT_EQ(fired, (std::vector<Cycle>{1'000'000, 1'000'000, 1'000'003}));
+}
+
+TEST_P(EventQueueImpl, SameCycleFifoAcrossWheelWrap)
+{
+    // Pairs of same-cycle events on cycles straddling several near-
+    // window wraps (the wheel defaults to 256 single-cycle buckets):
+    // FIFO within a cycle must hold no matter which wrap the bucket
+    // belongs to, including events scheduled across different wraps
+    // before any of them fire.
+    std::vector<std::pair<Cycle, int>> order;
+    const std::array<Cycle, 6> cycles = {250, 255, 256, 257, 511, 513};
+    for (int round = 0; round < 4; ++round)
+        for (const Cycle c : cycles)
+            q.schedule(c, [&order, c, round]() {
+                order.emplace_back(c, round);
+            });
+    q.run();
+    ASSERT_EQ(order.size(), cycles.size() * 4);
+    std::size_t i = 0;
+    for (const Cycle c : cycles)
+        for (int round = 0; round < 4; ++round, ++i) {
+            EXPECT_EQ(order[i].first, c);
+            EXPECT_EQ(order[i].second, round);
+        }
+}
+
+TEST_P(EventQueueImpl, DelaysSpanningEveryWheelLevel)
+{
+    // One event per structural region of the wheel: current bucket,
+    // near window, each overflow level, and the far list — scheduled
+    // out of order, fired in order.
+    const std::vector<Cycle> delays = {
+        1ull << 40,       // far list (beyond level 3)
+        (1ull << 25) + 3, // level 3
+        70'000,           // level 2
+        3'000,            // level 1
+        100,              // near window
+        0,                // current bucket
+    };
+    std::vector<Cycle> fired;
+    for (const Cycle d : delays)
+        q.schedule(d, [&fired, &q = q]() { fired.push_back(q.now()); });
+    q.run();
+    std::vector<Cycle> expect(delays.rbegin(), delays.rend());
+    EXPECT_EQ(fired, expect);
+}
+
+TEST_P(EventQueueImpl, RescheduleToLaterCycle)
+{
+    std::vector<int> order;
+    const std::uint64_t tag =
+        q.scheduleAtTagged(10, [&]() { order.push_back(0); });
+    q.schedule(20, [&]() { order.push_back(1); });
+    q.reschedule(tag, 30, [&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST_P(EventQueueImpl, RescheduleToEarlierCycle)
+{
+    std::vector<int> order;
+    q.schedule(20, [&]() { order.push_back(1); });
+    const std::uint64_t tag =
+        q.scheduleAtTagged(500, [&]() { order.push_back(0); });
+    q.reschedule(tag, 5, [&]() { order.push_back(2); });
+    EXPECT_EQ(q.minPendingTime(), 5u);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+    EXPECT_EQ(q.now(), 20u);
+}
+
+TEST_P(EventQueueImpl, RescheduleKeepsFifoRank)
+{
+    // The express path's correctness hinges on this: a rescheduled
+    // entry keeps its original sequence number, so when it lands on a
+    // cycle where other events already sit, it sorts by the original
+    // scheduling order — before later-scheduled events, after earlier
+    // ones.
+    std::vector<int> order;
+    q.schedule(40, [&]() { order.push_back(0); }); // seq 0
+    const std::uint64_t tag =
+        q.scheduleAtTagged(900, [&]() {});         // seq 1
+    q.schedule(40, [&]() { order.push_back(2); }); // seq 2
+    q.reschedule(tag, 40, [&]() { order.push_back(1); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_P(EventQueueImpl, RescheduleAcrossWheelLevels)
+{
+    // Retarget between structurally different homes: near -> far,
+    // far -> near, overflow -> same cycle as a near neighbour.
+    std::vector<int> order;
+    const std::uint64_t a =
+        q.scheduleAtTagged(50, [&]() { order.push_back(-1); });
+    q.reschedule(a, 1ull << 30, [&]() { order.push_back(3); });
+
+    const std::uint64_t b =
+        q.scheduleAtTagged(1ull << 40, [&]() { order.push_back(-1); });
+    q.reschedule(b, 7, [&]() { order.push_back(0); });
+
+    q.schedule(100'000, [&]() { order.push_back(2); });
+    const std::uint64_t c =
+        q.scheduleAtTagged(5'000, [&]() { order.push_back(-1); });
+    q.reschedule(c, 60, [&]() { order.push_back(1); });
+
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_P(EventQueueImpl, RunWithNoEventLimitDrainsEverything)
+{
+    int fired = 0;
+    q.schedule(10, [&]() { ++fired; });
+    q.schedule(1ull << 35, [&]() { ++fired; });
+    EXPECT_EQ(q.run(EventQueue::kNoEvent), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+// Wheel-specific structure ----------------------------------------------
+
+TEST(TimingWheelQueue, ConfigureRoundsToPowerOfTwoAndClamps)
+{
+    EventQueue q(EventQueue::Impl::Wheel);
+    q.configureWheel(1420); // rounds up to the next power of two
+    EXPECT_EQ(q.nearBuckets(), 2048u);
+    q.configureWheel(64);
+    EXPECT_EQ(q.nearBuckets(), 64u);
+    q.configureWheel(1); // below the minimum
+    EXPECT_EQ(q.nearBuckets(), TimingWheel::kMinNearBuckets);
+    q.configureWheel(1u << 20); // above the maximum
+    EXPECT_EQ(q.nearBuckets(), TimingWheel::kMaxNearBuckets);
+}
+
+TEST(TimingWheelQueue, ConfiguredSizeStillFiresInOrder)
+{
+    for (const std::size_t buckets : {64u, 256u, 4096u}) {
+        EventQueue q(EventQueue::Impl::Wheel);
+        q.configureWheel(buckets);
+        std::vector<Cycle> fired;
+        for (const Cycle d : {5000u, 63u, 700u, 0u, 65u})
+            q.schedule(d, [&fired, &q]() { fired.push_back(q.now()); });
+        q.run();
+        EXPECT_EQ(fired, (std::vector<Cycle>{0, 63, 65, 700, 5000}))
+            << buckets << " near buckets";
+    }
+}
+
+TEST(TimingWheelQueue, OverflowEventsCascadeDown)
+{
+    EventQueue q(EventQueue::Impl::Wheel);
+    q.configureWheel(64);
+    int fired = 0;
+    // Past the 64-cycle near window: must first land in an overflow
+    // level, then cascade into the near wheel as time advances.
+    q.schedule(10'000, [&]() { ++fired; });
+    q.schedule(200, [&]() { ++fired; });
+    EXPECT_EQ(q.wheel().overflowScheduled(), 2u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_GE(q.wheel().cascades(), 2u);
+    EXPECT_GE(q.wheel().cascadedEntries(), 2u);
+}
+
+TEST(TimingWheelQueue, FarListBeyondLastOverflowLevel)
+{
+    EventQueue q(EventQueue::Impl::Wheel);
+    q.configureWheel(64);
+    // 64 near cycles + 3 levels x 8 bits = 2^30 max coverage; past
+    // that the entry rides the unsorted far list.
+    const Cycle far_delay = 1ull << 32;
+    std::vector<Cycle> fired;
+    q.schedule(far_delay, [&]() { fired.push_back(q.now()); });
+    q.schedule(far_delay + 1, [&]() { fired.push_back(q.now()); });
+    q.schedule(5, [&]() { fired.push_back(q.now()); });
+    EXPECT_EQ(q.wheel().farScheduled(), 2u);
+    q.run();
+    EXPECT_EQ(fired,
+              (std::vector<Cycle>{5, far_delay, far_delay + 1}));
+}
+
+TEST(TimingWheelQueue, HorizonHistogramCountsByDelayBitWidth)
+{
+    EventQueue q(EventQueue::Impl::Wheel);
+    q.enableHorizonHistogram(true);
+    q.schedule(0, []() {});   // bit_width(0) = 0
+    q.schedule(1, []() {});   // 1
+    q.schedule(3, []() {});   // 2
+    q.schedule(200, []() {}); // 8
+    q.schedule(300, []() {}); // 9
+    q.schedule(511, []() {}); // 9
+    const auto &h = q.wheel().horizonHistogram();
+    EXPECT_EQ(h[0], 1u);
+    EXPECT_EQ(h[1], 1u);
+    EXPECT_EQ(h[2], 1u);
+    EXPECT_EQ(h[8], 1u);
+    EXPECT_EQ(h[9], 2u);
+    q.run();
+}
+
+// Differential: one script, both implementations, identical order -------
+
+/** Deterministic xorshift64* so the stress script is reproducible. */
+struct Rng
+{
+    std::uint64_t s = 0x9e3779b97f4a7c15ull;
+    std::uint64_t
+    next()
+    {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        return s * 0x2545f4914f6cdd1dull;
+    }
+    std::uint64_t pick(std::uint64_t n) { return next() % n; }
+};
+
+TEST(QueueDifferential, WheelMatchesHeapOnRandomScript)
+{
+    EventQueue wheel(EventQueue::Impl::Wheel);
+    EventQueue heap(EventQueue::Impl::Heap);
+    std::vector<std::uint64_t> wheel_order, heap_order;
+
+    // Delay mix mirroring the simulator: mostly short ring-scale hops,
+    // some bus/memory round trips, rare watchdog-scale timeouts.
+    const auto draw_delay = [](Rng &r) -> Cycle {
+        switch (r.pick(10)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+            return r.pick(8); // same-cycle / next-hop
+        case 4:
+        case 5:
+        case 6:
+            return 39 + r.pick(300); // ring and bus latencies
+        case 7:
+        case 8:
+            return 710 + r.pick(2000); // memory round trips
+        default:
+            return 20'000 + r.pick(1u << 22); // watchdog horizon
+        }
+    };
+
+    Rng rng;
+    std::uint64_t next_id = 0;
+    for (int round = 0; round < 40; ++round) {
+        // Same script against both queues: a batch of schedules (some
+        // tagged), reschedules of this round's tags, then a partial
+        // drain. Both must observe identical state throughout.
+        const std::size_t batch = 4 + rng.pick(24);
+        std::vector<std::uint64_t> wheel_tags, heap_tags;
+        for (std::size_t i = 0; i < batch; ++i) {
+            const Cycle delay = draw_delay(rng);
+            const std::uint64_t id = next_id++;
+            if (rng.pick(6) == 0) {
+                wheel_tags.push_back(wheel.scheduleAtTagged(
+                    wheel.now() + delay,
+                    [&wheel_order, id]() { wheel_order.push_back(id); }));
+                heap_tags.push_back(heap.scheduleAtTagged(
+                    heap.now() + delay,
+                    [&heap_order, id]() { heap_order.push_back(id); }));
+            } else {
+                wheel.schedule(delay, [&wheel_order, id]() {
+                    wheel_order.push_back(id);
+                });
+                heap.schedule(delay, [&heap_order, id]() {
+                    heap_order.push_back(id);
+                });
+            }
+        }
+        ASSERT_EQ(wheel_tags, heap_tags);
+
+        // Retarget half of this round's tagged entries (they are all
+        // still pending — nothing stepped since they were scheduled).
+        for (std::size_t i = 0; i < wheel_tags.size(); i += 2) {
+            const Cycle delay = draw_delay(rng);
+            const std::uint64_t id = next_id++;
+            wheel.reschedule(wheel_tags[i], wheel.now() + delay,
+                             [&wheel_order, id]() {
+                                 wheel_order.push_back(id);
+                             });
+            heap.reschedule(heap_tags[i], heap.now() + delay,
+                            [&heap_order, id]() {
+                                heap_order.push_back(id);
+                            });
+        }
+
+        const std::size_t steps = rng.pick(2 * batch);
+        for (std::size_t i = 0; i < steps; ++i) {
+            if (!wheel.step())
+                break;
+            ASSERT_TRUE(heap.step());
+        }
+        ASSERT_EQ(wheel.now(), heap.now()) << "round " << round;
+        ASSERT_EQ(wheel.pending(), heap.pending()) << "round " << round;
+        ASSERT_EQ(wheel.minPendingTime(), heap.minPendingTime())
+            << "round " << round;
+    }
+
+    wheel.run();
+    heap.run();
+    EXPECT_EQ(wheel.executed(), heap.executed());
+    EXPECT_EQ(wheel.now(), heap.now());
+    ASSERT_EQ(wheel_order.size(), heap_order.size());
+    EXPECT_EQ(wheel_order, heap_order);
 }
 
 } // namespace
