@@ -1,6 +1,6 @@
 #include "coherence/checker.hh"
 
-#include <map>
+#include <algorithm>
 #include <sstream>
 
 #include "mem/line_state.hh"
@@ -13,32 +13,52 @@ CoherenceChecker::check() const
 {
     struct Copy
     {
+        Addr line;
         NodeId node;
         std::size_t core;
         LineState state;
     };
 
-    std::map<Addr, std::vector<Copy>> copies;
+    // One flat scan sorted by (line, node, core) instead of a std::map
+    // of vectors rebuilt per check: a single allocation, and grouped
+    // iteration over contiguous ranges. The sort reproduces the old
+    // map's deterministic report order (lines ascending; within a line,
+    // forEachLine's node-then-core order).
+    std::vector<Copy> copies;
     for (NodeId n = 0; n < _nodes.size(); ++n) {
-        _nodes[n]->forEachLine([&](std::size_t core, Addr line,
-                                   LineState st) {
-            copies[line].push_back(Copy{n, core, st});
-        });
+        _nodes[n]->forEachLine(
+            [&](std::size_t core, Addr line, LineState st) {
+                copies.push_back(Copy{line, n, core, st});
+            });
     }
+    std::sort(copies.begin(), copies.end(),
+              [](const Copy &a, const Copy &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return a.core < b.core;
+              });
 
     std::vector<Violation> violations;
     auto report = [&](Addr line, const std::string &what) {
         violations.push_back(Violation{line, what});
     };
 
-    for (const auto &[line, holders] : copies) {
+    for (std::size_t begin = 0; begin < copies.size();) {
+        std::size_t end = begin + 1;
+        while (end < copies.size() && copies[end].line == copies[begin].line)
+            ++end;
+        const Addr line = copies[begin].line;
+
         unsigned suppliers = 0;
-        for (const auto &c : holders)
-            suppliers += isSupplierState(c.state);
+        for (std::size_t i = begin; i < end; ++i)
+            suppliers += isSupplierState(copies[i].state);
         if (suppliers > 1) {
             std::ostringstream oss;
             oss << suppliers << " supplier copies:";
-            for (const auto &c : holders) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const Copy &c = copies[i];
                 if (isSupplierState(c.state))
                     oss << " cmp" << c.node << ".l2." << c.core << "="
                         << toString(c.state);
@@ -46,25 +66,29 @@ CoherenceChecker::check() const
             report(line, oss.str());
         }
 
-        // One SL per CMP.
-        std::map<NodeId, unsigned> sl_per_cmp;
-        for (const auto &c : holders) {
-            if (c.state == LineState::SharedLocal)
-                ++sl_per_cmp[c.node];
-        }
-        for (const auto &[node, count] : sl_per_cmp) {
-            if (count > 1) {
+        // One SL per CMP: copies of a line within one CMP are adjacent
+        // after the sort, so a linear run count replaces the old
+        // per-line std::map<NodeId, unsigned>.
+        for (std::size_t i = begin; i < end;) {
+            std::size_t cmp_end = i + 1;
+            while (cmp_end < end && copies[cmp_end].node == copies[i].node)
+                ++cmp_end;
+            unsigned sl = 0;
+            for (std::size_t j = i; j < cmp_end; ++j)
+                sl += copies[j].state == LineState::SharedLocal;
+            if (sl > 1) {
                 std::ostringstream oss;
-                oss << count << " SL copies within cmp" << node;
+                oss << sl << " SL copies within cmp" << copies[i].node;
                 report(line, oss.str());
             }
+            i = cmp_end;
         }
 
         // Pairwise compatibility matrix.
-        for (std::size_t i = 0; i < holders.size(); ++i) {
-            for (std::size_t j = i + 1; j < holders.size(); ++j) {
-                const auto &a = holders[i];
-                const auto &b = holders[j];
+        for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t j = i + 1; j < end; ++j) {
+                const Copy &a = copies[i];
+                const Copy &b = copies[j];
                 const bool same_cmp = a.node == b.node;
                 if (!statesCompatible(a.state, b.state, same_cmp)) {
                     std::ostringstream oss;
@@ -77,6 +101,43 @@ CoherenceChecker::check() const
                 }
             }
         }
+
+        // Audit the CmpNodes' incrementally tracked per-line state (the
+        // copy counts and supplier sets the controller's hot path reads)
+        // against this ground-truth scan: a desync would silently skew
+        // every predictor decision downstream.
+        for (std::size_t i = begin; i < end;) {
+            std::size_t cmp_end = i + 1;
+            while (cmp_end < end && copies[cmp_end].node == copies[i].node)
+                ++cmp_end;
+            const CmpNode &cmp = *_nodes[copies[i].node];
+            const unsigned scanned =
+                static_cast<unsigned>(cmp_end - i);
+            if (cmp.copyCount(line) != scanned) {
+                std::ostringstream oss;
+                oss << "cmp" << copies[i].node << " tracks "
+                    << cmp.copyCount(line) << " copies, scan found "
+                    << scanned;
+                report(line, oss.str());
+            }
+            std::size_t supplier_core = SIZE_MAX;
+            for (std::size_t j = i; j < cmp_end; ++j) {
+                if (isSupplierState(copies[j].state))
+                    supplier_core = copies[j].core;
+            }
+            if (cmp.supplierCore(line) != supplier_core) {
+                std::ostringstream oss;
+                oss << "cmp" << copies[i].node
+                    << " supplier tracking desync: tracked core "
+                    << static_cast<long long>(cmp.supplierCore(line))
+                    << ", scan found "
+                    << static_cast<long long>(supplier_core);
+                report(line, oss.str());
+            }
+            i = cmp_end;
+        }
+
+        begin = end;
     }
     return violations;
 }

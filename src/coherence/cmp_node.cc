@@ -36,8 +36,9 @@ CmpNode::setPredictor(std::unique_ptr<SupplierPredictor> predictor)
     if (!_predictor)
         return;
     // Predictors may be installed after lines exist (tests); sync them.
-    for (const auto &[line, core] : _suppliers)
+    _suppliers.forEach([this](Addr line, std::size_t) {
         _predictor->supplierGained(line);
+    });
 }
 
 void
@@ -46,10 +47,8 @@ CmpNode::setPresencePredictor(std::unique_ptr<PresencePredictor> pred)
     _presence = std::move(pred);
     if (!_presence)
         return;
-    for (const auto &[line, count] : _copyCounts) {
-        (void)count;
-        _presence->linePresent(line);
-    }
+    _copyCounts.forEach(
+        [this](Addr line, unsigned) { _presence->linePresent(line); });
 }
 
 void
@@ -58,13 +57,13 @@ CmpNode::onTransition(std::size_t core, Addr line, LineState from,
 {
     // Presence tracking: first copy in / last copy out of the CMP.
     if (!isValidState(from) && isValidState(to)) {
-        if (++_copyCounts[line] == 1 && _presence)
+        if (++_copyCounts.getOrCreate(line) == 1 && _presence)
             _presence->linePresent(line);
     } else if (isValidState(from) && !isValidState(to)) {
-        auto it = _copyCounts.find(line);
-        assert(it != _copyCounts.end() && it->second > 0);
-        if (--it->second == 0) {
-            _copyCounts.erase(it);
+        unsigned *count = _copyCounts.find(line);
+        assert(count != nullptr && *count > 0);
+        if (--*count == 0) {
+            _copyCounts.erase(line);
             if (_presence)
                 _presence->lineAbsent(line);
         }
@@ -73,22 +72,22 @@ CmpNode::onTransition(std::size_t core, Addr line, LineState from,
     const bool was_supplier = isSupplierState(from);
     const bool is_supplier = isSupplierState(to);
     if (was_supplier && !is_supplier) {
-        assert(_suppliers.count(line) && _suppliers[line] == core);
+        assert(_suppliers.find(line) && *_suppliers.find(line) == core);
         _suppliers.erase(line);
         if (_predictor)
             _predictor->supplierLost(line);
     } else if (!was_supplier && is_supplier) {
-        if (_suppliers.count(line)) {
+        if (const std::size_t *other = _suppliers.find(line)) {
             FS_LOG(Error, 0, "cmp",
                    "cmp " << _id << " second supplier: line 0x" << std::hex
                           << line << std::dec << " core " << core << " "
                           << toString(from) << "->" << toString(to)
-                          << " existing core " << _suppliers[line] << " in "
-                          << toString(_l2s[_suppliers[line]]->state(line)));
+                          << " existing core " << *other << " in "
+                          << toString(_l2s[*other]->state(line)));
         }
-        assert(!_suppliers.count(line) &&
+        assert(!_suppliers.contains(line) &&
                "second supplier copy within one CMP");
-        _suppliers.emplace(line, core);
+        _suppliers.put(line, core);
         if (_predictor)
             _predictor->supplierGained(line);
     }
@@ -100,9 +99,9 @@ CmpNode::onTransition(std::size_t core, Addr line, LineState from,
     if (was_sl && !is_sl)
         _localMasters.erase(line);
     else if (!was_sl && is_sl) {
-        assert(!_localMasters.count(line) &&
+        assert(!_localMasters.contains(line) &&
                "second local-master copy within one CMP");
-        _localMasters.emplace(line, core);
+        _localMasters.put(line, core);
     }
 }
 
@@ -115,38 +114,45 @@ CmpNode::coreState(std::size_t local_core, Addr line) const
 bool
 CmpNode::hasSupplier(Addr line) const
 {
-    return _suppliers.count(lineAddr(line)) > 0;
+    return _suppliers.contains(lineAddr(line));
 }
 
 std::size_t
 CmpNode::supplierCore(Addr line) const
 {
-    auto it = _suppliers.find(lineAddr(line));
-    return it == _suppliers.end() ? SIZE_MAX : it->second;
+    const std::size_t *core = _suppliers.find(lineAddr(line));
+    return core ? *core : SIZE_MAX;
 }
 
 bool
 CmpNode::hasLocalSupplier(Addr line) const
 {
     line = lineAddr(line);
-    return _suppliers.count(line) > 0 || _localMasters.count(line) > 0;
+    return _suppliers.contains(line) || _localMasters.contains(line);
 }
 
 std::size_t
 CmpNode::localSupplierCore(Addr line) const
 {
     line = lineAddr(line);
-    if (auto it = _suppliers.find(line); it != _suppliers.end())
-        return it->second;
-    if (auto it = _localMasters.find(line); it != _localMasters.end())
-        return it->second;
+    if (const std::size_t *core = _suppliers.find(line))
+        return *core;
+    if (const std::size_t *core = _localMasters.find(line))
+        return *core;
     return SIZE_MAX;
 }
 
 bool
 CmpNode::hasAnyCopy(Addr line) const
 {
-    return _copyCounts.count(lineAddr(line)) > 0;
+    return _copyCounts.contains(lineAddr(line));
+}
+
+unsigned
+CmpNode::copyCount(Addr line) const
+{
+    const unsigned *count = _copyCounts.find(lineAddr(line));
+    return count ? *count : 0;
 }
 
 void
@@ -211,26 +217,32 @@ CmpNode::fillFromMemory(std::size_t reader, Addr line)
     line = lineAddr(line);
     // The reader brought the line from memory: global master. If a
     // concurrent transaction installed a supplier first, demote to S.
-    const LineState st = hasSupplier(line) || _localMasters.count(line)
+    const LineState st = hasSupplier(line) || _localMasters.contains(line)
                              ? LineState::Shared
                              : LineState::SharedGlobal;
     handleEviction(_l2s[reader]->fill(line, st));
 }
 
 bool
-CmpNode::invalidateAll(Addr line, std::size_t skip_core)
+CmpNode::invalidateAll(Addr line, std::size_t skip_core, std::size_t l2_set)
 {
     line = lineAddr(line);
+    // All local L2s share geometry: resolve the set once (or take the
+    // one the ring message's probe signature carries) instead of
+    // re-deriving it per core and per state/invalidate call.
+    const std::size_t set =
+        l2_set != SIZE_MAX ? l2_set : _l2s[0]->setIndex(line);
+    assert(set == _l2s[0]->setIndex(line));
     bool had_supplier = false;
     for (std::size_t c = 0; c < _l2s.size(); ++c) {
         if (c == skip_core)
             continue;
-        const LineState st = _l2s[c]->state(line);
+        const LineState st = _l2s[c]->state(line, set);
         if (!isValidState(st))
             continue;
         if (isSupplierState(st))
             had_supplier = true;
-        _l2s[c]->invalidate(line);
+        _l2s[c]->invalidate(line, set);
     }
     return had_supplier;
 }
@@ -273,7 +285,7 @@ CmpNode::downgrade(Addr line)
     // SL is unique per CMP; a supplier holder excludes other SL copies
     // in the same CMP, so demoting to SL is always legal here.
     _l2s[src]->changeState(line, LineState::SharedLocal);
-    _downgradeMarks[line] = true;
+    _downgradeMarks.put(line, 1);
     _downgradesStat.inc();
     return wrote_back;
 }
@@ -281,11 +293,7 @@ CmpNode::downgrade(Addr line)
 bool
 CmpNode::consumeDowngradeMark(Addr line)
 {
-    auto it = _downgradeMarks.find(lineAddr(line));
-    if (it == _downgradeMarks.end())
-        return false;
-    _downgradeMarks.erase(it);
-    return true;
+    return _downgradeMarks.erase(lineAddr(line));
 }
 
 } // namespace flexsnoop

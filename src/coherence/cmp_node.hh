@@ -13,13 +13,13 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/l2_cache.hh"
 #include "mem/line_state.hh"
 #include "predictor/presence_predictor.hh"
 #include "predictor/supplier_predictor.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -81,6 +81,10 @@ class CmpNode
     /** Does any local L2 hold a valid copy of @p line? */
     bool hasAnyCopy(Addr line) const;
 
+    /** Number of local L2s holding a valid copy of @p line (checker
+     *  support: the coherence checker audits its scan against this). */
+    unsigned copyCount(Addr line) const;
+
     /** Number of lines currently in the CMP's supplier set. */
     std::size_t supplierSetSize() const { return _suppliers.size(); }
 
@@ -114,10 +118,14 @@ class CmpNode
      * Invalidates every local copy of @p line.
      *
      * @param skip_core local L2 to preserve (the writer), SIZE_MAX = none
+     * @param l2_set    the line's L2 set index when the caller carries it
+     *                  (ring messages' probe signatures); SIZE_MAX =
+     *                  derive from the address
      * @return true if an invalidated copy was in a supplier state (its
      *         data travels to the writer, so no writeback is needed)
      */
-    bool invalidateAll(Addr line, std::size_t skip_core = SIZE_MAX);
+    bool invalidateAll(Addr line, std::size_t skip_core = SIZE_MAX,
+                       std::size_t l2_set = SIZE_MAX);
 
     /** Fill @p line as Dirty into @p writer's L2 (write completion). */
     void fillForWrite(std::size_t writer, Addr line);
@@ -170,14 +178,19 @@ class CmpNode
     std::unique_ptr<PresencePredictor> _presence;
     WritebackFn _writeback;
 
+    // Per-line CMP state, all on the per-hop snoop path: open-addressing
+    // FlatMaps (sim/flat_map.hh) — no per-insert node allocation, and a
+    // probe touches one contiguous table instead of chasing buckets.
     /** line -> number of local L2s holding a valid copy. */
-    std::unordered_map<Addr, unsigned> _copyCounts;
+    FlatMap<unsigned> _copyCounts;
     /** line -> local L2 index holding the supplier copy. */
-    std::unordered_map<Addr, std::size_t> _suppliers;
+    FlatMap<std::size_t> _suppliers;
     /** line -> local L2 index holding the SL (local master) copy. */
-    std::unordered_map<Addr, std::size_t> _localMasters;
-    /** lines force-downgraded by the Exact predictor (energy attribution). */
-    std::unordered_map<Addr, bool> _downgradeMarks;
+    FlatMap<std::size_t> _localMasters;
+    /** lines force-downgraded by the Exact predictor (energy
+     *  attribution); value is a presence byte (FlatMap<bool> would hit
+     *  the vector<bool> proxy). */
+    FlatMap<std::uint8_t> _downgradeMarks;
 
     StatGroup _stats;
     // Cached handles for per-transaction supply/eviction accounting.

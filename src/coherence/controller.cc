@@ -70,6 +70,10 @@ CoherenceController::CoherenceController(
     }
     if (_params.ringExpress && !std::getenv("FLEXSNOOP_STRICT_RING"))
         _express = std::make_unique<ExpressPath>(*this);
+    // Escape hatch for equivalence testing: with signatures suppressed
+    // every consumer re-hashes the address, and results must stay
+    // bit-identical (test_probe_signature relies on this).
+    _probeSignatures = !std::getenv("FLEXSNOOP_NO_PROBE_SIG");
 }
 
 CoherenceController::~CoherenceController() = default;
@@ -147,10 +151,10 @@ CoherenceController::erasePending(NodeId node, TransactionId txn)
 bool
 CoherenceController::deferIfGated(NodeId node, const SnoopMessage &msg)
 {
-    auto it = _gates[node].find(msg.line);
-    if (it == _gates[node].end())
+    GateLine *const *found = _gates[node].find(msg.line);
+    if (!found)
         return false;
-    GateLine &gate = it->second;
+    GateLine &gate = **found;
     // The holder's own traffic (notably the trailing reply an STF hold
     // is waiting for) must always flow, or the hold never ends.
     if (gate.active == msg.txn)
@@ -174,7 +178,15 @@ CoherenceController::deferIfGated(NodeId node, const SnoopMessage &msg)
 void
 CoherenceController::acquireGate(NodeId node, Addr line, TransactionId txn)
 {
-    GateLine &gate = _gates[node][line];
+    GateLine *&slot = _gates[node].getOrCreate(line);
+    if (!slot) {
+        slot = _gatePool.acquire();
+        // Recycled gates are returned clean (drainGate only releases
+        // an idle, empty gate), fresh slots default-construct clean.
+        assert(slot->active == kInvalidTransaction &&
+               slot->deferred.empty());
+    }
+    GateLine &gate = *slot;
     assert(gate.active == kInvalidTransaction || gate.active == txn);
     gate.active = txn;
 }
@@ -182,13 +194,12 @@ CoherenceController::acquireGate(NodeId node, Addr line, TransactionId txn)
 void
 CoherenceController::releaseGate(NodeId node, Addr line, TransactionId txn)
 {
-    auto it = _gates[node].find(line);
-    if (it == _gates[node].end())
+    GateLine *const *gate = _gates[node].find(line);
+    if (!gate)
         return;
-    GateLine &gate = it->second;
-    if (gate.active != txn)
+    if ((*gate)->active != txn)
         return;
-    gate.active = kInvalidTransaction;
+    (*gate)->active = kInvalidTransaction;
     drainGate(node, line);
 }
 
@@ -199,13 +210,20 @@ CoherenceController::drainGate(NodeId node, Addr line)
     // in which a newly-arriving message could slip past the queue and
     // steal the gate from the rightful next holder.
     while (true) {
-        auto it = _gates[node].find(line);
-        if (it == _gates[node].end())
+        // Refetch each iteration: handleIntermediate below may insert
+        // other gates, invalidating FlatMap slot pointers on growth
+        // (the pooled GateLine itself is address-stable).
+        GateLine *const *found = _gates[node].find(line);
+        if (!found)
             return;
-        GateLine &gate = it->second;
+        GateLine &gate = **found;
         if (gate.deferred.empty()) {
-            if (gate.active == kInvalidTransaction)
-                _gates[node].erase(it);
+            if (gate.active == kInvalidTransaction) {
+                // The gate is idle and empty: recycle it (its deque
+                // keeps any grown chunk for the next acquire).
+                _gatePool.release(*found);
+                _gates[node].erase(line);
+            }
             return;
         }
         // While a holder is active, only its own queued traffic (e.g.
@@ -467,6 +485,8 @@ CoherenceController::issueRingMessage(Transaction &txn)
     msg.txn = txn.id;
     msg.line = txn.line;
     msg.requester = txn.requester;
+    if (_probeSignatures)
+        msg.sig = computeSignature(txn.requester, txn.line);
 
     FS_LOG(Debug, _queue.now(), "ctrl",
            "issue " << (txn.kind == SnoopKind::Read ? "read" : "write")
@@ -480,6 +500,22 @@ CoherenceController::issueRingMessage(Transaction &txn)
                        static_cast<std::uint16_t>(txn.requester));
 
     forwardMessage(txn.requester, msg);
+}
+
+ProbeSignature
+CoherenceController::computeSignature(NodeId requester, Addr line) const
+{
+    ProbeSignature sig;
+    sig.home = _memory.homeNode(line);
+    sig.l2Set = static_cast<std::uint32_t>(_nodes[requester]->l2(0).setIndex(line));
+    if (const SupplierPredictor *pred = _nodes[requester]->predictor())
+        sig.supplierFields =
+            static_cast<std::uint8_t>(pred->fillSignature(line, sig.supplier));
+    if (const PresencePredictor *presence =
+            _nodes[requester]->presencePredictor())
+        sig.presenceFields = static_cast<std::uint8_t>(
+            presence->fillSignature(line, sig.presence));
+    return sig;
 }
 
 // --------------------------------------------------------------------------
@@ -535,10 +571,14 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
     }
 
     // Home-node prefetch heuristic: a still-unanswered read passing its
-    // home node may trigger a DRAM prefetch (paper §2.2).
+    // home node may trigger a DRAM prefetch (paper §2.2). The signature
+    // carries the home mapping so the hop does no division/modulo.
     if (msg.kind == SnoopKind::Read && !msg.found && !msg.squashed &&
         msg.type != MsgType::SnoopReply &&
-        _memory.homeNode(msg.line) == node) {
+        (msg.sig.valid() ? msg.sig.home
+                         : _memory.homeNode(msg.line)) == node) {
+        assert(!msg.sig.valid() ||
+               msg.sig.home == _memory.homeNode(msg.line));
         _memory.notifySnoopAtHome(msg.line, _queue.now());
     }
 
@@ -590,7 +630,7 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
         if (PresencePredictor *presence =
                 _nodes[node]->presencePredictor()) {
             decision_latency = presence->accessLatency();
-            bool absent = !presence->mayBePresent(msg.line);
+            bool absent = !presence->mayBePresent(msg.line, msg.sig);
             if (_faults && _faults->flipPrediction()) {
                 absent = !absent;
                 if (_trace)
@@ -618,7 +658,7 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
     } else {
         SupplierPredictor *pred = _nodes[node]->predictor();
         assert(pred && "policy requires a predictor");
-        bool predicted = pred->predict(msg.line);
+        bool predicted = pred->predict(msg.line, msg.sig);
         if (_faults && _faults->flipPrediction()) {
             predicted = !predicted;
             if (_trace)
@@ -670,9 +710,11 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
             p.waitingForReply = true;
             p.requestVisits = out.visits;
         }
-        const SnoopMessage fwd = out;
+        SnoopMessage *fwd = _msgPool.acquire();
+        *fwd = out;
         _queue.schedule(decision_latency, [this, node, fwd]() {
-            forwardMessage(node, fwd);
+            forwardMessage(node, *fwd);
+            _msgPool.release(fwd);
         });
         return;
     }
@@ -689,17 +731,21 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
     }
 
     if (prim == Primitive::ForwardThenSnoop) {
-        SnoopMessage req = msg;
-        req.type = MsgType::SnoopRequest; // split: the request races ahead
-        req.visits = msg.visits + 1; // our reply will carry the same count
+        SnoopMessage *req = _msgPool.acquire();
+        *req = msg;
+        req->type = MsgType::SnoopRequest; // split: the request races ahead
+        req->visits = msg.visits + 1; // our reply will carry the same count
         _queue.schedule(decision_latency, [this, node, req]() {
-            forwardMessage(node, req);
+            forwardMessage(node, *req);
+            _msgPool.release(req);
         });
     }
-    const SnoopMessage captured = msg;
+    SnoopMessage *captured = _msgPool.acquire();
+    *captured = msg;
     _queue.schedule(decision_latency + _params.cmpSnoopTime,
                     [this, node, captured]() {
-                        snoopComplete(node, captured);
+                        snoopComplete(node, *captured);
+                        _msgPool.release(captured);
                     });
 }
 
@@ -780,7 +826,9 @@ CoherenceController::ringSnoopWrite(NodeId node, const SnoopMessage &msg)
            "write snoop txn " << msg.txn << " line 0x" << std::hex
                               << msg.line << std::dec << " at node "
                               << node);
-    return _nodes[node]->invalidateAll(msg.line);
+    return _nodes[node]->invalidateAll(
+        msg.line, SIZE_MAX,
+        msg.sig.valid() ? msg.sig.l2Set : SIZE_MAX);
 }
 
 void
@@ -1335,11 +1383,11 @@ CoherenceController::dumpOutstanding(std::ostream &os) const
         });
     }
     for (NodeId n = 0; n < _gates.size(); ++n) {
-        for (const auto &[line, gate] : _gates[n]) {
+        _gates[n].forEach([&os, n](Addr line, const GateLine *gate) {
             os << "gate node " << n << " line 0x" << std::hex << line
-               << std::dec << " active " << gate.active << " deferred "
-               << gate.deferred.size() << '\n';
-        }
+               << std::dec << " active " << gate->active << " deferred "
+               << gate->deferred.size() << '\n';
+        });
     }
 }
 

@@ -21,7 +21,6 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/cmp_node.hh"
@@ -181,6 +180,14 @@ class CoherenceController : public RequestPort
     void startRingTransaction(CoreId core, Addr line, SnoopKind kind,
                               Cycle extra_delay, unsigned retries);
     void issueRingMessage(Transaction &txn);
+
+    /**
+     * Hash once, probe everywhere: resolve the line's predictor filter
+     * indices, L2 set and home node at ring-issue time. The signature
+     * rides in the SnoopMessage so every hop's probe is pure indexed
+     * loads (all nodes share filter and cache geometry).
+     */
+    ProbeSignature computeSignature(NodeId requester, Addr line) const;
     void finishAndErase(TransactionId id);
     void deliverReadData(Transaction &txn, bool from_memory);
     void completeWrite(Transaction &txn);
@@ -328,13 +335,22 @@ class CoherenceController : public RequestPort
      */
     SlotPool<Transaction> _txnPool;
     SlotPool<NodePending> _pendingPool;
+    /** Gateway decision/snoop events park their message here and
+     *  capture a slot pointer: a 96-byte SnoopMessage captured by
+     *  value overflows EventFn's inline buffer (heap allocation on
+     *  every hop). */
+    SlotPool<SnoopMessage> _msgPool;
+    SlotPool<GateLine> _gatePool;
     FlatMap<Transaction *> _transactions;
     /** per node: line -> outstanding local txn (merging + collisions). */
     std::vector<FlatMap<TransactionId>> _outstandingByLine;
     /** per node: txn -> pending gateway state. */
     std::vector<FlatMap<NodePending *>> _pending;
-    /** per node: line -> gateway FIFO gate. */
-    std::vector<std::unordered_map<Addr, GateLine>> _gates;
+    /** per node: line -> gateway FIFO gate. Gates live in a slot pool
+     *  and the map holds pointers: a recycled GateLine's deque keeps
+     *  its allocated chunk, so per-hop gate churn (and FlatMap slot
+     *  moves) never touches the heap in steady state. */
+    std::vector<FlatMap<GateLine *>> _gates;
 
     /** Coalesced pass-through runs; null when disabled (strict mode). */
     std::unique_ptr<ExpressPath> _express;
@@ -342,6 +358,10 @@ class CoherenceController : public RequestPort
 
     /** Unreliable-ring mode; null (zero-cost) by default. */
     FaultInjector *_faults = nullptr;
+
+    /** Hash-once probe signatures on ring messages; disabled only by
+     *  FLEXSNOOP_NO_PROBE_SIG for fallback-equivalence testing. */
+    bool _probeSignatures = true;
 
     /** Event tracing (docs/TRACING.md); null (zero-cost) by default. */
     TraceSink *_trace = nullptr;

@@ -144,9 +144,12 @@ ExpressPath::cancel()
                              static_cast<std::uint16_t>(_planFrom),
                              static_cast<std::uint16_t>(m.type), flags);
     }
+    SnoopMessage *slot = ring->park(m);
     _ctrl._queue.reschedule(_planSeq,
                             _planT0 + ring->params().linkLatency,
-                            [ring, to, m]() { ring->deliver(to, m); });
+                            [ring, to, slot]() {
+                                ring->deliverParked(to, slot);
+                            });
 }
 
 void
@@ -283,9 +286,10 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
         }
 
         // ---- arrivals at intermediate node `n` ----
-        const CoherenceController::GateLine *gate = nullptr;
-        if (auto git = c._gates[n].find(line); git != c._gates[n].end())
-            gate = &git->second;
+        CoherenceController::GateLine *const *gslot =
+            c._gates[n].find(line);
+        const CoherenceController::GateLine *gate =
+            gslot ? *gslot : nullptr;
         NodePending *p = c.findPending(n, msg.txn);
 
         if (shape == Shape::ReplyOnly) {
@@ -339,7 +343,10 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
         // with its historical timestamp (the memory controller takes
         // the time as an explicit parameter).
         if (msg.kind == SnoopKind::Read &&
-            c._memory.homeNode(line) == n) {
+            (msg.sig.valid() ? msg.sig.home
+                             : c._memory.homeNode(line)) == n) {
+            assert(!msg.sig.valid() ||
+                   msg.sig.home == c._memory.homeNode(line));
             if (apply)
                 c._memory.notifySnoopAtHome(line, front_arr);
         }
@@ -373,9 +380,11 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
                        : Primitive::SnoopThenForward;
             if (PresencePredictor *presence = node.presencePredictor()) {
                 dl = presence->accessLatency();
-                const bool maybe = presence->wouldBePresent(line);
+                const bool maybe =
+                    presence->wouldBePresent(line, msg.sig);
                 if (apply) {
-                    const bool real = presence->mayBePresent(line);
+                    const bool real =
+                        presence->mayBePresent(line, msg.sig);
                     assert(real == maybe);
                     (void)real;
                 }
@@ -392,9 +401,9 @@ ExpressPath::walk(bool apply, NodeId from, const SnoopMessage &msg,
             SupplierPredictor *pred = node.predictor();
             assert(pred && "policy requires a predictor");
             FS_EXPRESS_REQUIRE(!node.hasSupplier(line));
-            const bool predicted = pred->wouldPredict(line);
+            const bool predicted = pred->wouldPredict(line, msg.sig);
             if (apply) {
-                const bool real = pred->predict(line);
+                const bool real = pred->predict(line, msg.sig);
                 assert(real == predicted);
                 pred->recordOutcome(real, /*actual=*/false);
             }

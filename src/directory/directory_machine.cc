@@ -1,5 +1,6 @@
 #include "directory/directory_machine.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -277,26 +278,39 @@ std::vector<std::string>
 DirectoryMachine::validate() const
 {
     std::vector<std::string> problems;
-    // Cache-side: collect holders per line.
-    std::unordered_map<Addr, std::vector<std::pair<CoreId, LineState>>>
-        holders;
+    // Cache-side: one flat scan into the reused scratch vector (cleared
+    // but never shrunk between calls), sorted so each line's holders are
+    // a contiguous group — no per-validate map of vectors.
+    _validateScratch.clear();
     for (CoreId c = 0; c < _l2s.size(); ++c) {
         _l2s[c]->forEachLine([&](Addr line, LineState st) {
-            holders[line].emplace_back(c, st);
+            _validateScratch.push_back(Holder{line, c, st});
         });
     }
-    for (const auto &[line, list] : holders) {
+    std::sort(_validateScratch.begin(), _validateScratch.end(),
+              [](const Holder &a, const Holder &b) {
+                  return a.line != b.line ? a.line < b.line
+                                          : a.core < b.core;
+              });
+    for (std::size_t begin = 0; begin < _validateScratch.size();) {
+        std::size_t end = begin + 1;
+        while (end < _validateScratch.size() &&
+               _validateScratch[end].line == _validateScratch[begin].line)
+            ++end;
+        const Addr line = _validateScratch[begin].line;
+
         unsigned exclusive = 0;
-        for (const auto &[core, st] : list)
-            exclusive += isWritableState(st);
-        if (exclusive > 1 || (exclusive == 1 && list.size() > 1)) {
+        for (std::size_t i = begin; i < end; ++i)
+            exclusive += isWritableState(_validateScratch[i].state);
+        if (exclusive > 1 || (exclusive == 1 && end - begin > 1)) {
             std::ostringstream oss;
             oss << "line 0x" << std::hex << line << std::dec
                 << " has an exclusive copy next to others";
             problems.push_back(oss.str());
         }
         auto dir_it = _directory.find(line);
-        for (const auto &[core, st] : list) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const CoreId core = _validateScratch[i].core;
             const bool known =
                 dir_it != _directory.end() &&
                 (dir_it->second.owner == core ||
@@ -309,6 +323,7 @@ DirectoryMachine::validate() const
                 problems.push_back(oss.str());
             }
         }
+        begin = end;
     }
     // Directory-side: the owner must really hold the line.
     for (const auto &[line, e] : _directory) {

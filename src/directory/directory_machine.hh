@@ -148,6 +148,14 @@ class DirectoryMachine : public RequestPort
     void fill(CoreId core, Addr line, LineState st);
     void handleEviction(const L2Cache::Eviction &ev, CoreId core);
 
+    /** One cached copy seen by validate()'s scan. */
+    struct Holder
+    {
+        Addr line;
+        CoreId core;
+        LineState state;
+    };
+
     std::size_t _numCmps;
     std::size_t _coresPerCmp;
     DirectoryParams _params;
@@ -155,6 +163,9 @@ class DirectoryMachine : public RequestPort
     DataNetwork _torus;
     std::vector<std::unique_ptr<L2Cache>> _l2s;
     std::unordered_map<Addr, DirEntry> _directory;
+    /** validate() scratch, cleared (capacity kept) per call so periodic
+     *  validation drains cause no steady-state allocation. */
+    mutable std::vector<Holder> _validateScratch;
     CompletionFn _onComplete;
     StatGroup _stats;
 };

@@ -22,6 +22,13 @@ L2Cache::state(Addr line) const
     return way ? way->data : LineState::Invalid;
 }
 
+LineState
+L2Cache::state(Addr line, std::size_t set) const
+{
+    const auto *way = _array.lookupInSet(set, lineAddr(line));
+    return way ? way->data : LineState::Invalid;
+}
+
 L2Cache::Eviction
 L2Cache::fill(Addr line, LineState st)
 {
@@ -70,12 +77,20 @@ L2Cache::changeState(Addr line, LineState to)
 LineState
 L2Cache::invalidate(Addr line)
 {
+    return invalidate(line, _array.setIndex(lineAddr(line)));
+}
+
+LineState
+L2Cache::invalidate(Addr line, std::size_t set)
+{
     line = lineAddr(line);
-    auto *way = _array.lookup(line, false);
+    auto *way = _array.lookupInSet(set, line, false);
     if (!way)
         return LineState::Invalid;
     const LineState from = way->data;
-    _array.erase(line);
+    way->valid = false;
+    way->tag = kInvalidAddr;
+    way->data = LineState{};
     _invalidations.inc();
     notify(line, from, LineState::Invalid);
     return from;

@@ -61,6 +61,15 @@ class L2Cache
     /** Protocol state of @p line (Invalid when not cached). */
     LineState state(Addr line) const;
 
+    /** state() with the set index already known (probe signatures). */
+    LineState state(Addr line, std::size_t set) const;
+
+    /** Set index of @p line; uniform across all L2s of the machine. */
+    std::size_t setIndex(Addr line) const
+    {
+        return _array.setIndex(lineAddr(line));
+    }
+
     bool contains(Addr line) const { return isValidState(state(line)); }
 
     /**
@@ -77,6 +86,9 @@ class L2Cache
 
     /** Invalidate @p line if present. @return its previous state. */
     LineState invalidate(Addr line);
+
+    /** invalidate() with the set index already known. */
+    LineState invalidate(Addr line, std::size_t set);
 
     /** Touch LRU for a hit on @p line. */
     void touch(Addr line);

@@ -26,7 +26,7 @@ MemoryController::notifySnoopAtHome(Addr line, Cycle now)
         return;
     line = lineAddr(line);
     PrefetchBuffer &buf = _buffers[homeNode(line)];
-    if (buf.ready.count(line))
+    if (buf.ready.contains(line))
         return; // already being prefetched
     while (buf.fifo.size() >= _params.prefetchBufferEntries) {
         buf.ready.erase(buf.fifo.front().line);
@@ -35,7 +35,7 @@ MemoryController::notifySnoopAtHome(Addr line, Cycle now)
     }
     const Cycle ready = now + _params.dramAccess;
     buf.fifo.push_back(PrefetchEntry{line, ready});
-    buf.ready.emplace(line, ready);
+    buf.ready.put(line, ready);
     _prefetches.inc();
 }
 
@@ -50,11 +50,10 @@ MemoryController::readLatency(Addr line, NodeId requester, Cycle now)
         return _params.localRoundTrip;
     }
     PrefetchBuffer &buf = _buffers[home];
-    auto it = buf.ready.find(line);
-    if (it != buf.ready.end()) {
-        const Cycle ready = it->second;
+    if (const Cycle *entry = buf.ready.find(line)) {
+        const Cycle ready = *entry;
         // Consume the buffered line.
-        buf.ready.erase(it);
+        buf.ready.erase(line);
         for (auto fifo_it = buf.fifo.begin(); fifo_it != buf.fifo.end();
              ++fifo_it) {
             if (fifo_it->line == line) {

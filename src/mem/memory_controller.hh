@@ -16,9 +16,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -77,11 +77,13 @@ class MemoryController
         Cycle ready;
     };
 
-    /** FIFO prefetch buffer of one home node. */
+    /** FIFO prefetch buffer of one home node. Consulted on every remote
+     *  memory read: the line -> ready-cycle index is a FlatMap, sized
+     *  once (the buffer is bounded) and allocation-free after that. */
     struct PrefetchBuffer
     {
         std::deque<PrefetchEntry> fifo;
-        std::unordered_map<Addr, Cycle> ready;
+        FlatMap<Cycle> ready;
     };
 
     std::size_t _numNodes;

@@ -85,7 +85,25 @@ class SetAssocArray
     lookup(Addr line, bool touch = true)
     {
         line = lineAddr(line);
-        const std::size_t base = setIndex(line) * _ways;
+        return lookupInSet(setIndex(line), line, touch);
+    }
+
+    const Way *
+    lookup(Addr line) const
+    {
+        return const_cast<SetAssocArray *>(this)->lookup(line, false);
+    }
+
+    /**
+     * lookup() with the set index already known — the snoop hot path
+     * carries it in the message's probe signature (geometry is uniform
+     * across all L2s of the machine, so one index serves every node).
+     */
+    Way *
+    lookupInSet(std::size_t set, Addr line, bool touch = true)
+    {
+        assert(set == setIndex(line));
+        const std::size_t base = set * _ways;
         for (std::size_t i = 0; i < _ways; ++i) {
             Way &w = _array[base + i];
             if (w.valid && w.tag == line) {
@@ -98,9 +116,10 @@ class SetAssocArray
     }
 
     const Way *
-    lookup(Addr line) const
+    lookupInSet(std::size_t set, Addr line) const
     {
-        return const_cast<SetAssocArray *>(this)->lookup(line, false);
+        return const_cast<SetAssocArray *>(this)->lookupInSet(set, line,
+                                                              false);
     }
 
     /**

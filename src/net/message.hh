@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "net/probe_signature.hh"
 #include "sim/types.hh"
 
 namespace flexsnoop
@@ -80,6 +81,15 @@ struct SnoopMessage
      * loss-free ring every conclusion is trivially complete.
      */
     std::uint32_t visits = 0;
+
+    /**
+     * Hash-once probe signature: the line's predictor filter indices,
+     * L2 set and home node, computed at ring-issue time so every hop
+     * probes with pure indexed loads. Invalid (default) on messages
+     * crafted outside issueRingMessage; consumers then fall back to
+     * deriving the values from the address.
+     */
+    ProbeSignature sig;
 };
 
 } // namespace flexsnoop

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hash-once probe signature carried by every ring snoop message.
+ *
+ * Each hop of a snoop used to re-derive the same quantities from the
+ * line address: the bloom field indices of the supplier predictor, the
+ * field indices of the presence predictor, the L2 set index, and the
+ * home-node mapping. All nodes share filter and cache geometry, so one
+ * decomposition computed at ring-issue time serves the whole traversal;
+ * every downstream consumer is then a pure indexed load.
+ *
+ * The signature is computed by CoherenceController::computeSignature()
+ * when the transaction's ring message is issued (including reissues
+ * after a squash or watchdog, whose recomputation is a no-op since the
+ * line is unchanged) and travels by value inside SnoopMessage.
+ *
+ * A default-constructed signature (home == kInvalidNode) marks a
+ * message that never went through issueRingMessage — tests crafting
+ * raw messages — and every consumer falls back to deriving the values
+ * from the address.
+ */
+
+#ifndef FLEXSNOOP_NET_PROBE_SIGNATURE_HH
+#define FLEXSNOOP_NET_PROBE_SIGNATURE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+struct ProbeSignature
+{
+    /** Upper bound on counting-bloom field counts (paper configs use 3). */
+    static constexpr unsigned kMaxFields = 4;
+
+    /** Global bitmap-entry indices into the supplier predictor's filter. */
+    std::uint32_t supplier[kMaxFields] = {};
+    /** Global bitmap-entry indices into the presence predictor's filter. */
+    std::uint32_t presence[kMaxFields] = {};
+    /** L2 set index (uniform L2 geometry across all CMPs). */
+    std::uint32_t l2Set = 0;
+    /** Home CMP of the line; kInvalidNode = signature not computed. */
+    NodeId home = kInvalidNode;
+    /** Field count of the supplier part; 0 = no signature-capable
+     *  supplier predictor at issue time. */
+    std::uint8_t supplierFields = 0;
+    /** Field count of the presence part; 0 = no presence predictor. */
+    std::uint8_t presenceFields = 0;
+
+    /** True when issueRingMessage filled this signature in. */
+    bool valid() const { return home != kInvalidNode; }
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_NET_PROBE_SIGNATURE_HH

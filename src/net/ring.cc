@@ -99,8 +99,13 @@ Ring::send(NodeId from, const SnoopMessage &msg)
                                static_cast<std::uint16_t>(msg.type),
                                hopFlags(msg));
             }
+            SnoopMessage *dup = _inFlight.acquire();
+            *dup = msg;
             _queue.scheduleAt(start2 + _params.linkLatency,
-                              [this, to, msg]() { _handlers[to](msg); });
+                              [this, to, dup]() {
+                                  _handlers[to](*dup);
+                                  _inFlight.release(dup);
+                              });
             break;
           }
           case FaultInjector::LinkAction::Delay:
@@ -125,9 +130,14 @@ Ring::send(NodeId from, const SnoopMessage &msg)
                        static_cast<std::uint16_t>(msg.type),
                        hopFlags(msg));
 
-    _queue.scheduleAt(arrive, [this, to, msg]() {
+    SnoopMessage *slot = _inFlight.acquire();
+    *slot = msg;
+    _queue.scheduleAt(arrive, [this, to, slot]() {
         assert(_handlers[to] && "message arrived at node with no handler");
-        _handlers[to](msg);
+        // Deliver from the slot, then recycle it. A handler that sends
+        // the message onward copies it into a fresh slot first.
+        _handlers[to](*slot);
+        _inFlight.release(slot);
     });
 }
 

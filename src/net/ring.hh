@@ -20,6 +20,7 @@
 
 #include "net/message.hh"
 #include "sim/event_queue.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -135,6 +136,26 @@ class Ring
         _handlers[to](msg);
     }
 
+    /** Park a copy of @p msg in the in-flight pool; the returned slot
+     *  pointer is stable and must be handed to deliverParked(). Lets
+     *  callers scheduling their own arrival events (the express path's
+     *  cancel fall-back) capture 8 bytes instead of the message. */
+    SnoopMessage *
+    park(const SnoopMessage &msg)
+    {
+        SnoopMessage *slot = _inFlight.acquire();
+        *slot = msg;
+        return slot;
+    }
+
+    /** Deliver a parked message to node @p to and recycle the slot. */
+    void
+    deliverParked(NodeId to, SnoopMessage *slot)
+    {
+        deliver(to, *slot);
+        _inFlight.release(slot);
+    }
+
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
 
@@ -144,6 +165,11 @@ class Ring
     RingParams _params;
     std::vector<Handler> _handlers;
     std::vector<Cycle> _linkFree; ///< next cycle each outgoing link is idle
+    /** In-flight messages parked between send and arrival. Arrival
+     *  events capture a stable slot pointer instead of the message by
+     *  value: with the ProbeSignature aboard, a by-value capture would
+     *  overflow EventFn's inline buffer and heap-allocate every hop. */
+    SlotPool<SnoopMessage> _inFlight;
     FaultInjector *_faults = nullptr; ///< unreliable-ring mode hook
     TraceSink *_trace = nullptr;      ///< per-hop tracing hook
     StatGroup _stats;

@@ -1,5 +1,6 @@
 #include "predictor/bloom_filter.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace flexsnoop
@@ -8,72 +9,100 @@ namespace flexsnoop
 CountingBloomFilter::CountingBloomFilter(std::vector<unsigned> field_bits)
 {
     assert(!field_bits.empty());
+    assert(field_bits.size() <= kMaxFields);
+    // Each field's bitmap region starts on a 64-byte cache line so one
+    // field's query touches exactly one line.
+    constexpr std::uint32_t kLineBits = 512;
     unsigned shift = 0;
-    _fields.reserve(field_bits.size());
+    std::uint32_t entry_base = 0;
+    std::uint32_t counter_base = 0;
     for (unsigned bits : field_bits) {
         assert(bits >= 1 && bits <= 20);
-        Field f;
-        f.shift = shift;
-        f.bits = bits;
-        f.counters.assign(std::size_t{1} << bits, 0);
-        _fields.push_back(std::move(f));
+        FieldGeom &g = _geom[_numFields++];
+        g.shift = shift;
+        g.bits = bits;
+        g.mask = (std::uint32_t{1} << bits) - 1;
+        g.entryBase = entry_base;
+        g.counterBase = counter_base;
+        const std::uint32_t entries = std::uint32_t{1} << bits;
+        entry_base += (entries + kLineBits - 1) / kLineBits * kLineBits;
+        counter_base += entries;
         shift += bits;
     }
-}
-
-std::size_t
-CountingBloomFilter::indexOf(const Field &f, Addr line) const
-{
-    const std::uint64_t idx = lineIndex(line);
-    return static_cast<std::size_t>(
-        (idx >> f.shift) & ((std::uint64_t{1} << f.bits) - 1));
+    _bitmap.assign(entry_base / 64, 0);
+    _counters.assign(counter_base, 0);
 }
 
 void
 CountingBloomFilter::insert(Addr line)
 {
-    for (auto &f : _fields)
-        ++f.counters[indexOf(f, line)];
+    std::uint32_t sig[kMaxFields];
+    fillSignature(line, sig);
+    for (unsigned f = 0; f < _numFields; ++f) {
+        const FieldGeom &g = _geom[f];
+        std::uint16_t &c =
+            _counters[g.counterBase + (sig[f] - g.entryBase)];
+        // A saturated counter is pinned: its true count is unknowable,
+        // so it stays at the ceiling (and its zero bit stays set).
+        if (c != kCounterMax && ++c == 1)
+            setBit(sig[f]);
+        assert(bitAt(sig[f]) == (c != 0));
+    }
     ++_population;
 }
 
 void
 CountingBloomFilter::remove(Addr line)
 {
-    for (auto &f : _fields) {
-        auto &c = f.counters[indexOf(f, line)];
+    std::uint32_t sig[kMaxFields];
+    fillSignature(line, sig);
+    for (unsigned f = 0; f < _numFields; ++f) {
+        const FieldGeom &g = _geom[f];
+        std::uint16_t &c =
+            _counters[g.counterBase + (sig[f] - g.entryBase)];
         assert(c > 0 && "bloom counter underflow: unbalanced remove");
-        --c;
+        // Release builds clamp instead of wrapping to 0xFFFF (which
+        // would silently poison the whole entry); saturated counters
+        // stay pinned — decrementing one could create false negatives.
+        if (c == 0 || c == kCounterMax)
+            continue;
+        if (--c == 0)
+            clearBit(sig[f]);
+        assert(bitAt(sig[f]) == (c != 0));
     }
     assert(_population > 0);
-    --_population;
-}
-
-bool
-CountingBloomFilter::mayContain(Addr line) const
-{
-    for (const auto &f : _fields) {
-        if (f.counters[indexOf(f, line)] == 0)
-            return false;
-    }
-    return true;
+    if (_population)
+        --_population;
 }
 
 std::uint64_t
 CountingBloomFilter::storageBits() const
 {
-    std::uint64_t entries = 0;
-    for (const auto &f : _fields)
-        entries += f.counters.size();
-    return entries * 17; // 16-bit counter + zero bit (paper Table 4)
+    // Real entries only — the cache-line padding between bitmap regions
+    // is a host-side layout artifact, not modeled hardware.
+    return std::uint64_t{_counters.size()} *
+           17; // 16-bit counter + zero bit (paper Table 4)
 }
 
 void
 CountingBloomFilter::clear()
 {
-    for (auto &f : _fields)
-        std::fill(f.counters.begin(), f.counters.end(), 0);
+    std::fill(_bitmap.begin(), _bitmap.end(), 0);
+    std::fill(_counters.begin(), _counters.end(), 0);
     _population = 0;
+}
+
+bool
+CountingBloomFilter::crossCheckConsistent() const
+{
+    for (unsigned f = 0; f < _numFields; ++f) {
+        const FieldGeom &g = _geom[f];
+        for (std::uint32_t i = 0; i <= g.mask; ++i) {
+            if (bitAt(g.entryBase + i) != (_counters[g.counterBase + i] != 0))
+                return false;
+        }
+    }
+    return true;
 }
 
 } // namespace flexsnoop

@@ -22,11 +22,34 @@ bool
 SupersetPredictor::predict(Addr line)
 {
     _lookups.inc();
+    _probeHashed.inc();
     line = lineAddr(line);
     if (!_filter.mayContain(line))
         return false;
     if (_exclude && _exclude->contains(line)) {
-        _stats.counter("exclude_hits").inc();
+        _excludeHits.inc();
+        return false;
+    }
+    return true;
+}
+
+bool
+SupersetPredictor::predict(Addr line, const ProbeSignature &sig)
+{
+    line = lineAddr(line);
+    if (!sigUsable(line, sig)) {
+        _lookups.inc();
+        _probeHashed.inc();
+        if (!_filter.mayContain(line))
+            return false;
+    } else {
+        _lookups.inc();
+        _probeSignature.inc();
+        if (!_filter.mayContain(sig.supplier))
+            return false;
+    }
+    if (_exclude && _exclude->contains(line)) {
+        _excludeHits.inc();
         return false;
     }
     return true;
@@ -41,6 +64,25 @@ SupersetPredictor::wouldPredict(Addr line) const
     if (_exclude && _exclude->peek(line))
         return false;
     return true;
+}
+
+bool
+SupersetPredictor::wouldPredict(Addr line, const ProbeSignature &sig) const
+{
+    line = lineAddr(line);
+    const bool hit = sigUsable(line, sig) ? _filter.mayContain(sig.supplier)
+                                          : _filter.mayContain(line);
+    if (!hit)
+        return false;
+    if (_exclude && _exclude->peek(line))
+        return false;
+    return true;
+}
+
+unsigned
+SupersetPredictor::fillSignature(Addr line, std::uint32_t *out) const
+{
+    return _filter.fillSignature(lineAddr(line), out);
 }
 
 void
@@ -67,7 +109,7 @@ SupersetPredictor::falsePositive(Addr line)
 {
     if (_exclude) {
         _exclude->insert(lineAddr(line));
-        _stats.counter("exclude_inserts").inc();
+        _excludeInserts.inc();
     }
 }
 

@@ -12,6 +12,7 @@
 #ifndef FLEXSNOOP_PREDICTOR_SUPERSET_PREDICTOR_HH
 #define FLEXSNOOP_PREDICTOR_SUPERSET_PREDICTOR_HH
 
+#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -38,10 +39,13 @@ class SupersetPredictor : public SupplierPredictor
                       unsigned exclude_entry_bits, Cycle latency);
 
     bool predict(Addr line) override;
+    bool predict(Addr line, const ProbeSignature &sig) override;
     void supplierGained(Addr line) override;
     void supplierLost(Addr line) override;
     void falsePositive(Addr line) override;
     bool wouldPredict(Addr line) const override;
+    bool wouldPredict(Addr line, const ProbeSignature &sig) const override;
+    unsigned fillSignature(Addr line, std::uint32_t *out) const override;
 
     Cycle accessLatency() const override { return _latency; }
     bool mayFalsePositive() const override { return true; }
@@ -52,9 +56,22 @@ class SupersetPredictor : public SupplierPredictor
     bool hasExcludeCache() const { return _exclude != nullptr; }
 
   private:
+    /** True when @p sig carries usable filter indices for @p line. */
+    bool
+    sigUsable(Addr line, const ProbeSignature &sig) const
+    {
+        if (sig.supplierFields != _filter.numFields())
+            return false;
+        assert(_filter.signatureMatches(line, sig.supplier));
+        (void)line;
+        return true;
+    }
+
     CountingBloomFilter _filter;
     std::unique_ptr<ExcludeCache> _exclude;
     Cycle _latency;
+    Counter &_excludeHits = _stats.counter("exclude_hits");
+    Counter &_excludeInserts = _stats.counter("exclude_inserts");
 };
 
 } // namespace flexsnoop

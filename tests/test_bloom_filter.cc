@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "predictor/bloom_filter.hh"
 #include "sim/random.hh"
@@ -147,6 +148,107 @@ TEST(BloomFilter, SingleFieldDegeneratesToDirectTable)
     EXPECT_FALSE(filter.mayContain(lineAt(4)));
     // Aliases at field wrap-around (64 entries).
     EXPECT_TRUE(filter.mayContain(lineAt(3 + 64)));
+}
+
+TEST(BloomFilter, SignatureQueryMatchesAddressQuery)
+{
+    // The precomputed-index query path must answer exactly like the
+    // hashing path, for hits, misses and aliases alike.
+    CountingBloomFilter filter({9, 9, 6});
+    Rng rng(99);
+    for (int i = 0; i < 3000; ++i)
+        filter.insert(lineAt(rng.nextBelow(100000)));
+    for (int i = 0; i < 20000; ++i) {
+        const Addr line = lineAt(rng.nextBelow(120000));
+        std::uint32_t sig[ProbeSignature::kMaxFields];
+        ASSERT_EQ(filter.fillSignature(line, sig), 3u);
+        ASSERT_TRUE(filter.signatureMatches(line, sig));
+        ASSERT_EQ(filter.mayContain(sig), filter.mayContain(line));
+    }
+}
+
+TEST(BloomFilter, SharedGeometryFiltersAcceptForeignSignatures)
+{
+    // A signature computed against one filter instance answers
+    // correctly on any other instance with the same field widths — the
+    // property that lets one ring-issue-time signature serve every
+    // node's predictor on the traversal.
+    CountingBloomFilter source({10, 4, 7});
+    CountingBloomFilter sink({10, 4, 7});
+    sink.insert(lineAt(77));
+    std::uint32_t sig[ProbeSignature::kMaxFields];
+    source.fillSignature(lineAt(77), sig);
+    EXPECT_TRUE(sink.mayContain(sig));
+    source.fillSignature(lineAt(78), sig);
+    EXPECT_FALSE(sink.mayContain(sig));
+}
+
+TEST(BloomFilter, CounterSaturationIsStickyAndSafe)
+{
+    // Drive one entry past the 16-bit ceiling: the counter pins at
+    // kCounterMax, later removes never decrement it (its true count is
+    // unknowable), so the entry keeps answering "maybe present" —
+    // conservative, preserving no-false-negatives.
+    CountingBloomFilter filter({2});
+    const Addr line = lineAt(1);
+    const unsigned total = 0x10010; // > 65535 inserts of one line
+    for (unsigned i = 0; i < total; ++i)
+        filter.insert(line);
+    EXPECT_EQ(filter.counterValue(0, 1), CountingBloomFilter::kCounterMax);
+    EXPECT_TRUE(filter.mayContain(line));
+    for (unsigned i = 0; i < total; ++i)
+        filter.remove(line);
+    EXPECT_EQ(filter.counterValue(0, 1), CountingBloomFilter::kCounterMax);
+    EXPECT_TRUE(filter.mayContain(line));
+    EXPECT_TRUE(filter.crossCheckConsistent());
+}
+
+TEST(BloomFilterDeathTest, UnderflowAssertsInDebug)
+{
+    CountingBloomFilter filter({4});
+    EXPECT_DEBUG_DEATH(filter.remove(lineAt(9)), "underflow");
+#ifdef NDEBUG
+    // Release builds clamp at zero instead of wrapping the counter to
+    // 0xFFFF (which would poison the entry as a permanent positive).
+    EXPECT_FALSE(filter.mayContain(lineAt(9)));
+    EXPECT_EQ(filter.counterValue(0, 9), 0u);
+    EXPECT_TRUE(filter.crossCheckConsistent());
+#endif
+}
+
+TEST(BloomFilter, RandomizedStormKeepsBitmapAndCountersInAgreement)
+{
+    // The split layout's invariant: the packed query bitmap's bit is 1
+    // exactly when the cold counter is non-zero, across arbitrary
+    // aliasing insert/remove storms. Run on the "n" geometry with a
+    // small address space to force heavy aliasing.
+    CountingBloomFilter filter({9, 9, 6});
+    Rng rng(20260808);
+    std::vector<Addr> multiset;
+    for (int step = 0; step < 50000; ++step) {
+        if (multiset.empty() || rng.chance(0.52)) {
+            const Addr line = lineAt(rng.nextBelow(4096));
+            filter.insert(line);
+            multiset.push_back(line);
+        } else {
+            const std::size_t pick = rng.nextBelow(multiset.size());
+            filter.remove(multiset[pick]);
+            multiset[pick] = multiset.back();
+            multiset.pop_back();
+        }
+        if (step % 1024 == 0) {
+            ASSERT_TRUE(filter.crossCheckConsistent()) << "step " << step;
+        }
+    }
+    ASSERT_TRUE(filter.crossCheckConsistent());
+    EXPECT_EQ(filter.population(), multiset.size());
+    for (Addr line : multiset)
+        ASSERT_TRUE(filter.mayContain(line));
+    // Drain and confirm a coherent empty state.
+    for (Addr line : multiset)
+        filter.remove(line);
+    EXPECT_EQ(filter.population(), 0u);
+    EXPECT_TRUE(filter.crossCheckConsistent());
 }
 
 } // namespace
