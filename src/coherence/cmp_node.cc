@@ -52,13 +52,35 @@ CmpNode::setPresencePredictor(std::unique_ptr<PresencePredictor> pred)
 }
 
 void
+CmpNode::setAggregateMirrors(PresencePredictor *supplier_agg,
+                             PresencePredictor *presence_agg)
+{
+    _supplierAgg = supplier_agg;
+    _presenceAgg = presence_agg;
+    if (_supplierAgg) {
+        _suppliers.forEach([this](Addr line, std::size_t) {
+            _supplierAgg->linePresent(line);
+        });
+    }
+    if (_presenceAgg) {
+        _copyCounts.forEach([this](Addr line, unsigned) {
+            _presenceAgg->linePresent(line);
+        });
+    }
+}
+
+void
 CmpNode::onTransition(std::size_t core, Addr line, LineState from,
                       LineState to)
 {
     // Presence tracking: first copy in / last copy out of the CMP.
     if (!isValidState(from) && isValidState(to)) {
-        if (++_copyCounts.getOrCreate(line) == 1 && _presence)
-            _presence->linePresent(line);
+        if (++_copyCounts.getOrCreate(line) == 1) {
+            if (_presence)
+                _presence->linePresent(line);
+            if (_presenceAgg)
+                _presenceAgg->linePresent(line);
+        }
     } else if (isValidState(from) && !isValidState(to)) {
         unsigned *count = _copyCounts.find(line);
         assert(count != nullptr && *count > 0);
@@ -66,6 +88,8 @@ CmpNode::onTransition(std::size_t core, Addr line, LineState from,
             _copyCounts.erase(line);
             if (_presence)
                 _presence->lineAbsent(line);
+            if (_presenceAgg)
+                _presenceAgg->lineAbsent(line);
         }
     }
 
@@ -76,6 +100,8 @@ CmpNode::onTransition(std::size_t core, Addr line, LineState from,
         _suppliers.erase(line);
         if (_predictor)
             _predictor->supplierLost(line);
+        if (_supplierAgg)
+            _supplierAgg->lineAbsent(line);
     } else if (!was_supplier && is_supplier) {
         if (const std::size_t *other = _suppliers.find(line)) {
             FS_LOG(Error, 0, "cmp",
@@ -90,6 +116,8 @@ CmpNode::onTransition(std::size_t core, Addr line, LineState from,
         _suppliers.put(line, core);
         if (_predictor)
             _predictor->supplierGained(line);
+        if (_supplierAgg)
+            _supplierAgg->linePresent(line);
     }
 
     // Track the local master (SL holder). SG/E/D/T holders implicitly

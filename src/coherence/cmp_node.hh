@@ -59,6 +59,18 @@ class CmpNode
         return _presence.get();
     }
 
+    /**
+     * Install (or remove, with nullptrs) the bridge gateway's aggregate
+     * predictors of this CMP's block (hier topology). They mirror this
+     * node's supplier-set and presence transitions: @p supplier_agg is
+     * trained on supplier gained/lost, @p presence_agg on first-copy-in
+     * / last-copy-out. Both counting Blooms, so the per-member updates
+     * of one block compose; not owned. Synchronizes with the lines
+     * already cached on install.
+     */
+    void setAggregateMirrors(PresencePredictor *supplier_agg,
+                             PresencePredictor *presence_agg);
+
     void setWritebackFn(WritebackFn fn) { _writeback = std::move(fn); }
 
     // --- State queries -------------------------------------------------
@@ -176,6 +188,9 @@ class CmpNode
     std::vector<std::unique_ptr<L2Cache>> _l2s;
     std::unique_ptr<SupplierPredictor> _predictor;
     std::unique_ptr<PresencePredictor> _presence;
+    // Bridge aggregates of this node's block (hier topology; not owned).
+    PresencePredictor *_supplierAgg = nullptr;
+    PresencePredictor *_presenceAgg = nullptr;
     WritebackFn _writeback;
 
     // Per-line CMP state, all on the per-hop snoop path: open-addressing

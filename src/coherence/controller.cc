@@ -8,6 +8,7 @@
 #include "coherence/express.hh"
 #include "sim/fault_injector.hh"
 #include "sim/log.hh"
+#include "topology/topology.hh"
 
 namespace flexsnoop
 {
@@ -47,7 +48,9 @@ CoherenceController::HotStats::HotStats(StatGroup &g)
       staleAbsorbed(g.counter("stale_messages_absorbed")),
       flipDegrades(g.counter("predictor_flip_degrades")),
       incompleteRejected(g.counter("incomplete_conclusions_rejected")),
-      retryStormAborts(g.counter("retry_storm_aborts"))
+      retryStormAborts(g.counter("retry_storm_aborts")),
+      bridgeSkips(g.counter("bridge_skips")),
+      bridgeDescends(g.counter("bridge_descends"))
 {
 }
 
@@ -96,6 +99,29 @@ CoherenceController::setFaultInjector(FaultInjector *faults)
     _faults = faults;
     if (_faults && _faults->armed())
         _express.reset(); // refuse coalescing: every hop must be real
+}
+
+void
+CoherenceController::setTopology(
+    const Topology *topo, SnoopPolicy *global_policy,
+    std::vector<std::unique_ptr<PresencePredictor>> *bridge_supplier,
+    std::vector<std::unique_ptr<PresencePredictor>> *bridge_presence)
+{
+    if (!topo || !topo->hierarchical()) {
+        _topo = nullptr;
+        _globalPolicy = nullptr;
+        _bridgeSupplier = nullptr;
+        _bridgePresence = nullptr;
+        _bridgeDecisions.clear();
+        return;
+    }
+    assert(topo->numNodes() == _nodes.size());
+    _topo = topo;
+    _globalPolicy = global_policy;
+    _bridgeSupplier = bridge_supplier;
+    _bridgePresence = bridge_presence;
+    _bridgeDecisions =
+        std::vector<FlatMap<std::uint8_t>>(topo->numBlocks());
 }
 
 CoherenceController::PoolUsage
@@ -390,6 +416,7 @@ CoherenceController::startRingTransaction(CoreId core, Addr line,
     const TransactionId id = txn->id;
     _transactions.put(id, txn);
     _outstandingByLine[n].put(line, id);
+    ++_liveLineRounds.getOrCreate(line);
 
     if (_trace)
         _trace->record(TraceEvent::TxnStart, _queue.now(), id, line, core,
@@ -526,6 +553,10 @@ void
 CoherenceController::forwardMessage(NodeId node, const SnoopMessage &msg)
 {
     _energy.record(EnergyEvent::RingLinkMessage);
+    // A descending hop out of a block's last member physically wraps to
+    // its head and then crosses one global-ring link (hier topology).
+    if (_topo && _topo->linkCrossesBlock(node))
+        _energy.record(EnergyEvent::GlobalRingLinkMessage);
     if (msg.kind == SnoopKind::Read)
         _c.readLinkMessages.inc();
     else
@@ -585,6 +616,14 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
     // Strict per-line FIFO at the gateway (any message type): nothing
     // may overtake a parked same-line message of another transaction.
     if (!from_gate && deferIfGated(node, msg))
+        return;
+
+    // Bridge gateway (hier topology): a foreign block's head may skip
+    // the message over the whole block via the global ring. The
+    // requester's own block always runs the flat path, so the round
+    // still terminates at the requester.
+    if (_topo && _topo->isHead(node) &&
+        !_topo->sameBlock(node, msg.requester) && bridgeHandle(node, msg))
         return;
 
     // Found or squashed messages travel the rest of the ring inert. A
@@ -747,6 +786,273 @@ CoherenceController::handleIntermediate(NodeId node, SnoopMessage msg,
                         snoopComplete(node, *captured);
                         _msgPool.release(captured);
                     });
+}
+
+// --------------------------------------------------------------------------
+// Bridge gateways (hier topology, docs/TOPOLOGY.md)
+// --------------------------------------------------------------------------
+
+bool
+CoherenceController::bridgeHandle(NodeId node, const SnoopMessage &msg)
+{
+    const std::size_t block = _topo->blockOf(node);
+    auto &decisions = _bridgeDecisions[block];
+
+    // Every message after the first follows the recorded decision, so
+    // one transaction sees a consistent ring geometry: a request that
+    // descended must have its trailing reply (and the round's
+    // conclusion) descend too, and vice versa.
+    if (const std::uint8_t *d = decisions.find(msg.txn)) {
+        if (static_cast<BridgeAction>(*d) == BridgeAction::Descend)
+            return false;
+        bridgeSkipForward(node, msg, 0);
+        return true;
+    }
+
+    // A negative trailing reply with no recorded decision: its request
+    // never reached this bridge (dropped in fault mode). Descend
+    // conservatively; the flat path forwards it member by member.
+    if (msg.type == MsgType::SnoopReply && !msg.found && !msg.squashed)
+        return false;
+
+    if (msg.found || msg.squashed) {
+        // Inert conclusion sweeping the remainder of the ring: flat
+        // members neither snoop it nor count it, so nothing in this
+        // block can change it -- skip without consulting the policy.
+        decisions.put(msg.txn, static_cast<std::uint8_t>(
+                                   BridgeAction::Skip));
+        _c.bridgeSkips.inc();
+        bridgeSkipForward(node, msg, 0);
+        return true;
+    }
+
+    Cycle decision_latency = 0;
+    std::uint16_t pred_trace = 2;
+    const BridgeAction action =
+        decideBridge(node, msg, decision_latency, pred_trace);
+    decisions.put(msg.txn, static_cast<std::uint8_t>(action));
+    if (_trace)
+        _trace->record(TraceEvent::HopDecision, _queue.now(), msg.txn,
+                       msg.line, decision_latency,
+                       static_cast<std::uint16_t>(node),
+                       static_cast<std::uint16_t>(
+                           action == BridgeAction::Skip
+                               ? Primitive::Forward
+                               : Primitive::SnoopThenForward),
+                       pred_trace);
+    if (action == BridgeAction::Descend) {
+        _c.bridgeDescends.inc();
+        return false;
+    }
+    _c.bridgeSkips.inc();
+    bridgeSkipForward(node, msg, decision_latency);
+    return true;
+}
+
+CoherenceController::BridgeAction
+CoherenceController::decideBridge(NodeId node, const SnoopMessage &msg,
+                                  Cycle &decision_latency,
+                                  std::uint16_t &pred_trace)
+{
+    const std::size_t block = _topo->blockOf(node);
+
+    // A member with a conflicting outstanding transaction must see this
+    // message: the flat collision rules (who squashes whom) only run
+    // when the message reaches that member.
+    if (blockConflicts(block, msg))
+        return BridgeAction::Descend;
+
+    // A skip must not let this round overtake another live round on the
+    // same line: the flat ring's per-line message order is what makes a
+    // write sweep every copy that existed when its request passed, and
+    // what routes later same-line rounds into a collision at the
+    // earlier requester's node. While any other round on the line is
+    // in flight anywhere, descend and run the flat path -- a skip here
+    // could hop past that round's request on the global ring and, e.g.,
+    // reach a supplier the write has not invalidated yet.
+    if (const std::uint32_t *live = _liveLineRounds.find(msg.line);
+        live && *live > 1)
+        return BridgeAction::Descend;
+
+    if (msg.kind == SnoopKind::Write) {
+        // Writes skip only when the block-level presence aggregate
+        // proves no member caches a copy (mirrors the flat presence
+        // filter, which applies under every algorithm).
+        PresencePredictor *agg =
+            _bridgePresence ? (*_bridgePresence)[block].get() : nullptr;
+        if (!agg)
+            return BridgeAction::Descend;
+        decision_latency = agg->accessLatency();
+        bool absent = !agg->mayBePresent(msg.line);
+        if (_faults && _faults->flipPrediction()) {
+            absent = !absent;
+            if (_trace)
+                _trace->record(TraceEvent::PredictorFlip, _queue.now(),
+                               msg.txn, msg.line, 0,
+                               static_cast<std::uint16_t>(node), 1);
+        }
+        pred_trace = absent ? 0 : 1;
+        if (!absent)
+            return BridgeAction::Descend;
+        if (blockHasAnyCopy(block, msg.line)) {
+            // The counting Bloom has no false negatives; only an
+            // injected soft error gets here. Degrade to the safe
+            // action instead of skipping live copies.
+            assert(_faults && "bridge presence aggregate false negative");
+            _c.flipDegrades.inc();
+            return BridgeAction::Descend;
+        }
+        return BridgeAction::Skip;
+    }
+
+    // Reads skip only when the per-level action table maps a negative
+    // aggregate answer to Forward (Oracle, the Supersets, Exact,
+    // Adaptive). Lazy, Eager and Subset re-snoop negatives, so their
+    // bridges always descend.
+    if (!_globalPolicy ||
+        _globalPolicy->onPrediction(false) != Primitive::Forward ||
+        !_globalPolicy->usesPredictor())
+        return BridgeAction::Descend;
+
+    bool positive;
+    const PredictorKind kind = _globalPolicy->predictorKind();
+    if (kind == PredictorKind::Perfect || kind == PredictorKind::Exact) {
+        // Oracle knows, and Exact maintains exact per-node supplier
+        // sets -- the block aggregate is authoritative either way.
+        positive = blockHasSupplier(block, msg.line);
+    } else {
+        PresencePredictor *agg =
+            _bridgeSupplier ? (*_bridgeSupplier)[block].get() : nullptr;
+        if (!agg)
+            return BridgeAction::Descend;
+        decision_latency = agg->accessLatency();
+        positive = agg->mayBePresent(msg.line);
+    }
+    if (_faults && _faults->flipPrediction()) {
+        positive = !positive;
+        if (_trace)
+            _trace->record(TraceEvent::PredictorFlip, _queue.now(),
+                           msg.txn, msg.line, 0,
+                           static_cast<std::uint16_t>(node), 0);
+    }
+    pred_trace = positive ? 1 : 0;
+    if (positive)
+        return BridgeAction::Descend;
+    if (blockHasSupplier(block, msg.line)) {
+        // FP-only aggregates cannot miss a supplier; injected soft
+        // errors degrade to the safe action (paper §4.3.4 at the
+        // block level).
+        assert(_faults && "bridge supplier aggregate false negative");
+        _c.flipDegrades.inc();
+        return BridgeAction::Descend;
+    }
+    return BridgeAction::Skip;
+}
+
+void
+CoherenceController::bridgeSkipForward(NodeId node, const SnoopMessage &msg,
+                                       Cycle decision_latency)
+{
+    SnoopMessage out = msg;
+    if (msg.found || msg.squashed) {
+        // Inert skip: flat members leave visit counts untouched for
+        // inert traffic; close any marker this bridge still holds.
+        if (findPending(node, msg.txn)) {
+            erasePending(node, msg.txn);
+            releaseGate(node, msg.line, msg.txn);
+        }
+    } else if (msg.type == MsgType::SnoopReply) {
+        // Negative trailing reply: pick up the visit count the skipped
+        // request recorded here (fault mode), like at a flat Forward
+        // marker node.
+        if (NodePending *p = findPending(node, msg.txn)) {
+            if (p->waitingForReply)
+                out.visits = p->requestVisits;
+            erasePending(node, msg.txn);
+        }
+    } else {
+        // Active request: the skip covers this head and its members.
+        out.visits = msg.visits + _topo->blockSize();
+        (msg.kind == SnoopKind::Read ? _c.readFiltered : _c.writeFiltered)
+            .inc(_topo->blockSize());
+        if (_faults && msg.type == MsgType::SnoopRequest) {
+            // Same marker a flat Forward node leaves: the trailing
+            // reply picks the authoritative visit count up here.
+            NodePending &p = pending(node, msg.txn);
+            p.prim = Primitive::Forward;
+            p.snoopDone = true;
+            p.waitingForReply = true;
+            p.requestVisits = out.visits;
+        }
+    }
+    sendSkipAccounted(node, out, decision_latency);
+}
+
+void
+CoherenceController::sendSkipAccounted(NodeId node, const SnoopMessage &msg,
+                                       Cycle decision_latency)
+{
+    // One message on one (global) link -- the whole point: a flat round
+    // would have paid blockSize() link messages and snoop decisions.
+    _energy.record(EnergyEvent::GlobalRingLinkMessage);
+    if (msg.kind == SnoopKind::Read)
+        _c.readLinkMessages.inc();
+    else
+        _c.writeLinkMessages.inc();
+    if (decision_latency == 0) {
+        _ring.sendSkip(node, msg);
+        return;
+    }
+    SnoopMessage *fwd = _msgPool.acquire();
+    *fwd = msg;
+    _queue.schedule(decision_latency, [this, node, fwd]() {
+        _ring.sendSkip(node, *fwd);
+        _msgPool.release(fwd);
+    });
+}
+
+bool
+CoherenceController::blockConflicts(std::size_t block,
+                                    const SnoopMessage &msg)
+{
+    const NodeId begin = _topo->headOf(block);
+    const NodeId end = begin + static_cast<NodeId>(_topo->blockSize());
+    for (NodeId n = begin; n < end; ++n) {
+        const TransactionId *oid = _outstandingByLine[n].find(msg.line);
+        if (!oid)
+            continue;
+        Transaction *t = findTransaction(*oid);
+        if (!t || t->squashed)
+            continue;
+        if (msg.kind == SnoopKind::Read && t->kind == SnoopKind::Read)
+            continue; // concurrent reads never conflict
+        return true;
+    }
+    return false;
+}
+
+bool
+CoherenceController::blockHasSupplier(std::size_t block, Addr line) const
+{
+    const NodeId begin = _topo->headOf(block);
+    const NodeId end = begin + static_cast<NodeId>(_topo->blockSize());
+    for (NodeId n = begin; n < end; ++n) {
+        if (_nodes[n]->hasSupplier(line))
+            return true;
+    }
+    return false;
+}
+
+bool
+CoherenceController::blockHasAnyCopy(std::size_t block, Addr line) const
+{
+    const NodeId begin = _topo->headOf(block);
+    const NodeId end = begin + static_cast<NodeId>(_topo->blockSize());
+    for (NodeId n = begin; n < end; ++n) {
+        if (_nodes[n]->hasAnyCopy(line))
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -1291,8 +1597,15 @@ CoherenceController::finishAndErase(TransactionId id)
     const TransactionId *oid = out.find(line);
     if (oid && *oid == id)
         out.erase(line);
+    if (std::uint32_t *live = _liveLineRounds.find(line);
+        live && --*live == 0)
+        _liveLineRounds.erase(line);
     _transactions.erase(id);
     _txnPool.release(txn);
+    // Bridge decisions are per-transaction state; the id is recycled
+    // eventually, so they must not outlive the record.
+    for (auto &decisions : _bridgeDecisions)
+        decisions.erase(id);
     // Fault recovery: traffic of this transaction may still be stuck in
     // pending entries or line gates (its messages were dropped, or the
     // watchdog closed it early). Reclaim them so the line cannot wedge;
@@ -1387,6 +1700,16 @@ CoherenceController::dumpOutstanding(std::ostream &os) const
             os << "gate node " << n << " line 0x" << std::hex << line
                << std::dec << " active " << gate->active << " deferred "
                << gate->deferred.size() << '\n';
+        });
+    }
+    for (std::size_t b = 0; b < _bridgeDecisions.size(); ++b) {
+        _bridgeDecisions[b].forEach([&os, b](TransactionId id,
+                                             std::uint8_t action) {
+            os << "bridge block " << b << " txn " << id << " action "
+               << (static_cast<BridgeAction>(action) == BridgeAction::Skip
+                       ? "skip"
+                       : "descend")
+               << '\n';
         });
     }
 }

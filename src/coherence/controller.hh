@@ -43,6 +43,7 @@ namespace flexsnoop
 
 class ExpressPath;
 class FaultInjector;
+class Topology;
 
 /**
  * A transaction exceeded CoherenceParams::maxRetries. what() carries a
@@ -136,6 +137,36 @@ class CoherenceController : public RequestPort
      */
     void setTraceSink(TraceSink *trace) { _trace = trace; }
 
+    /**
+     * Install the hierarchical topology (docs/TOPOLOGY.md). Block heads
+     * become bridge gateways: each aggregates its local ring's snoop
+     * answer and either descends a message into the block (flat path,
+     * unchanged) or skips the whole block over the global ring.
+     *
+     * @param topo           hierarchy geometry; nullptr restores flat
+     * @param global_policy  per-level action table governing skips (the
+     *                       node algorithm when the config names none)
+     * @param bridge_supplier per-block supplier aggregates (counting
+     *                       Blooms mirroring every member's supplier
+     *                       set); may be null when @p global_policy
+     *                       cannot skip reads
+     * @param bridge_presence per-block presence aggregates for write
+     *                       filtering; may be null when write filtering
+     *                       is off
+     */
+    void setTopology(
+        const Topology *topo, SnoopPolicy *global_policy,
+        std::vector<std::unique_ptr<PresencePredictor>> *bridge_supplier,
+        std::vector<std::unique_ptr<PresencePredictor>> *bridge_presence);
+
+    /** Whole-block skips performed by bridge gateways (hier only). */
+    std::uint64_t bridgeSkips() const { return _c.bridgeSkips.value(); }
+    /** Active messages bridges descended into their block (hier only). */
+    std::uint64_t bridgeDescends() const
+    {
+        return _c.bridgeDescends.value();
+    }
+
     /** Allocation behaviour of one object pool (docs/METRICS.md). */
     struct PoolUsage
     {
@@ -213,6 +244,39 @@ class CoherenceController : public RequestPort
     void watchdogExpire(TransactionId id);
     /** Reclaim pending snoop state and line gates held by @p id. */
     void sweepTransactionState(TransactionId id, Addr line);
+
+    // --- Bridge gateway side (hier topology, docs/TOPOLOGY.md) ----------
+    /** What a bridge does with a message: fall through to the flat path
+     *  inside its block, or hop the global ring past the whole block. */
+    enum class BridgeAction : std::uint8_t
+    {
+        Descend = 1,
+        Skip = 2,
+    };
+
+    /**
+     * Run the bridge gateway of block head @p node. Returns true when
+     * the message was consumed (skipped over the block); false hands it
+     * to the unchanged flat path. Never called for the requester's own
+     * block, so every round still terminates at the requester.
+     */
+    bool bridgeHandle(NodeId node, const SnoopMessage &msg);
+    /** First-arrival decision for an active request at a bridge. */
+    BridgeAction decideBridge(NodeId node, const SnoopMessage &msg,
+                              Cycle &decision_latency,
+                              std::uint16_t &pred_trace);
+    /** Apply the recorded Skip to @p msg (visit/filter accounting). */
+    void bridgeSkipForward(NodeId node, const SnoopMessage &msg,
+                           Cycle decision_latency);
+    /** Energy/link accounting + the global-ring hop itself. */
+    void sendSkipAccounted(NodeId node, const SnoopMessage &msg,
+                           Cycle decision_latency);
+    /** Any member of @p block has a conflicting outstanding txn? */
+    bool blockConflicts(std::size_t block, const SnoopMessage &msg);
+    /** Any member of @p block holds @p line in a supplier state? */
+    bool blockHasSupplier(std::size_t block, Addr line) const;
+    /** Any member of @p block holds a valid copy of @p line? */
+    bool blockHasAnyCopy(std::size_t block, Addr line) const;
 
     // --- Ring gateway side ----------------------------------------------
     void onRingMessage(NodeId node, const SnoopMessage &msg);
@@ -311,6 +375,9 @@ class CoherenceController : public RequestPort
         Counter &flipDegrades;
         Counter &incompleteRejected;
         Counter &retryStormAborts;
+        // Bridge gateways (hier topology); zero in flat runs.
+        Counter &bridgeSkips;
+        Counter &bridgeDescends;
     };
 
     EventQueue &_queue;
@@ -358,6 +425,29 @@ class CoherenceController : public RequestPort
 
     /** Unreliable-ring mode; null (zero-cost) by default. */
     FaultInjector *_faults = nullptr;
+
+    // Hierarchical topology (docs/TOPOLOGY.md); all null in flat mode so
+    // the flat instruction path is untouched (degenerate bit-equality).
+    const Topology *_topo = nullptr;
+    SnoopPolicy *_globalPolicy = nullptr; ///< per-level action table
+    /** Per-block supplier aggregates (owned by Machine; may be null). */
+    std::vector<std::unique_ptr<PresencePredictor>> *_bridgeSupplier =
+        nullptr;
+    /** Per-block presence aggregates (owned by Machine; may be null). */
+    std::vector<std::unique_ptr<PresencePredictor>> *_bridgePresence =
+        nullptr;
+    /** Per block: txn -> recorded BridgeAction. Every later message of
+     *  a transaction follows the first decision, so a round's request,
+     *  trailing reply and conclusion see a consistent geometry. */
+    std::vector<FlatMap<std::uint8_t>> _bridgeDecisions;
+    /** line -> live ring rounds on it, machine-wide. A bridge may skip
+     *  an active request only while its round is the line's sole live
+     *  round: a skip that hopped past another round's request on the
+     *  global ring would break the flat ring's per-line message order,
+     *  which is what guarantees a write invalidates every copy that
+     *  existed when its request passed (later same-line rounds descend
+     *  and hit the flat collision/gate rules instead). */
+    FlatMap<std::uint32_t> _liveLineRounds;
 
     /** Hash-once probe signatures on ring messages; disabled only by
      *  FLEXSNOOP_NO_PROBE_SIG for fallback-equivalence testing. */

@@ -6,6 +6,7 @@
 #include "coherence/controller.hh"
 #include "predictor/presence_predictor.hh"
 #include "predictor/supplier_predictor.hh"
+#include "topology/topology.hh"
 
 /**
  * Probe-mode refusal. In apply mode the same condition is an invariant:
@@ -63,6 +64,15 @@ ExpressPath::trySend(NodeId from, const SnoopMessage &msg)
     // its remaining run is not self-contained. All travel per-hop.
     if (msg.found || msg.squashed || msg.type == MsgType::SnoopRequest)
         return false;
+
+    // Hier topology: only coalesce runs that stay strictly inside the
+    // requester's own block. Anything longer crosses a block head --
+    // bridge decisions and global-ring links the walk cannot model.
+    if (const Topology *topo = _ctrl._topo) {
+        if (!topo->sameBlock(from, msg.requester) ||
+            topo->posInBlock(from) >= topo->posInBlock(msg.requester))
+            return false;
+    }
 
     Ring &ring = _ctrl._ring.ringFor(msg.line);
     const Cycle t0 = _ctrl._queue.now();

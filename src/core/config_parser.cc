@@ -87,7 +87,8 @@ configKeys()
         "mem_prefetch_rt",  "prefetch_enabled", "cmp_snoop_time",
         "retry_backoff",    "max_outstanding", "algorithm",
         "predictor",        "write_filtering", "watchdog_cycles",
-        "max_retries",
+        "max_retries",      "topology",        "local_rings",
+        "global_hop_cycles", "global_algorithm",
     };
     return kKeys;
 }
@@ -148,6 +149,17 @@ applyOverride(MachineConfig &config, const std::string &assignment)
             parseUnsignedAtLeast(key, value, 1));
     } else if (key == "write_filtering") {
         config.writeFiltering = parseBool(key, value);
+    } else if (key == "topology") {
+        config.topology.kind = topologyKindFromName(value);
+    } else if (key == "local_rings") {
+        config.topology.localRings = static_cast<std::size_t>(
+            parseUnsignedAtLeast(key, value, 1));
+    } else if (key == "global_hop_cycles") {
+        config.topology.globalHopCycles = static_cast<Cycle>(
+            parseUnsignedAtLeast(key, value, 1));
+    } else if (key == "global_algorithm") {
+        algorithmFromName(value); // validate eagerly, with diagnostics
+        config.topology.globalAlgorithm = value;
     } else if (key == "algorithm") {
         config.algorithm = algorithmFromName(value);
         config.predictor = defaultPredictorFor(config.algorithm);
@@ -201,7 +213,15 @@ describeConfig(const MachineConfig &config)
         << " write_filtering=" << config.writeFiltering
         << " max_outstanding=" << config.core.maxOutstanding
         << " watchdog_cycles=" << config.coherence.watchdogCycles
-        << " max_retries=" << config.coherence.maxRetries;
+        << " max_retries=" << config.coherence.maxRetries
+        << " topology=" << toString(config.topology.kind);
+    if (config.topology.hierarchical()) {
+        oss << " local_rings=" << config.topology.localRings
+            << " global_hop_cycles=" << config.topology.globalHopCycles;
+        if (!config.topology.globalAlgorithm.empty())
+            oss << " global_algorithm="
+                << config.topology.globalAlgorithm;
+    }
     return oss.str();
 }
 

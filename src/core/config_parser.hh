@@ -8,7 +8,8 @@
  * cores_per_cmp, l2_entries, l2_ways, num_rings, ring_link_latency,
  * ring_serialization, mem_local_rt, mem_remote_rt, mem_prefetch_rt,
  * prefetch_enabled, cmp_snoop_time, retry_backoff, max_outstanding,
- * algorithm, predictor, write_filtering, watchdog_cycles, max_retries.
+ * algorithm, predictor, write_filtering, watchdog_cycles, max_retries,
+ * topology, local_rings, global_hop_cycles, global_algorithm.
  *
  * Values are validated strictly: malformed numbers are rejected with
  * the offending character position, structurally-invalid sizes (e.g.

@@ -124,6 +124,77 @@ runMatrix(const std::vector<Algorithm> &algorithms,
     return out;
 }
 
+std::vector<HierSweepCell>
+runHierSweep(const std::vector<Algorithm> &algorithms,
+             const std::vector<std::size_t> &node_counts,
+             std::size_t jobs, Cycle global_hop_cycles,
+             const WorkloadProfile &base)
+{
+    ParallelExecutor pool(jobs);
+
+    // One scaled profile per node count; the flat and hier machines of
+    // a node count replay the same traces.
+    std::vector<WorkloadProfile> profiles;
+    profiles.reserve(node_counts.size());
+    for (std::size_t n : node_counts) {
+        if (n < 16 || n % 8 != 0) {
+            throw std::invalid_argument(
+                "hier sweep node counts must be multiples of 8, >= 16; "
+                "got " + std::to_string(n));
+        }
+        WorkloadProfile p = base;
+        p.name = "scale" + std::to_string(n);
+        p.numCores = n * p.coresPerCmp; // n CMP nodes on the ring
+        // Weak scaling: grow the shared pool with the machine and
+        // thin out each core's issue rate so per-line contention stays
+        // bounded -- with the base footprint, the hottest shared lines
+        // of a 64+-core machine collapse into retry storms on every
+        // algorithm, flat or hierarchical.
+        if (base.numCores > 0 && p.numCores > base.numCores) {
+            const double f = static_cast<double>(p.numCores) /
+                             static_cast<double>(base.numCores);
+            p.sharedLines = static_cast<std::size_t>(
+                static_cast<double>(base.sharedLines) * f);
+            p.meanGap = base.meanGap * std::pow(f, 0.75);
+        }
+        profiles.push_back(p);
+    }
+
+    std::vector<CoreTraces> traces =
+        pool.map(profiles.size(), [&profiles](std::size_t p) {
+            SyntheticGenerator gen(profiles[p]);
+            return gen.generate();
+        });
+
+    const std::size_t width = algorithms.size();
+    const std::size_t per_count = 2 * width; // flat row then hier row
+    std::vector<RunResult> runs = pool.map(
+        node_counts.size() * per_count, [&](std::size_t cell) {
+            const std::size_t p = cell / per_count;
+            const bool hier = cell % per_count >= width;
+            const Algorithm a = algorithms[cell % width];
+            MachineConfig cfg = sweepConfig(a, profiles[p]);
+            if (hier) {
+                cfg.topology.kind = TopologyKind::Hier;
+                cfg.topology.localRings = node_counts[p] / 8;
+                cfg.topology.globalHopCycles = global_hop_cycles;
+            }
+            return runSimulation(cfg, traces[p], profiles[p].name);
+        });
+
+    std::vector<HierSweepCell> out;
+    out.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        HierSweepCell c;
+        c.numCmps = node_counts[i / per_count];
+        c.hier = i % per_count >= width;
+        c.localRings = c.hier ? c.numCmps / 8 : 1;
+        c.result = std::move(runs[i]);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
 namespace
 {
 

@@ -126,6 +126,38 @@ std::vector<RunResult>
 runCellsHardened(const std::vector<PlannedCell> &cells, std::size_t jobs,
                  const SweepHardening &hardening);
 
+/** One cell of the hierarchical-topology scaling sweep. */
+struct HierSweepCell
+{
+    std::size_t numCmps = 0;
+    bool hier = false;          ///< false = flat-ring baseline
+    std::size_t localRings = 1; ///< numCmps / 8 when hier
+    RunResult result;
+};
+
+/**
+ * Scalability sweep (docs/TOPOLOGY.md): for each node count in
+ * @p node_counts, run every algorithm on the same traces twice — once
+ * on the flat embedded ring and once on a two-level hierarchy with
+ * 8-node local rings (local_rings = N/8) — so hier-vs-flat is an
+ * apples-to-apples comparison per (node count, algorithm). Every node
+ * count must be a multiple of 8, at least 16, so the hierarchy has at
+ * least two local rings. Cells are returned in node_counts x
+ * {flat, hier} x algorithms order.
+ *
+ * @param base workload template; its numCores is replaced by the
+ *        swept node count (x coresPerCmp) per cell. The footprint is
+ *        weak-scaled: sharedLines grows linearly with the core factor
+ *        and meanGap by factor^0.75, keeping per-line contention
+ *        bounded (the base footprint hammered by 64+ cores collapses
+ *        into retry storms on every algorithm, flat or hier).
+ */
+std::vector<HierSweepCell>
+runHierSweep(const std::vector<Algorithm> &algorithms,
+             const std::vector<std::size_t> &node_counts,
+             std::size_t jobs, Cycle global_hop_cycles = 62,
+             const WorkloadProfile &base = miniProfile());
+
 /** Arithmetic mean of @p metric over a set of runs. */
 double arithMean(const std::vector<double> &values);
 

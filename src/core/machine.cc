@@ -61,6 +61,51 @@ Machine::Machine(const MachineConfig &config)
         config.coherence);
     _checker = std::make_unique<CoherenceChecker>(_nodes);
 
+    if (config.topology.hierarchical()) {
+        _topology =
+            std::make_unique<Topology>(config.numCmps, config.topology);
+        _ring->setTopology(_topology.get());
+
+        // Per-level flexible snooping: the global ring may run its own
+        // algorithm's action table at the bridges.
+        if (!config.topology.globalAlgorithm.empty())
+            _globalPolicy = makePolicy(
+                algorithmFromName(config.topology.globalAlgorithm));
+        SnoopPolicy *gp =
+            _globalPolicy ? _globalPolicy.get() : _policy.get();
+
+        // A bridge can skip reads only when the per-level table maps a
+        // negative aggregate answer to Forward; Oracle/Exact consult
+        // authoritative member state instead of an aggregate Bloom.
+        const bool reads_skip =
+            gp->usesPredictor() &&
+            gp->onPrediction(false) == Primitive::Forward;
+        const bool aggregate_reads =
+            reads_skip && gp->predictorKind() != PredictorKind::Perfect &&
+            gp->predictorKind() != PredictorKind::Exact;
+        for (std::size_t b = 0; b < _topology->numBlocks(); ++b) {
+            _bridgeSupplier.push_back(
+                aggregate_reads
+                    ? std::make_unique<PresencePredictor>(
+                          "bridge" + std::to_string(b) + ".supplier",
+                          config.bridgeBloomFields)
+                    : nullptr);
+            _bridgePresence.push_back(
+                config.writeFiltering
+                    ? std::make_unique<PresencePredictor>(
+                          "bridge" + std::to_string(b) + ".presence",
+                          config.bridgeBloomFields)
+                    : nullptr);
+        }
+        for (NodeId n = 0; n < config.numCmps; ++n) {
+            const std::size_t b = _topology->blockOf(n);
+            _nodes[n]->setAggregateMirrors(_bridgeSupplier[b].get(),
+                                           _bridgePresence[b].get());
+        }
+        _controller->setTopology(_topology.get(), gp, &_bridgeSupplier,
+                                 &_bridgePresence);
+    }
+
     if (config.faults.armed()) {
         _faults = std::make_unique<FaultInjector>(config.faults);
         _ring->setFaultInjector(_faults.get());
@@ -120,6 +165,14 @@ Machine::resetStats()
         for (std::size_t c = 0; c < node->numCores(); ++c)
             node->l2(c).stats().reset();
     }
+    for (auto &agg : _bridgeSupplier) {
+        if (agg)
+            agg->stats().reset();
+    }
+    for (auto &agg : _bridgePresence) {
+        if (agg)
+            agg->stats().reset();
+    }
 }
 
 void
@@ -145,6 +198,24 @@ Machine::finalizeEnergy()
     _energy.record(EnergyEvent::PredictorAccess, lookups);
     _energy.record(EnergyEvent::PredictorTrain, trainings);
     _energy.record(EnergyEvent::DowngradeCacheOp, downgrade_ops);
+
+    // Bridge aggregates (hier topology) are folded into their own
+    // categories: their longer-reach SRAMs cost more per access.
+    std::uint64_t bridge_lookups = 0;
+    std::uint64_t bridge_trains = 0;
+    const auto fold = [&](const auto &aggs) {
+        for (const auto &agg : aggs) {
+            if (!agg)
+                continue;
+            bridge_lookups += agg->stats().counterValue("lookups");
+            bridge_trains += agg->stats().counterValue("trains") +
+                             agg->stats().counterValue("removals");
+        }
+    };
+    fold(_bridgeSupplier);
+    fold(_bridgePresence);
+    _energy.record(EnergyEvent::BridgePredictorAccess, bridge_lookups);
+    _energy.record(EnergyEvent::BridgePredictorTrain, bridge_trains);
 }
 
 std::uint64_t

@@ -47,6 +47,31 @@ class Machine
     TraceSink *traceSink() { return _trace.get(); }
     const TraceSink *traceSink() const { return _trace.get(); }
 
+    /** Hierarchy geometry, or nullptr when the topology is flat (a
+     *  degenerate hier config -- one local ring -- is also flat). */
+    const Topology *topology() const { return _topology.get(); }
+
+    /** Messages that traversed a global-ring link (zero when flat). */
+    std::uint64_t globalLinkTraversals() const
+    {
+        return _ring->globalLinkTraversals();
+    }
+
+    /** Bridge aggregate predictors of @p block; null when that level
+     *  cannot skip (reads) / write filtering is off (presence). */
+    PresencePredictor *bridgeSupplierAggregate(std::size_t block)
+    {
+        return block < _bridgeSupplier.size()
+                   ? _bridgeSupplier[block].get()
+                   : nullptr;
+    }
+    PresencePredictor *bridgePresenceAggregate(std::size_t block)
+    {
+        return block < _bridgePresence.size()
+                   ? _bridgePresence[block].get()
+                   : nullptr;
+    }
+
     /**
      * Reset all statistics and the energy account (used at the warmup
      * barrier so only the measured phase is reported).
@@ -88,6 +113,15 @@ class Machine
     std::unique_ptr<CoherenceChecker> _checker;
     std::unique_ptr<FaultInjector> _faults; ///< null when disarmed
     std::unique_ptr<TraceSink> _trace;      ///< null when tracing is off
+
+    // Hierarchical topology (docs/TOPOLOGY.md); all empty when flat.
+    std::unique_ptr<Topology> _topology;
+    /** Per-level action table when topology.globalAlgorithm differs
+     *  from the node algorithm; null = bridges use _policy. */
+    std::unique_ptr<SnoopPolicy> _globalPolicy;
+    /** Per-block bridge aggregates (entries may be null). */
+    std::vector<std::unique_ptr<PresencePredictor>> _bridgeSupplier;
+    std::vector<std::unique_ptr<PresencePredictor>> _bridgePresence;
 };
 
 } // namespace flexsnoop

@@ -11,7 +11,7 @@ namespace flexsnoop
 std::size_t
 MachineConfig::eventQueueNearBuckets() const
 {
-    const Cycle hot = std::max<Cycle>(
+    Cycle hot = std::max<Cycle>(
         {ring.linkLatency + ring.serialization,
          coherence.cmpSnoopTime + coherence.l2RoundTrip +
              predictor.latency,
@@ -20,6 +20,12 @@ MachineConfig::eventQueueNearBuckets() const
          memory.remotePrefetchRoundTrip, memory.dramAccess,
          torus.perHopLatency * (torus.columns / 2 + torus.rows / 2) +
              torus.lineSerialization});
+    // Hier topology: a cross-block hop chains the local wrap and one
+    // global-ring hop into a single arrival event.
+    if (topology.hierarchical())
+        hot = std::max<Cycle>(hot, ring.linkLatency +
+                                       topology.globalHopCycles +
+                                       ring.serialization);
     // Cover the largest single hot-path latency and no more: the near
     // array's cache footprint costs more than the occasional overflow
     // detour, so oversizing the wheel is a net loss (see DESIGN.md).

@@ -14,6 +14,7 @@
 #include "predictor/predictor_config.hh"
 #include "sim/fault_injector.hh"
 #include "snoop/snoop_policy.hh"
+#include "topology/topology.hh"
 #include "trace/trace_sink.hh"
 #include "workload/core_model.hh"
 
@@ -53,6 +54,17 @@ struct MachineConfig
      */
     bool writeFiltering = false;
     std::vector<unsigned> presenceBloomFields = {12, 8, 10};
+
+    /**
+     * Hierarchical multi-ring topology (docs/TOPOLOGY.md): when
+     * topology.hierarchical(), the numCmps nodes are partitioned into
+     * topology.localRings equal local rings joined by one global ring
+     * of bridge gateways. Flat by default; the degenerate hier config
+     * (one local ring) runs bit-identically to flat.
+     */
+    TopologyConfig topology;
+    /** Field sizes of the bridges' aggregate counting Blooms. */
+    std::vector<unsigned> bridgeBloomFields = {12, 8, 10};
 
     /**
      * Unreliable-ring mode (docs/FAULTS.md): when armed(), the machine

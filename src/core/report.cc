@@ -123,6 +123,9 @@ fields()
         field("true_negatives", &RunResult::trueNegatives),
         field("false_positives", &RunResult::falsePositives),
         field("false_negatives", &RunResult::falseNegatives),
+        field("bridge_skips", &RunResult::bridgeSkips),
+        field("bridge_descends", &RunResult::bridgeDescends),
+        field("global_link_messages", &RunResult::globalLinkMessages),
         field("cache_supplies", &RunResult::cacheSupplies),
         field("memory_fetches", &RunResult::memoryFetches),
         field("downgrades", &RunResult::downgrades),

@@ -70,6 +70,11 @@ RunResult::dump(std::ostream &os) const
        << "  cache supplies       " << cacheSupplies << '\n'
        << "  memory fetches       " << memoryFetches << '\n'
        << "  avg read latency     " << avgReadLatency << '\n';
+    if (bridgeSkips + bridgeDescends + globalLinkMessages > 0) {
+        os << "  bridge skip/descend  " << bridgeSkips << " / "
+           << bridgeDescends << '\n'
+           << "  global link msgs     " << globalLinkMessages << '\n';
+    }
     if (predictions() > 0) {
         const double n = static_cast<double>(predictions());
         os << "  predictor TP/TN/FP/FN  " << truePositives / n << " / "
@@ -228,6 +233,10 @@ runSimulation(const MachineConfig &config, const CoreTraces &traces,
     r.trueNegatives = machine.predictorTrueNegatives();
     r.falsePositives = machine.predictorFalsePositives();
     r.falseNegatives = machine.predictorFalseNegatives();
+
+    r.bridgeSkips = machine.controller().bridgeSkips();
+    r.bridgeDescends = machine.controller().bridgeDescends();
+    r.globalLinkMessages = machine.globalLinkTraversals();
 
     r.cacheSupplies = cstats.counterValue("read_cache_supplies");
     r.memoryFetches = cstats.counterValue("memory_fetches");

@@ -55,6 +55,12 @@ struct RunResult
     std::uint64_t writeSnoops = 0;
     std::uint64_t writeFiltered = 0;
 
+    // Hierarchical topology (docs/TOPOLOGY.md); all zero on a flat or
+    // degenerate (local_rings=1) ring, so flat results compare equal.
+    std::uint64_t bridgeSkips = 0;     ///< whole blocks skipped at bridges
+    std::uint64_t bridgeDescends = 0;  ///< bridge decisions to enter block
+    std::uint64_t globalLinkMessages = 0;  ///< global-ring link traversals
+
     // Supporting detail.
     std::uint64_t cacheSupplies = 0;  ///< reads answered by a remote cache
     std::uint64_t memoryFetches = 0;  ///< reads/writes answered by memory

@@ -16,6 +16,12 @@ toString(EnergyEvent e)
       case EnergyEvent::DowngradeCacheOp: return "downgrade_cache_op";
       case EnergyEvent::DowngradeWriteback: return "downgrade_writeback";
       case EnergyEvent::DowngradeReRead: return "downgrade_reread";
+      case EnergyEvent::GlobalRingLinkMessage:
+        return "global_ring_link_message";
+      case EnergyEvent::BridgePredictorAccess:
+        return "bridge_predictor_access";
+      case EnergyEvent::BridgePredictorTrain:
+        return "bridge_predictor_train";
       case EnergyEvent::NumEvents: break;
     }
     return "?";
@@ -32,6 +38,12 @@ EnergyParams::perEventNj(EnergyEvent e) const
       case EnergyEvent::DowngradeCacheOp: return downgradeCacheOpNj;
       case EnergyEvent::DowngradeWriteback: return dramLineNj;
       case EnergyEvent::DowngradeReRead: return dramLineNj;
+      case EnergyEvent::GlobalRingLinkMessage:
+        return globalRingLinkMessageNj;
+      case EnergyEvent::BridgePredictorAccess:
+        return bridgePredictorAccessNj;
+      case EnergyEvent::BridgePredictorTrain:
+        return bridgePredictorTrainNj;
       case EnergyEvent::NumEvents: break;
     }
     return 0.0;
@@ -54,7 +66,7 @@ EnergyModel::dump(std::ostream &os) const
     os << "energy breakdown (nJ):\n";
     for (std::size_t i = 0; i < kNumEnergyEvents; ++i) {
         const auto e = static_cast<EnergyEvent>(i);
-        os << "  " << std::left << std::setw(22) << toString(e)
+        os << "  " << std::left << std::setw(25) << toString(e)
            << " count=" << std::setw(12) << count(e)
            << " energy=" << categoryNj(e) << '\n';
     }

@@ -34,6 +34,9 @@ enum class EnergyEvent : std::size_t
     DowngradeCacheOp,    ///< cache state write for a forced downgrade
     DowngradeWriteback,  ///< DRAM writeback caused by a downgrade
     DowngradeReRead,     ///< DRAM read that a downgrade made necessary
+    GlobalRingLinkMessage, ///< one message over one global-ring link
+    BridgePredictorAccess, ///< bridge aggregate predictor lookup
+    BridgePredictorTrain,  ///< bridge aggregate predictor insert/remove
     NumEvents,
 };
 
@@ -51,6 +54,11 @@ struct EnergyParams
     double predictorTrainNj = 0.10;
     double downgradeCacheOpNj = 0.69;
     double dramLineNj = 24.0;        ///< paper §6.1.4
+    /** Global-ring links span whole local rings: roughly double the
+     *  wire length (and repeater count) of a CMP-to-CMP link. */
+    double globalRingLinkMessageNj = 6.34;
+    double bridgePredictorAccessNj = 0.10; ///< aggregate Bloom lookup
+    double bridgePredictorTrainNj = 0.12;  ///< aggregate Bloom update
 
     double perEventNj(EnergyEvent e) const;
 };

@@ -5,6 +5,7 @@
 
 #include "sim/fault_injector.hh"
 #include "sim/log.hh"
+#include "topology/topology.hh"
 #include "trace/trace_sink.hh"
 
 namespace flexsnoop
@@ -13,9 +14,10 @@ namespace flexsnoop
 namespace
 {
 
-/** Hop-record flag bits (TraceEvent::Hop `b` field). */
+/** Hop-record flag bits (TraceEvent::Hop `b` field). Bit 8 marks a
+ *  traversal that included a global-ring link (hier topology). */
 std::uint16_t
-hopFlags(const SnoopMessage &msg)
+hopFlags(const SnoopMessage &msg, bool global_leg)
 {
     std::uint16_t f = 0;
     if (msg.found)
@@ -24,6 +26,8 @@ hopFlags(const SnoopMessage &msg)
         f |= 2;
     if (msg.kind == SnoopKind::Write)
         f |= 4;
+    if (global_leg)
+        f |= 8;
     return f;
 }
 
@@ -34,6 +38,7 @@ Ring::Ring(EventQueue &queue, std::size_t num_nodes,
     : _queue(queue), _numNodes(num_nodes), _params(params),
       _handlers(num_nodes), _linkFree(num_nodes, 0), _stats(name),
       _linkTraversals(_stats.counter("link_traversals")),
+      _globalTraversals(_stats.counter("global_link_traversals")),
       _linkQueueing(_stats.scalar("link_queueing"))
 {
     assert(num_nodes >= 2);
@@ -47,18 +52,24 @@ Ring::setHandler(NodeId n, Handler h)
 }
 
 void
-Ring::send(NodeId from, const SnoopMessage &msg)
+Ring::setTopology(const Topology *topo)
 {
-    assert(from < _numNodes);
-    const NodeId to = successor(from);
-    const Cycle now = _queue.now();
-    const Cycle start = std::max(now, _linkFree[from]);
-    _linkFree[from] = start + _params.serialization;
-    Cycle arrive = start + _params.linkLatency;
+    if (topo && topo->hierarchical()) {
+        assert(topo->numNodes() == _numNodes);
+        _topo = topo;
+        _globalFree.assign(topo->numBlocks(), 0);
+    } else {
+        _topo = nullptr;
+        _globalFree.clear();
+    }
+}
 
-    _linkTraversals.inc();
-    if (start > now)
-        _linkQueueing.sample(static_cast<double>(start - now));
+void
+Ring::finishSend(NodeId from, NodeId to, Cycle now, Cycle start,
+                 Cycle latency, Cycle &link_free, bool global_leg,
+                 const SnoopMessage &msg)
+{
+    Cycle arrive = start + latency;
 
     FS_LOG(Trace, now, _stats.name(),
            toString(msg.type) << " txn " << msg.txn << " line 0x"
@@ -66,7 +77,7 @@ Ring::send(NodeId from, const SnoopMessage &msg)
                               << from << "->" << to << " arr " << arrive);
 
     if (_faults) {
-        switch (_faults->onLinkSend()) {
+        switch (_faults->onLinkSend(global_leg)) {
           case FaultInjector::LinkAction::Drop:
             // The message occupied the link but never arrives; the
             // requester's watchdog recovers the transaction.
@@ -82,30 +93,31 @@ Ring::send(NodeId from, const SnoopMessage &msg)
           case FaultInjector::LinkAction::Duplicate: {
             // A second copy follows back-to-back: it occupies the link
             // again and arrives one serialization slot later.
-            const Cycle start2 = _linkFree[from];
-            _linkFree[from] = start2 + _params.serialization;
+            const Cycle start2 = link_free;
+            link_free = start2 + _params.serialization;
             _linkTraversals.inc();
+            if (global_leg)
+                _globalTraversals.inc();
             FS_LOG(Debug, now, _stats.name(),
                    "FAULT dup txn " << msg.txn << " " << from << "->"
                                     << to);
             if (_trace) {
                 _trace->record(TraceEvent::FaultDup, now, msg.txn,
-                               msg.line, start2 + _params.linkLatency,
+                               msg.line, start2 + latency,
                                static_cast<std::uint16_t>(from),
                                static_cast<std::uint16_t>(msg.type));
                 _trace->record(TraceEvent::Hop, start2, msg.txn,
-                               msg.line, start2 + _params.linkLatency,
+                               msg.line, start2 + latency,
                                static_cast<std::uint16_t>(from),
                                static_cast<std::uint16_t>(msg.type),
-                               hopFlags(msg));
+                               hopFlags(msg, global_leg));
             }
             SnoopMessage *dup = _inFlight.acquire();
             *dup = msg;
-            _queue.scheduleAt(start2 + _params.linkLatency,
-                              [this, to, dup]() {
-                                  _handlers[to](*dup);
-                                  _inFlight.release(dup);
-                              });
+            _queue.scheduleAt(start2 + latency, [this, to, dup]() {
+                _handlers[to](*dup);
+                _inFlight.release(dup);
+            });
             break;
           }
           case FaultInjector::LinkAction::Delay:
@@ -128,7 +140,7 @@ Ring::send(NodeId from, const SnoopMessage &msg)
         _trace->record(TraceEvent::Hop, start, msg.txn, msg.line, arrive,
                        static_cast<std::uint16_t>(from),
                        static_cast<std::uint16_t>(msg.type),
-                       hopFlags(msg));
+                       hopFlags(msg, global_leg));
 
     SnoopMessage *slot = _inFlight.acquire();
     *slot = msg;
@@ -139,6 +151,61 @@ Ring::send(NodeId from, const SnoopMessage &msg)
         _handlers[to](*slot);
         _inFlight.release(slot);
     });
+}
+
+void
+Ring::send(NodeId from, const SnoopMessage &msg)
+{
+    assert(from < _numNodes);
+    const NodeId to = successor(from);
+    const Cycle now = _queue.now();
+    const Cycle start = std::max(now, _linkFree[from]);
+    _linkFree[from] = start + _params.serialization;
+
+    _linkTraversals.inc();
+    if (start > now)
+        _linkQueueing.sample(static_cast<double>(start - now));
+
+    if (_topo && _topo->linkCrossesBlock(from)) {
+        // The flat link leaving the last member of a block physically
+        // wraps to its own head (one local link) and then crosses one
+        // global-ring hop to the next head. The global leg has its own
+        // occupancy: skip traffic and cross-block traffic of the same
+        // block contend for the same global link.
+        const std::size_t block = _topo->blockOf(from);
+        const Cycle at_head = start + _params.linkLatency;
+        const Cycle gstart = std::max(at_head, _globalFree[block]);
+        _globalFree[block] = gstart + _params.serialization;
+        _globalTraversals.inc();
+        if (gstart > at_head)
+            _linkQueueing.sample(static_cast<double>(gstart - at_head));
+        finishSend(from, to, now, start,
+                   gstart - start + _topo->globalHopCycles(),
+                   _globalFree[block], /*global_leg=*/true, msg);
+        return;
+    }
+
+    finishSend(from, to, now, start, _params.linkLatency, _linkFree[from],
+               /*global_leg=*/false, msg);
+}
+
+void
+Ring::sendSkip(NodeId head, const SnoopMessage &msg)
+{
+    assert(_topo && _topo->isHead(head));
+    const NodeId to = _topo->nextHead(head);
+    const std::size_t block = _topo->blockOf(head);
+    const Cycle now = _queue.now();
+    const Cycle start = std::max(now, _globalFree[block]);
+    _globalFree[block] = start + _params.serialization;
+
+    _linkTraversals.inc();
+    _globalTraversals.inc();
+    if (start > now)
+        _linkQueueing.sample(static_cast<double>(start - now));
+
+    finishSend(head, to, now, start, _topo->globalHopCycles(),
+               _globalFree[block], /*global_leg=*/true, msg);
 }
 
 RingNetwork::RingNetwork(EventQueue &queue, std::size_t num_nodes,
@@ -174,12 +241,28 @@ RingNetwork::setTraceSink(TraceSink *trace)
         ring->setTraceSink(trace);
 }
 
+void
+RingNetwork::setTopology(const Topology *topo)
+{
+    for (auto &ring : _rings)
+        ring->setTopology(topo);
+}
+
 std::uint64_t
 RingNetwork::linkTraversals() const
 {
     std::uint64_t total = 0;
     for (const auto &ring : _rings)
         total += ring->linkTraversals();
+    return total;
+}
+
+std::uint64_t
+RingNetwork::globalLinkTraversals() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ring : _rings)
+        total += ring->globalLinkTraversals();
     return total;
 }
 

@@ -28,6 +28,7 @@ namespace flexsnoop
 {
 
 class FaultInjector;
+class Topology;
 class TraceSink;
 
 /** Timing configuration of one embedded ring. */
@@ -88,6 +89,24 @@ class Ring
     void send(NodeId from, const SnoopMessage &msg);
 
     /**
+     * Hierarchical topology only: transmit @p msg over the global ring
+     * from bridge @p head directly to the next block head, skipping the
+     * local ring in between. One global-link traversal; the Hop trace
+     * record carries the global-level flag bit.
+     */
+    void sendSkip(NodeId head, const SnoopMessage &msg);
+
+    /**
+     * Install (or remove, with nullptr) the hierarchy geometry. With a
+     * hierarchical topology installed, the link leaving the last member
+     * of each block wraps through its own head and crosses one
+     * global-ring hop (separate latency and occupancy), and sendSkip()
+     * becomes available at block heads. Unset by default: the flat
+     * send path is untouched.
+     */
+    void setTopology(const Topology *topo);
+
+    /**
      * Install (or remove, with nullptr) the fault injector consulted
      * on every link traversal. Unset by default: the hook is a single
      * null-pointer check on the send path.
@@ -105,6 +124,12 @@ class Ring
     std::uint64_t linkTraversals() const
     {
         return _linkTraversals.value();
+    }
+
+    /** Messages that traversed a global-ring link (hier topology). */
+    std::uint64_t globalLinkTraversals() const
+    {
+        return _globalTraversals.value();
     }
 
     const RingParams &params() const { return _params; }
@@ -160,11 +185,24 @@ class Ring
     const StatGroup &stats() const { return _stats; }
 
   private:
+    /**
+     * Common tail of send()/sendSkip(): fault decision, Hop trace
+     * record, and the arrival event. @p link_free is the occupancy slot
+     * a duplicated copy re-books (the local link for member hops, the
+     * block's global link for cross-block and skip hops).
+     */
+    void finishSend(NodeId from, NodeId to, Cycle now, Cycle start,
+                    Cycle latency, Cycle &link_free, bool global_leg,
+                    const SnoopMessage &msg);
+
     EventQueue &_queue;
     std::size_t _numNodes;
     RingParams _params;
     std::vector<Handler> _handlers;
     std::vector<Cycle> _linkFree; ///< next cycle each outgoing link is idle
+    /** Per-block global-link occupancy (hier topology; empty in flat). */
+    std::vector<Cycle> _globalFree;
+    const Topology *_topo = nullptr; ///< hierarchy geometry; null = flat
     /** In-flight messages parked between send and arrival. Arrival
      *  events capture a stable slot pointer instead of the message by
      *  value: with the ProbeSignature aboard, a by-value capture would
@@ -174,6 +212,7 @@ class Ring
     TraceSink *_trace = nullptr;      ///< per-hop tracing hook
     StatGroup _stats;
     Counter &_linkTraversals;   ///< cached handle (send() hot path)
+    Counter &_globalTraversals; ///< global-ring traversals (hier only)
     ScalarStat &_linkQueueing;  ///< cached handle (send() hot path)
 };
 
@@ -212,6 +251,9 @@ class RingNetwork
     /** Install the trace sink on every ring. */
     void setTraceSink(TraceSink *trace);
 
+    /** Install the hierarchy geometry on every ring. */
+    void setTopology(const Topology *topo);
+
     /** Send @p msg (routed by its line address) out of node @p from. */
     void
     send(NodeId from, const SnoopMessage &msg)
@@ -219,8 +261,18 @@ class RingNetwork
         ringFor(msg.line).send(from, msg);
     }
 
+    /** Global-ring skip (routed by line) out of bridge @p head. */
+    void
+    sendSkip(NodeId head, const SnoopMessage &msg)
+    {
+        ringFor(msg.line).sendSkip(head, msg);
+    }
+
     /** Aggregate link traversals over all rings. */
     std::uint64_t linkTraversals() const;
+
+    /** Aggregate global-ring traversals over all rings (hier only). */
+    std::uint64_t globalLinkTraversals() const;
 
   private:
     std::size_t _numNodes;

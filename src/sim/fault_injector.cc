@@ -75,6 +75,12 @@ FaultConfig::fromSpec(const std::string &spec)
             config.delayRate = parseRate(key, value);
         } else if (key == "predictor") {
             config.predictorRate = parseRate(key, value);
+        } else if (key == "global_drop") {
+            config.globalDropRate = parseRate(key, value);
+        } else if (key == "global_dup") {
+            config.globalDupRate = parseRate(key, value);
+        } else if (key == "global_delay") {
+            config.globalDelayRate = parseRate(key, value);
         } else if (key == "seed") {
             config.seed = parseCount(key, value);
         } else if (key == "delay_cycles") {
@@ -82,8 +88,8 @@ FaultConfig::fromSpec(const std::string &spec)
         } else {
             throw std::invalid_argument(
                 "fault spec: unknown key '" + key +
-                "' (expected drop, dup, delay, predictor, seed, "
-                "delay_cycles)");
+                "' (expected drop, dup, delay, predictor, global_drop, "
+                "global_dup, global_delay, seed, delay_cycles)");
         }
     }
     if (!any)
@@ -91,6 +97,10 @@ FaultConfig::fromSpec(const std::string &spec)
     if (config.dropRate + config.dupRate + config.delayRate >= 1.0)
         throw std::invalid_argument(
             "fault spec: drop+dup+delay rates must sum below 1");
+    if (config.effectiveGlobalDrop() + config.effectiveGlobalDup() +
+            config.effectiveGlobalDelay() >= 1.0)
+        throw std::invalid_argument(
+            "fault spec: global drop+dup+delay rates must sum below 1");
     return config;
 }
 
@@ -99,8 +109,14 @@ FaultConfig::describe() const
 {
     std::ostringstream oss;
     oss << "drop=" << dropRate << ",dup=" << dupRate
-        << ",delay=" << delayRate << ",predictor=" << predictorRate
-        << ",seed=" << seed << ",delay_cycles=" << delayCycles;
+        << ",delay=" << delayRate << ",predictor=" << predictorRate;
+    if (globalDropRate >= 0.0)
+        oss << ",global_drop=" << globalDropRate;
+    if (globalDupRate >= 0.0)
+        oss << ",global_dup=" << globalDupRate;
+    if (globalDelayRate >= 0.0)
+        oss << ",global_delay=" << globalDelayRate;
+    oss << ",seed=" << seed << ",delay_cycles=" << delayCycles;
     return oss.str();
 }
 
@@ -117,19 +133,25 @@ FaultInjector::FaultInjector(const FaultConfig &config)
 }
 
 FaultInjector::LinkAction
-FaultInjector::onLinkSend()
+FaultInjector::onLinkSend(bool global_link)
 {
     _linkDecisions.inc();
+    const double drop =
+        global_link ? _config.effectiveGlobalDrop() : _config.dropRate;
+    const double dup =
+        global_link ? _config.effectiveGlobalDup() : _config.dupRate;
+    const double delay =
+        global_link ? _config.effectiveGlobalDelay() : _config.delayRate;
     const double u = _linkRng.nextDouble();
-    if (u < _config.dropRate) {
+    if (u < drop) {
         _drops.inc();
         return LinkAction::Drop;
     }
-    if (u < _config.dropRate + _config.dupRate) {
+    if (u < drop + dup) {
         _dups.inc();
         return LinkAction::Duplicate;
     }
-    if (u < _config.dropRate + _config.dupRate + _config.delayRate) {
+    if (u < drop + dup + delay) {
         _delays.inc();
         return LinkAction::Delay;
     }

@@ -44,19 +44,50 @@ struct FaultConfig
     Cycle delayCycles = 500;    ///< extra latency of a delayed message
     std::uint64_t seed = 1;     ///< seed of the fault streams
 
+    // Per-level overrides for global-ring links (hier topology). The
+    // longer inter-ring wires typically have their own error rate; a
+    // negative value inherits the flat rate above, so flat configs and
+    // degenerate hier configs draw identical fault streams.
+    double globalDropRate = -1.0;
+    double globalDupRate = -1.0;
+    double globalDelayRate = -1.0;
+
+    /** Drop rate applying to a global-ring traversal. */
+    double
+    effectiveGlobalDrop() const
+    {
+        return globalDropRate < 0.0 ? dropRate : globalDropRate;
+    }
+
+    /** Duplicate rate applying to a global-ring traversal. */
+    double
+    effectiveGlobalDup() const
+    {
+        return globalDupRate < 0.0 ? dupRate : globalDupRate;
+    }
+
+    /** Delay rate applying to a global-ring traversal. */
+    double
+    effectiveGlobalDelay() const
+    {
+        return globalDelayRate < 0.0 ? delayRate : globalDelayRate;
+    }
+
     /** True when any fault class has a non-zero rate. */
     bool
     armed() const
     {
         return dropRate > 0.0 || dupRate > 0.0 || delayRate > 0.0 ||
-               predictorRate > 0.0;
+               predictorRate > 0.0 || globalDropRate > 0.0 ||
+               globalDupRate > 0.0 || globalDelayRate > 0.0;
     }
 
     /**
      * Parse a CLI spec of comma-separated assignments, e.g.
      * "drop=1e-3,dup=1e-4,delay=1e-3,predictor=1e-4,seed=7".
      * Accepted keys: drop, dup, delay, predictor (rates in [0, 1)),
-     * seed, delay_cycles (unsigned).
+     * global_drop, global_dup, global_delay (global-ring overrides,
+     * inherit the flat rate when unset), seed, delay_cycles (unsigned).
      * @throws std::invalid_argument naming the offending key/value
      */
     static FaultConfig fromSpec(const std::string &spec);
@@ -92,9 +123,11 @@ class FaultInjector
     /**
      * Decide the fate of one message about to traverse a ring link.
      * Exactly one uniform draw per call; drop wins over duplicate over
-     * delay when rates overlap.
+     * delay when rates overlap. @p global_link selects the per-level
+     * global-ring rates (hier topology); with no overrides set the
+     * decision is identical either way.
      */
-    LinkAction onLinkSend();
+    LinkAction onLinkSend(bool global_link = false);
 
     /** Decide whether one predictor lookup's answer is inverted. */
     bool flipPrediction();

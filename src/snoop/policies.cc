@@ -59,7 +59,10 @@ algorithmFromName(const std::string &name)
         return Algorithm::Exact;
     if (n == "adaptive" || n == "adaptivesuperset")
         return Algorithm::AdaptiveSuperset;
-    throw std::invalid_argument("unknown algorithm: " + name);
+    throw std::invalid_argument(
+        "unknown algorithm: " + name +
+        " (valid algorithms: lazy, eager, oracle, subset, supersetcon, "
+        "supersetagg, exact, adaptive)");
 }
 
 namespace

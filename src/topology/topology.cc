@@ -1,0 +1,83 @@
+#include "topology/topology.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+std::string_view
+toString(TopologyKind k)
+{
+    switch (k) {
+      case TopologyKind::Flat: return "flat";
+      case TopologyKind::Hier: return "hier";
+    }
+    return "?";
+}
+
+TopologyKind
+topologyKindFromName(const std::string &name)
+{
+    std::string n = name;
+    std::transform(n.begin(), n.end(), n.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (n == "flat")
+        return TopologyKind::Flat;
+    if (n == "hier" || n == "hierarchical")
+        return TopologyKind::Hier;
+    throw std::invalid_argument("unknown topology: " + name +
+                                " (valid values: flat, hier)");
+}
+
+void
+TopologyConfig::validate(std::size_t num_nodes) const
+{
+    if (localRings == 0)
+        throw std::invalid_argument("topology: local_rings must be >= 1");
+    if (!hierarchical())
+        return;
+    if (num_nodes % localRings != 0) {
+        std::ostringstream os;
+        os << "topology: local_rings (" << localRings
+           << ") must divide the node count (" << num_nodes << ")";
+        throw std::invalid_argument(os.str());
+    }
+    if (num_nodes / localRings < 2) {
+        std::ostringstream os;
+        os << "topology: each local ring needs >= 2 nodes ("
+           << num_nodes << " nodes / " << localRings << " rings)";
+        throw std::invalid_argument(os.str());
+    }
+    if (globalHopCycles == 0)
+        throw std::invalid_argument(
+            "topology: global_hop_cycles must be >= 1");
+}
+
+std::string
+TopologyConfig::describe() const
+{
+    std::ostringstream os;
+    os << toString(kind);
+    if (hierarchical()) {
+        os << ",local_rings=" << localRings
+           << ",global_hop_cycles=" << globalHopCycles;
+        if (!globalAlgorithm.empty())
+            os << ",global_algorithm=" << globalAlgorithm;
+    }
+    return os.str();
+}
+
+Topology::Topology(std::size_t num_nodes, const TopologyConfig &config)
+    : _config(config), _numNodes(num_nodes),
+      _numBlocks(config.hierarchical() ? config.localRings : 1),
+      _blockSize(num_nodes / (config.hierarchical() ? config.localRings
+                                                    : 1)),
+      _hier(config.hierarchical())
+{
+    config.validate(num_nodes);
+}
+
+} // namespace flexsnoop

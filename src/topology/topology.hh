@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Two-level embedded-ring hierarchy (docs/TOPOLOGY.md).
+ *
+ * A hierarchical machine partitions the N ring nodes into `localRings`
+ * contiguous blocks of equal size; each block is one local ring, and
+ * the block heads ("bridge gateways") form the global ring joining
+ * them. The flat cyclic node order is preserved: a snoop round still
+ * walks nodes 0..N-1 downstream, but the link leaving the last member
+ * of a block physically wraps to its own head and then crosses one
+ * global-ring hop to the next head, and a bridge may forward a
+ * transaction over the global ring directly (skipping its whole local
+ * ring) when its aggregate predictors prove no member needs to see it.
+ *
+ * The degenerate configuration (Flat, or Hier with a single local
+ * ring) builds no Topology at all: every component keeps a null
+ * topology pointer and executes the identical flat-ring instruction
+ * path, which is what makes the degenerate config bit-exact with the
+ * flat machine.
+ */
+
+#ifndef FLEXSNOOP_TOPOLOGY_TOPOLOGY_HH
+#define FLEXSNOOP_TOPOLOGY_TOPOLOGY_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "sim/types.hh"
+
+namespace flexsnoop
+{
+
+enum class TopologyKind : std::uint8_t
+{
+    Flat, ///< one embedded ring over all nodes (the paper's machine)
+    Hier, ///< local rings joined by a global ring via bridge gateways
+};
+
+std::string_view toString(TopologyKind k);
+
+/**
+ * Parse "flat" or "hier" (case-insensitive).
+ * @throws std::invalid_argument listing the valid values
+ */
+TopologyKind topologyKindFromName(const std::string &name);
+
+/** Configuration of the ring hierarchy. */
+struct TopologyConfig
+{
+    TopologyKind kind = TopologyKind::Flat;
+
+    /** Number of local rings (blocks). 1 = degenerate, same as Flat. */
+    std::size_t localRings = 1;
+
+    /** Latency of one global-ring hop (head to head). The default is
+     *  larger than RingParams::linkLatency: global links span a whole
+     *  local ring's worth of die/board distance. */
+    Cycle globalHopCycles = 62;
+
+    /**
+     * Algorithm applied at the bridge (global) level; empty = the node
+     * algorithm. The bridge projects the algorithm's action table onto
+     * ring granularity: Forward = skip the local ring over the global
+     * link, SnoopThenForward/ForwardThenSnoop = descend into it.
+     */
+    std::string globalAlgorithm;
+
+    /** True when a bridge/global-ring layer actually exists. */
+    bool
+    hierarchical() const
+    {
+        return kind == TopologyKind::Hier && localRings > 1;
+    }
+
+    /**
+     * Check this configuration against a machine of @p num_nodes nodes.
+     * @throws std::invalid_argument naming the violated constraint
+     */
+    void validate(std::size_t num_nodes) const;
+
+    /** One-line rendering for --list / config dumps. */
+    std::string describe() const;
+};
+
+/**
+ * Resolved geometry of one hierarchical machine. Pure arithmetic over
+ * the flat node numbering; shared by the ring network (per-level hop
+ * latencies/occupancy) and the coherence controller (bridge gateway
+ * decisions).
+ */
+class Topology
+{
+  public:
+    /** @throws std::invalid_argument via TopologyConfig::validate */
+    Topology(std::size_t num_nodes, const TopologyConfig &config);
+
+    const TopologyConfig &config() const { return _config; }
+    std::size_t numNodes() const { return _numNodes; }
+    bool hierarchical() const { return _hier; }
+    std::size_t numBlocks() const { return _numBlocks; }
+    std::size_t blockSize() const { return _blockSize; }
+
+    /** Local ring (block) containing node @p n. */
+    std::size_t blockOf(NodeId n) const { return n / _blockSize; }
+
+    /** Bridge gateway node of block @p block. */
+    NodeId
+    headOf(std::size_t block) const
+    {
+        return static_cast<NodeId>(block * _blockSize);
+    }
+
+    /** True when @p n is a bridge gateway (block head). */
+    bool isHead(NodeId n) const { return _hier && n % _blockSize == 0; }
+
+    bool
+    sameBlock(NodeId a, NodeId b) const
+    {
+        return blockOf(a) == blockOf(b);
+    }
+
+    /** Position of @p n within its block (0 = the head). */
+    std::size_t posInBlock(NodeId n) const { return n % _blockSize; }
+
+    /** Head of the block downstream of @p head's block. */
+    NodeId
+    nextHead(NodeId head) const
+    {
+        const std::size_t next =
+            static_cast<std::size_t>(head) + _blockSize;
+        return static_cast<NodeId>(next >= _numNodes ? 0 : next);
+    }
+
+    /**
+     * True when the flat link leaving @p from crosses a block boundary
+     * (its traversal wraps to the local head and takes one global hop).
+     */
+    bool
+    linkCrossesBlock(NodeId from) const
+    {
+        return _hier && posInBlock(from) == _blockSize - 1;
+    }
+
+    Cycle globalHopCycles() const { return _config.globalHopCycles; }
+
+  private:
+    TopologyConfig _config;
+    std::size_t _numNodes;
+    std::size_t _numBlocks;
+    std::size_t _blockSize;
+    bool _hier;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_TOPOLOGY_TOPOLOGY_HH

@@ -130,6 +130,8 @@ describe(const TraceRecord &r)
             oss << " squashed";
         if (r.b & 4)
             oss << " write";
+        if (r.b & 8)
+            oss << " global";
         break;
       case TraceEvent::HopDecision:
         oss << primitiveName(r.a)

@@ -47,7 +47,7 @@ enum class TraceEvent : std::uint16_t
     // --- Per-hop ring activity (gateway side) ---
     Hop,            ///< link traversal (node = from, arg1 = arrival cycle,
                     ///< a = MsgType, b = flag bits: 1 found, 2 squashed,
-                    ///< 4 write)
+                    ///< 4 write, 8 global-ring leg)
     HopDecision,    ///< primitive chosen at a gateway (a = Primitive,
                     ///< b = predictor answer 0/1, 2 = no predictor,
                     ///< arg1 = decision latency)

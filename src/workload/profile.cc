@@ -148,7 +148,11 @@ profileByName(const std::string &name)
         if (p.name == name)
             return p;
     }
-    throw std::invalid_argument("unknown workload profile: " + name);
+    std::string valid = "specjbb, specweb, mini";
+    for (const auto &p : splash2Profiles())
+        valid += ", " + p.name;
+    throw std::invalid_argument("unknown workload profile: " + name +
+                                " (valid profiles: " + valid + ")");
 }
 
 } // namespace flexsnoop

@@ -15,6 +15,9 @@
  *     --warmup N              warmup refs per core (profile default)
  *     --jobs N                parallel simulations (default: hardware
  *                             concurrency; 1 = serial)
+ *     --topology flat|hier    ring topology (docs/TOPOLOGY.md)
+ *     --local-rings N         local rings in the hierarchy (hier only)
+ *     --global-hop-cycles N   latency of one global-ring hop
  *     --trace-out PATH        save the generated traces (binary)
  *     --trace-in PATH         replay traces from a file instead
  *     --trace SPEC            record a .fstrace event trace per cell
@@ -94,6 +97,8 @@ usage()
         << "usage: flexsnoop_sim [options] [key=value ...]\n"
            "  --workloads w1,w2,... --algorithms a1,...|paper\n"
            "  --predictor NAME --refs N --warmup N --jobs N\n"
+           "  --topology flat|hier --local-rings N "
+           "--global-hop-cycles N\n"
            "  --trace-out PATH --trace-in PATH --csv PATH --json PATH\n"
            "  --trace FILE[,ring_kb=N][,mode=drop|spill][,snapshot=N]\n"
            "  --faults drop=R,dup=R,delay=R,predictor=R,seed=S\n"
@@ -162,6 +167,20 @@ printList()
     for (const AlgoDesc &a : algos)
         std::cout << "  " << std::left << std::setw(14) << a.name
                   << a.desc << '\n';
+
+    std::cout << "topologies (--topology; docs/TOPOLOGY.md):\n"
+              << "  " << std::left << std::setw(14) << "flat"
+              << "one embedded ring over all nodes (the paper's "
+                 "machine)\n"
+              << "  " << std::left << std::setw(14) << "hier"
+              << "local rings joined by a global ring via bridge "
+                 "gateways;\n"
+              << "  " << std::setw(14) << ""
+              << "size with --local-rings N (nodes must divide evenly) "
+                 "and\n"
+              << "  " << std::setw(14) << ""
+              << "--global-hop-cycles N; per-level algorithm via "
+                 "global_algorithm=\n";
 }
 
 /**
@@ -227,6 +246,18 @@ main(int argc, char **argv)
                 warmup = parseUnsignedArg(arg, next());
             } else if (arg == "--jobs") {
                 jobs = parseUnsignedArg(arg, next());
+            } else if (arg == "--topology") {
+                const std::string value = next();
+                topologyKindFromName(value); // validate, with diagnostics
+                overrides.push_back("topology=" + value);
+            } else if (arg == "--local-rings") {
+                overrides.push_back(
+                    "local_rings=" +
+                    std::to_string(parseUnsignedArg(arg, next())));
+            } else if (arg == "--global-hop-cycles") {
+                overrides.push_back(
+                    "global_hop_cycles=" +
+                    std::to_string(parseUnsignedArg(arg, next())));
             } else if (arg == "--trace-out") {
                 trace_out = next();
             } else if (arg == "--trace-in") {
