@@ -110,6 +110,18 @@ class CoherenceController : public RequestPort
     /** In-flight transactions (for drain checks). */
     std::size_t outstanding() const { return _transactions.size(); }
 
+    /** Lines currently write-gated across all nodes — with
+     *  outstanding(), the in-flight pressure the telemetry sampler
+     *  records (docs/TELEMETRY.md). */
+    std::size_t
+    gatedLines() const
+    {
+        std::size_t total = 0;
+        for (const auto &per_node : _gates)
+            total += per_node.size();
+        return total;
+    }
+
     /** Dump every in-flight transaction and pending gateway state. */
     void dumpOutstanding(std::ostream &os) const;
 

@@ -2,16 +2,19 @@
 
 #include <cassert>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 
 #include "core/parallel_executor.hh"
 #include "core/report.hh"
+#include "core/sweep_log.hh"
 #include "workload/synthetic_generator.hh"
 
 namespace flexsnoop
@@ -252,6 +255,12 @@ runCellsHardened(const std::vector<PlannedCell> &cells, std::size_t jobs,
         checkpoint.flush();
     }
 
+    std::unique_ptr<SweepLog> sweep_log;
+    if (!hardening.sweepLogPath.empty()) {
+        sweep_log = std::make_unique<SweepLog>(hardening.sweepLogPath,
+                                               cells.size());
+    }
+
     std::vector<RunResult> out(cells.size());
     std::vector<ParallelExecutor::Job> batch;
     batch.reserve(cells.size());
@@ -264,15 +273,45 @@ runCellsHardened(const std::vector<PlannedCell> &cells, std::size_t jobs,
                 cfg.guards.wallClockLimitSec =
                     hardening.cellWallClockLimitSec;
 
+            const std::string algorithm(toString(cfg.algorithm));
+            if (sweep_log) {
+                sweep_log->cellStart(i, cell.workload, algorithm,
+                                     cfg.predictor.id);
+            }
+            const auto wall_start = std::chrono::steady_clock::now();
+            const auto cellWallSec = [wall_start]() {
+                return std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                    .count();
+            };
+            const auto logFinish = [&](SweepLog::Status status) {
+                if (sweep_log) {
+                    sweep_log->cellFinish(i, cell.workload, algorithm,
+                                          cfg.predictor.id, status,
+                                          cellWallSec());
+                }
+            };
+
             const std::string key =
-                cellKey(cell.workload,
-                        std::string(toString(cfg.algorithm)),
-                        cfg.predictor.id);
-            if (auto it = resumed.find(key); it != resumed.end()) {
-                out[i] = it->second;
-            } else {
-                assert(cell.traces && "planned cell without traces");
-                out[i] = runSimulation(cfg, *cell.traces, cell.workload);
+                cellKey(cell.workload, algorithm, cfg.predictor.id);
+            try {
+                if (auto it = resumed.find(key); it != resumed.end()) {
+                    out[i] = it->second;
+                    logFinish(SweepLog::Status::Resumed);
+                } else {
+                    assert(cell.traces && "planned cell without traces");
+                    out[i] =
+                        runSimulation(cfg, *cell.traces, cell.workload);
+                    logFinish(SweepLog::Status::Ok);
+                }
+            } catch (const SimulationStuckError &e) {
+                logFinish(e.kind() == SimulationStuckError::Kind::Timeout
+                              ? SweepLog::Status::Timeout
+                              : SweepLog::Status::Failed);
+                throw;
+            } catch (...) {
+                logFinish(SweepLog::Status::Failed);
+                throw;
             }
 
             if (checkpoint.is_open()) {
@@ -285,6 +324,8 @@ runCellsHardened(const std::vector<PlannedCell> &cells, std::size_t jobs,
 
     ParallelExecutor pool(jobs);
     const auto errors = pool.runCollect(batch);
+    if (sweep_log)
+        sweep_log->finish();
 
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (!errors[i])

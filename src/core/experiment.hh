@@ -114,6 +114,13 @@ struct SweepHardening
 
     /** Directory for stuck-transaction dumps (empty = don't write). */
     std::string dumpDir;
+
+    /**
+     * Structured JSON-lines progress log (docs/TELEMETRY.md, empty =
+     * off): cell start/finish events with status, wall time, ETA and
+     * peak RSS, mirroring the checkpoint CSV's per-cell flushing.
+     */
+    std::string sweepLogPath;
 };
 
 /**

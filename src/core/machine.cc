@@ -108,6 +108,7 @@ Machine::Machine(const MachineConfig &config)
 
     if (config.faults.armed()) {
         _faults = std::make_unique<FaultInjector>(config.faults);
+        _faults->setClock(&_queue);
         _ring->setFaultInjector(_faults.get());
         _controller->setFaultInjector(_faults.get());
     }
@@ -120,6 +121,113 @@ Machine::Machine(const MachineConfig &config)
         _trace->setSnapshotFn(
             [this](Cycle cycle) { snapshotCounters(cycle); });
     }
+
+    if (config.metrics.enabled()) {
+        _metrics = std::make_unique<MetricsSampler>(
+            config.metrics, config.numCmps, config.numCores());
+        registerMetricSeries();
+        _queue.setSampleHook(
+            config.metrics.intervalCycles,
+            [](void *ctx, Cycle now) {
+                static_cast<MetricsSampler *>(ctx)->sample(now);
+            },
+            _metrics.get());
+    }
+}
+
+void
+Machine::registerMetricSeries()
+{
+    MetricsSampler &m = *_metrics;
+
+    // Controller headline counters: cached Counter& handles, one
+    // find-or-create here and a plain load per sample.
+    StatGroup &cs = _controller->stats();
+    static constexpr const char *kCtrlCounters[] = {
+        "read_ring_requests", "read_snoops", "read_link_messages",
+        "write_ring_requests", "write_snoops", "write_filtered",
+        "collisions", "retries", "watchdog_timeouts",
+        "stale_messages_absorbed", "predictor_flip_degrades",
+        "incomplete_conclusions_rejected", "retry_storm_aborts",
+        "read_cache_supplies", "memory_fetches"};
+    for (const char *name : kCtrlCounters)
+        m.addCounter(std::string("ctrl.") + name, cs.counter(name));
+
+    // In-flight pressure gauges.
+    m.addSeries("ctrl.outstanding", SeriesKind::Gauge,
+                [this](Cycle) { return _controller->outstanding(); });
+    m.addSeries("ctrl.gated_lines", SeriesKind::Gauge,
+                [this](Cycle) { return _controller->gatedLines(); });
+
+    // Scheduler self-observation.
+    m.addSeries("queue.executed", SeriesKind::Counter,
+                [this](Cycle) { return _queue.executed(); });
+    m.addSeries("queue.depth", SeriesKind::Gauge,
+                [this](Cycle) { return _queue.pending(); });
+    m.addSeries("queue.horizon", SeriesKind::Gauge,
+                [this](Cycle) { return _queue.horizonAhead(); });
+
+    // Per-ring traffic and instantaneous link occupancy.
+    for (std::size_t r = 0; r < _ring->numRings(); ++r) {
+        Ring &ring = _ring->ring(r);
+        const std::string prefix = "ring" + std::to_string(r);
+        m.addSeries(prefix + ".link_traversals", SeriesKind::Counter,
+                    [&ring](Cycle) { return ring.linkTraversals(); });
+        m.addSeries(prefix + ".busy_links", SeriesKind::Gauge,
+                    [&ring](Cycle now) { return ring.busyLinks(now); });
+    }
+    m.addSeries("net.global_link_traversals", SeriesKind::Counter,
+                [this](Cycle) { return globalLinkTraversals(); });
+
+    // Aggregated predictor accuracy (all nodes). hit_rate_ppm is the
+    // derived convenience gauge; the two raw counters are what the
+    // drift detector differentiates.
+    const auto predictions = [this] {
+        return predictorTruePositives() + predictorTrueNegatives() +
+               predictorFalsePositives() + predictorFalseNegatives();
+    };
+    const auto correct = [this] {
+        return predictorTruePositives() + predictorTrueNegatives();
+    };
+    m.addSeries("pred.predictions", SeriesKind::Counter,
+                [predictions](Cycle) { return predictions(); });
+    m.addSeries("pred.correct", SeriesKind::Counter,
+                [correct](Cycle) { return correct(); });
+    m.addSeries("pred.hit_rate_ppm", SeriesKind::Gauge,
+                [predictions, correct](Cycle) -> std::uint64_t {
+                    const std::uint64_t total = predictions();
+                    return total ? correct() * 1000000 / total : 0;
+                });
+
+    if (_topology) {
+        m.addSeries("bridge.skips", SeriesKind::Counter, [this](Cycle) {
+            return _controller->bridgeSkips();
+        });
+        m.addSeries("bridge.descends", SeriesKind::Counter,
+                    [this](Cycle) { return _controller->bridgeDescends(); });
+        m.addSeries("bridge.skip_ratio_ppm", SeriesKind::Gauge,
+                    [this](Cycle) -> std::uint64_t {
+                        const std::uint64_t skips =
+                            _controller->bridgeSkips();
+                        const std::uint64_t total =
+                            skips + _controller->bridgeDescends();
+                        return total ? skips * 1000000 / total : 0;
+                    });
+    }
+
+    if (_faults) {
+        StatGroup &fs = _faults->stats();
+        static constexpr const char *kFaultCounters[] = {
+            "link_decisions", "drops_injected", "dups_injected",
+            "delays_injected", "predictor_lookups", "predictor_flips"};
+        for (const char *name : kFaultCounters)
+            m.addCounter(std::string("faults.") + name, fs.counter(name));
+    }
+
+    m.addCounter("mem.writebacks", _memory->stats().counter("writebacks"));
+    m.addSeries("energy.total_nj", SeriesKind::Gauge, [this](Cycle) {
+        return static_cast<std::uint64_t>(_energy.totalNj());
+    });
 }
 
 void

@@ -47,6 +47,10 @@ class Machine
     TraceSink *traceSink() { return _trace.get(); }
     const TraceSink *traceSink() const { return _trace.get(); }
 
+    /** Metrics sampler, or nullptr when config().metrics is disabled. */
+    MetricsSampler *metricsSampler() { return _metrics.get(); }
+    const MetricsSampler *metricsSampler() const { return _metrics.get(); }
+
     /** Hierarchy geometry, or nullptr when the topology is flat (a
      *  degenerate hier config -- one local ring -- is also flat). */
     const Topology *topology() const { return _topology.get(); }
@@ -101,6 +105,10 @@ class Machine
      *  into the trace (piggybacked on record(), never on the queue). */
     void snapshotCounters(Cycle cycle);
 
+    /** Register the standard series set on _metrics (docs/TELEMETRY.md)
+     *  and arm the queue's sampling hook. */
+    void registerMetricSeries();
+
     MachineConfig _config;
     EventQueue _queue;
     EnergyModel _energy;
@@ -113,6 +121,7 @@ class Machine
     std::unique_ptr<CoherenceChecker> _checker;
     std::unique_ptr<FaultInjector> _faults; ///< null when disarmed
     std::unique_ptr<TraceSink> _trace;      ///< null when tracing is off
+    std::unique_ptr<MetricsSampler> _metrics; ///< null when sampling is off
 
     // Hierarchical topology (docs/TOPOLOGY.md); all empty when flat.
     std::unique_ptr<Topology> _topology;

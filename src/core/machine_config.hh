@@ -14,6 +14,7 @@
 #include "predictor/predictor_config.hh"
 #include "sim/fault_injector.hh"
 #include "snoop/snoop_policy.hh"
+#include "telemetry/metrics_sampler.hh"
 #include "topology/topology.hh"
 #include "trace/trace_sink.hh"
 #include "workload/core_model.hh"
@@ -81,6 +82,17 @@ struct MachineConfig
      * built without a sink and every trace point is one null check.
      */
     TraceConfig trace;
+
+    /**
+     * Time-series telemetry (docs/TELEMETRY.md): when enabled(), the
+     * machine owns a MetricsSampler writing metrics.path and arms the
+     * event queue's sampling hook at metrics.intervalCycles. Disabled
+     * by default; the machine is then built without a sampler and the
+     * hook costs one never-taken compare per event. Sampling is pure
+     * observation: enabling it changes no RunResult field and no
+     * .fstrace byte.
+     */
+    MetricsConfig metrics;
 
     /**
      * Machine-level liveness guards used by runSimulation (docs/

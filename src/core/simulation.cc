@@ -37,6 +37,10 @@ describeStuckState(Machine &machine, WorkloadRunner &runner)
         }
     }
     machine.controller().dumpOutstanding(os);
+    // The telemetry lead-up: how the machine got here, not just the
+    // frozen state (satellite of docs/TELEMETRY.md).
+    if (const MetricsSampler *metrics = machine.metricsSampler())
+        metrics->dumpRecent(os, 8);
     return os.str();
 }
 
@@ -112,6 +116,8 @@ runSimulation(const MachineConfig &config, const CoreTraces &traces,
         if (TraceSink *trace = machine.traceSink())
             trace->record(TraceEvent::MeasureStart, machine.queue().now(),
                           0, 0);
+        if (MetricsSampler *metrics = machine.metricsSampler())
+            metrics->markMeasureStart(machine.queue().now());
     });
 
     // Liveness guards (docs/FAULTS.md): armed whenever faults are on or
@@ -144,7 +150,8 @@ runSimulation(const MachineConfig &config, const CoreTraces &traces,
                     oss << "simulation exceeded wall-clock limit ("
                         << wall_limit << " s)";
                     throw SimulationStuckError(
-                        oss.str(), describeStuckState(machine, runner));
+                        oss.str(), describeStuckState(machine, runner),
+                        SimulationStuckError::Kind::Timeout);
                 }
             }
             const std::uint64_t now_progress = progressMetric(runner);

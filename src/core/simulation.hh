@@ -111,15 +111,25 @@ struct RunResult
 class SimulationStuckError : public std::runtime_error
 {
   public:
-    SimulationStuckError(const std::string &what, std::string dump)
-        : std::runtime_error(what), _dump(std::move(dump))
+    /** Which guard fired (the sweep log reports them differently). */
+    enum class Kind
+    {
+        Stuck,   ///< deadlock or livelock
+        Timeout, ///< wall-clock budget exceeded
+    };
+
+    SimulationStuckError(const std::string &what, std::string dump,
+                         Kind kind = Kind::Stuck)
+        : std::runtime_error(what), _dump(std::move(dump)), _kind(kind)
     {
     }
 
     const std::string &stuckDump() const { return _dump; }
+    Kind kind() const { return _kind; }
 
   private:
     std::string _dump;
+    Kind _kind;
 };
 
 /**

@@ -1,0 +1,170 @@
+#include "core/sweep_log.hh"
+
+#include <iomanip>
+#include <stdexcept>
+
+#include <sys/resource.h>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+/** Process peak RSS in KB (ru_maxrss unit on Linux); 0 if unknown. */
+long
+peakRssKb()
+{
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return usage.ru_maxrss;
+}
+
+/** Seconds since the epoch, fractional. */
+double
+wallClockTs()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char *
+statusName(SweepLog::Status status)
+{
+    switch (status) {
+    case SweepLog::Status::Ok:
+        return "ok";
+    case SweepLog::Status::Resumed:
+        return "resumed";
+    case SweepLog::Status::Failed:
+        return "failed";
+    case SweepLog::Status::Timeout:
+        return "timeout";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+SweepLog::SweepLog(const std::string &path, std::size_t total)
+    : _total(total), _start(std::chrono::steady_clock::now())
+{
+    _file.open(path, std::ios::trunc);
+    if (!_file)
+        throw std::runtime_error("cannot create sweep log: " + path);
+    // Epoch timestamps need fixed notation: the default 6-significant-
+    // digit float formatting would round them to e-notation.
+    _file << std::fixed << std::setprecision(3);
+    _file << "{\"event\":\"sweep_start\",\"ts\":" << wallClockTs()
+          << ",\"total\":" << _total << "}\n";
+    _file.flush();
+}
+
+SweepLog::~SweepLog()
+{
+    finish();
+}
+
+double
+SweepLog::elapsedSec() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         _start)
+        .count();
+}
+
+void
+SweepLog::cellStart(std::size_t cell, const std::string &workload,
+                    const std::string &algorithm,
+                    const std::string &predictor)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _file << "{\"event\":\"cell_start\",\"ts\":" << wallClockTs()
+          << ",\"cell\":" << cell << ",\"workload\":\""
+          << jsonEscape(workload) << "\",\"algorithm\":\""
+          << jsonEscape(algorithm) << "\",\"predictor\":\""
+          << jsonEscape(predictor) << "\"}\n";
+    _file.flush();
+}
+
+void
+SweepLog::cellFinish(std::size_t cell, const std::string &workload,
+                     const std::string &algorithm,
+                     const std::string &predictor, Status status,
+                     double wall_sec)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_completed;
+    if (status == Status::Failed || status == Status::Timeout)
+        ++_failed;
+    // ETA: mean wall time of completed cells extrapolated over the
+    // rest. With parallel workers this tracks throughput, not a single
+    // cell's latency, because elapsed time is shared across workers.
+    const std::size_t remaining =
+        _total > _completed ? _total - _completed : 0;
+    const double eta = static_cast<double>(remaining) * elapsedSec() /
+                       static_cast<double>(_completed);
+    _file << "{\"event\":\"cell_finish\",\"ts\":" << wallClockTs()
+          << ",\"cell\":" << cell << ",\"workload\":\""
+          << jsonEscape(workload) << "\",\"algorithm\":\""
+          << jsonEscape(algorithm) << "\",\"predictor\":\""
+          << jsonEscape(predictor) << "\",\"status\":\""
+          << statusName(status) << "\",\"wall_sec\":" << wall_sec
+          << ",\"completed\":" << _completed << ",\"total\":" << _total
+          << ",\"eta_sec\":" << eta << ",\"peak_rss_kb\":" << peakRssKb()
+          << "}\n";
+    _file.flush();
+}
+
+void
+SweepLog::finish()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_finished || !_file.is_open())
+        return;
+    _finished = true;
+    _file << "{\"event\":\"sweep_finish\",\"ts\":" << wallClockTs()
+          << ",\"completed\":" << _completed << ",\"failed\":" << _failed
+          << ",\"wall_sec\":" << elapsedSec()
+          << ",\"peak_rss_kb\":" << peakRssKb() << "}\n";
+    _file.flush();
+    _file.close();
+}
+
+} // namespace flexsnoop

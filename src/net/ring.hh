@@ -137,6 +137,17 @@ class Ring
     /** Cycle at which the link leaving node @p n is next idle. */
     Cycle linkFreeAt(NodeId n) const { return _linkFree[n]; }
 
+    /** Links still occupied at @p now — the instantaneous ring
+     *  occupancy the telemetry sampler records (docs/TELEMETRY.md). */
+    std::size_t
+    busyLinks(Cycle now) const
+    {
+        std::size_t busy = 0;
+        for (const Cycle free_at : _linkFree)
+            busy += free_at > now ? 1 : 0;
+        return busy;
+    }
+
     /**
      * Account one link traversal that the express path performed
      * without a scheduled per-hop event: bumps the traversal counter

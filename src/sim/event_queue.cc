@@ -80,6 +80,8 @@ void
 EventQueue::reschedule(std::uint64_t seq, Cycle when, EventFn fn)
 {
     assert(when >= _now && "cannot schedule into the past");
+    if (when > _maxScheduledAt)
+        _maxScheduledAt = when;
     if (_impl == Impl::Wheel) {
         const bool found =
             _wheel.reschedule(seq, _now, when, std::move(fn));
@@ -102,6 +104,17 @@ EventQueue::reschedule(std::uint64_t seq, Cycle when, EventFn fn)
         return;
     }
     assert(false && "reschedule: no pending entry with that seq");
+}
+
+void
+EventQueue::fireSampleHook()
+{
+    // Advance first: if the hook ever threw, the boundary would still
+    // be consumed rather than re-fired forever.
+    do {
+        _nextSampleAt += _sampleInterval;
+    } while (_nextSampleAt <= _now);
+    _sampleHook(_sampleCtx, _now);
 }
 
 std::uint64_t

@@ -92,6 +92,19 @@ class EventQueue
     std::uint64_t executed() const { return _executed; }
 
     /**
+     * How far past now the furthest-ever-scheduled event lies (zero
+     * once time has caught up). Watchdog timeouts and retry backoffs
+     * land far in the future, so a sustained blowout of this gauge is
+     * the scheduler-side signature of a retry storm (the telemetry
+     * subsystem's queue_horizon detector, docs/TELEMETRY.md).
+     */
+    Cycle
+    horizonAhead() const
+    {
+        return _maxScheduledAt > _now ? _maxScheduledAt - _now : 0;
+    }
+
+    /**
      * Size the wheel's near level to cover @p near_buckets cycles of
      * horizon (rounded up to a power of two). Machines derive this
      * from their latency configuration so the common-case event lands
@@ -130,6 +143,8 @@ class EventQueue
         // scheduler is consistent throughout.
         if (_observer)
             _observer(_observerCtx, when);
+        if (when > _maxScheduledAt)
+            _maxScheduledAt = when;
         const std::uint64_t seq = _nextSeq++;
         if (_impl == Impl::Heap) {
             _heap.push_back(Entry{when, seq, std::move(fn)});
@@ -152,6 +167,8 @@ class EventQueue
     scheduleAtTagged(Cycle when, EventFn fn)
     {
         assert(when >= _now && "cannot schedule into the past");
+        if (when > _maxScheduledAt)
+            _maxScheduledAt = when;
         const std::uint64_t seq = _nextSeq++;
         if (_impl == Impl::Heap) {
             _heap.push_back(Entry{when, seq, std::move(fn)});
@@ -214,6 +231,27 @@ class EventQueue
      */
     std::uint64_t run(Cycle limit = kNoEvent);
 
+    /**
+     * Hook invoked (with @p ctx) the first time simulated time reaches
+     * each multiple of the sampling interval, after the clock advances
+     * and before the crossing event fires. The hook observes — it must
+     * not schedule events or touch machine state — so telemetry never
+     * perturbs the schedule: no sampler events sit in the queue to
+     * stretch the drain tail that run() measures, and nothing extra
+     * passes through the schedule observer. Disabled (the default)
+     * it costs one never-taken compare per event.
+     */
+    using SampleHook = void (*)(void *ctx, Cycle now);
+    void
+    setSampleHook(Cycle interval, SampleHook hook, void *ctx)
+    {
+        assert(interval > 0);
+        _sampleHook = hook;
+        _sampleCtx = ctx;
+        _sampleInterval = interval;
+        _nextSampleAt = hook ? interval : kNoEvent;
+    }
+
     /** Fire a single event; @return false if the queue is empty. */
     bool
     step()
@@ -224,6 +262,8 @@ class EventQueue
             Entry entry = popTop();
             assert(entry.when >= _now);
             _now = entry.when;
+            if (_now >= _nextSampleAt) [[unlikely]]
+                fireSampleHook();
             ++_executed;
             entry.fn();
             return true;
@@ -233,6 +273,8 @@ class EventQueue
         WheelEntry entry = _wheel.pop();
         assert(entry.when >= _now);
         _now = entry.when;
+        if (_now >= _nextSampleAt) [[unlikely]]
+            fireSampleHook();
         ++_executed;
         entry.fn();
         return true;
@@ -286,6 +328,13 @@ class EventQueue
         }
     };
 
+    /** Out-of-line slow path of the sampling hook: fire it once for
+     *  the crossed boundary, then advance past any skipped intervals
+     *  (time jumps in idle stretches; one sample per crossing, not per
+     *  skipped boundary, mirroring how a hardware sampling counter
+     *  reads on the next cycle it is clocked). */
+    void fireSampleHook();
+
     /** Move the last element up into its heap position. */
     void siftUp(std::size_t i);
     /** Re-establish the heap property downward from the root. */
@@ -301,6 +350,11 @@ class EventQueue
     std::uint64_t _executed = 0;
     ScheduleObserver _observer = nullptr;
     void *_observerCtx = nullptr;
+    Cycle _maxScheduledAt = 0; ///< furthest cycle ever scheduled
+    Cycle _nextSampleAt = kNoEvent; ///< kNoEvent = sampling disarmed
+    Cycle _sampleInterval = 0;
+    SampleHook _sampleHook = nullptr;
+    void *_sampleCtx = nullptr;
 };
 
 } // namespace flexsnoop

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/event_queue.hh"
+
 namespace flexsnoop
 {
 
@@ -85,11 +87,13 @@ FaultConfig::fromSpec(const std::string &spec)
             config.seed = parseCount(key, value);
         } else if (key == "delay_cycles") {
             config.delayCycles = parseCount(key, value);
+        } else if (key == "start") {
+            config.startCycle = parseCount(key, value);
         } else {
             throw std::invalid_argument(
                 "fault spec: unknown key '" + key +
                 "' (expected drop, dup, delay, predictor, global_drop, "
-                "global_dup, global_delay, seed, delay_cycles)");
+                "global_dup, global_delay, seed, delay_cycles, start)");
         }
     }
     if (!any)
@@ -117,6 +121,8 @@ FaultConfig::describe() const
     if (globalDelayRate >= 0.0)
         oss << ",global_delay=" << globalDelayRate;
     oss << ",seed=" << seed << ",delay_cycles=" << delayCycles;
+    if (startCycle > 0)
+        oss << ",start=" << startCycle;
     return oss.str();
 }
 
@@ -132,9 +138,18 @@ FaultInjector::FaultInjector(const FaultConfig &config)
 {
 }
 
+bool
+FaultInjector::dormant() const
+{
+    return _config.startCycle > 0 && _clock &&
+           _clock->now() < _config.startCycle;
+}
+
 FaultInjector::LinkAction
 FaultInjector::onLinkSend(bool global_link)
 {
+    if (dormant())
+        return LinkAction::None;
     _linkDecisions.inc();
     const double drop =
         global_link ? _config.effectiveGlobalDrop() : _config.dropRate;
@@ -161,6 +176,8 @@ FaultInjector::onLinkSend(bool global_link)
 bool
 FaultInjector::flipPrediction()
 {
+    if (dormant())
+        return false;
     _predLookups.inc();
     if (!_predRng.chance(_config.predictorRate))
         return false;

@@ -30,6 +30,8 @@
 namespace flexsnoop
 {
 
+class EventQueue;
+
 /**
  * Fault-injection configuration. All rates are per-decision
  * probabilities in [0, 1): link rates apply per link traversal,
@@ -43,6 +45,11 @@ struct FaultConfig
     double predictorRate = 0.0; ///< predictor answer is inverted
     Cycle delayCycles = 500;    ///< extra latency of a delayed message
     std::uint64_t seed = 1;     ///< seed of the fault streams
+    /** First cycle at which faults may be injected. Before it the
+     *  injector is dormant: no RNG draws, no counter increments, so
+     *  telemetry health detectors have an exact ground-truth onset to
+     *  be validated against. */
+    Cycle startCycle = 0;
 
     // Per-level overrides for global-ring links (hier topology). The
     // longer inter-ring wires typically have their own error rate; a
@@ -87,7 +94,8 @@ struct FaultConfig
      * "drop=1e-3,dup=1e-4,delay=1e-3,predictor=1e-4,seed=7".
      * Accepted keys: drop, dup, delay, predictor (rates in [0, 1)),
      * global_drop, global_dup, global_delay (global-ring overrides,
-     * inherit the flat rate when unset), seed, delay_cycles (unsigned).
+     * inherit the flat rate when unset), seed, delay_cycles, start
+     * (first cycle faults may fire; unsigned).
      * @throws std::invalid_argument naming the offending key/value
      */
     static FaultConfig fromSpec(const std::string &spec);
@@ -121,6 +129,13 @@ class FaultInjector
     Cycle delayCycles() const { return _config.delayCycles; }
 
     /**
+     * Give the injector a clock for the startCycle gate. Without one
+     * (or with startCycle == 0) faults are live from cycle 0, so
+     * existing configurations draw identical fault streams.
+     */
+    void setClock(const EventQueue *queue) { _clock = queue; }
+
+    /**
      * Decide the fate of one message about to traverse a ring link.
      * Exactly one uniform draw per call; drop wins over duplicate over
      * delay when rates overlap. @p global_link selects the per-level
@@ -144,7 +159,11 @@ class FaultInjector
     std::uint64_t predictorFlips() const { return _flips.value(); }
 
   private:
+    /** True while the startCycle gate holds faults back. */
+    bool dormant() const;
+
     FaultConfig _config;
+    const EventQueue *_clock = nullptr;
     Rng _linkRng;
     Rng _predRng;
 

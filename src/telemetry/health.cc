@@ -1,0 +1,305 @@
+#include "telemetry/health.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "telemetry/metrics_sampler.hh"
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+/** First sample index at or past the measure-start barrier (counters
+ *  reset there, so deltas across it would go negative). */
+std::size_t
+firstMeasuredIndex(const MetricsFile &file)
+{
+    if (file.header.measureStartCycle == kMetricsNoMeasureStart)
+        return 0;
+    std::size_t i = 0;
+    while (i < file.cycles.size() &&
+           file.cycles[i] < file.header.measureStartCycle)
+        ++i;
+    return i;
+}
+
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                     v.end());
+    return v[mid];
+}
+
+std::string
+formatLevel(double level)
+{
+    std::ostringstream oss;
+    oss.precision(4);
+    oss << level;
+    return oss.str();
+}
+
+/**
+ * One point of a detector's derived per-sample signal: the level and
+ * the cycle the detectors report as its onset (for interval-delta
+ * signals, the start of the interval; for gauges, the sample instant).
+ */
+struct Point
+{
+    std::uint64_t onsetCycle;
+    double level;
+};
+
+/**
+ * Core sustained-threshold scan shared by every detector: find the
+ * first run of @p sustain consecutive points at or above
+ * @p threshold and fill in the finding's fired/onset/peak fields.
+ */
+void
+scanSustained(HealthFinding &finding, const std::vector<Point> &points,
+              double threshold, std::size_t sustain)
+{
+    std::size_t run = 0;
+    std::size_t runStart = 0;
+    bool found = false;
+    if (!points.empty())
+        finding.peak = points[0].level; // levels may all be negative
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        finding.peak = std::max(finding.peak, points[i].level);
+        if (found)
+            continue;
+        if (points[i].level >= threshold) {
+            if (run == 0)
+                runStart = i;
+            if (++run >= sustain) {
+                found = true;
+                finding.fired = true;
+                finding.onsetCycle = points[runStart].onsetCycle;
+            }
+        } else {
+            run = 0;
+        }
+    }
+}
+
+HealthFinding
+detectRetryStorm(const MetricsFile &file, const HealthThresholds &t,
+                 std::size_t begin)
+{
+    HealthFinding finding;
+    finding.detector = "retry_storm";
+    finding.series = "ctrl.retries";
+
+    const std::vector<std::uint64_t> *retries =
+        file.column(finding.series);
+    std::vector<Point> rates;
+    for (std::size_t i = begin + 1; retries && i < retries->size(); ++i) {
+        const double dc = static_cast<double>(file.cycles[i]) -
+                          static_cast<double>(file.cycles[i - 1]);
+        if (dc <= 0)
+            continue;
+        const double dr =
+            static_cast<double>(static_cast<std::int64_t>(
+                (*retries)[i] - (*retries)[i - 1]));
+        rates.push_back(Point{file.cycles[i - 1], dr / dc * 1000.0});
+    }
+    if (rates.size() <= t.baselineSamples) {
+        finding.detail = "too few samples to evaluate";
+        return finding;
+    }
+
+    std::vector<double> head;
+    for (std::size_t i = 0; i < t.baselineSamples; ++i)
+        head.push_back(rates[i].level);
+    finding.baseline = median(head);
+    const double threshold =
+        std::max(t.retryRateFloor, t.retryBaselineMult * finding.baseline);
+    scanSustained(finding, rates, threshold, t.sustainSamples);
+    finding.detail =
+        finding.fired
+            ? "retry rate reached " + formatLevel(finding.peak) +
+                  "/kcycle (threshold " + formatLevel(threshold) +
+                  ", baseline " + formatLevel(finding.baseline) +
+                  "/kcycle) from cycle " + std::to_string(finding.onsetCycle)
+            : "retry rate peaked at " + formatLevel(finding.peak) +
+                  "/kcycle without sustaining " +
+                  std::to_string(t.sustainSamples) +
+                  " samples above threshold " + formatLevel(threshold);
+    return finding;
+}
+
+HealthFinding
+detectPredictorDrift(const MetricsFile &file, const HealthThresholds &t,
+                     std::size_t begin)
+{
+    HealthFinding finding;
+    finding.detector = "predictor_drift";
+    finding.series = "pred.correct/pred.predictions";
+
+    const std::vector<std::uint64_t> *correct = file.column("pred.correct");
+    const std::vector<std::uint64_t> *total =
+        file.column("pred.predictions");
+    // Accuracy per interval; intervals with too few predictions carry
+    // no signal and are skipped rather than averaged in as noise.
+    std::vector<Point> accuracy;
+    for (std::size_t i = begin + 1; correct && total && i < total->size();
+         ++i) {
+        const std::uint64_t dt = (*total)[i] - (*total)[i - 1];
+        if (dt < t.minPredictions)
+            continue;
+        const std::uint64_t dcForward = (*correct)[i] - (*correct)[i - 1];
+        accuracy.push_back(
+            Point{file.cycles[i - 1],
+                  static_cast<double>(dcForward) / static_cast<double>(dt)});
+    }
+    if (accuracy.size() <= t.baselineSamples) {
+        finding.detail = "too few predictions to evaluate";
+        return finding;
+    }
+
+    std::vector<double> head;
+    for (std::size_t i = 0; i < t.baselineSamples; ++i)
+        head.push_back(accuracy[i].level);
+    finding.baseline = median(head);
+    // Scan for sustained *drops*: negate so scanSustained's >= check
+    // becomes "accuracy <= baseline - driftDrop".
+    std::vector<Point> drop;
+    drop.reserve(accuracy.size());
+    for (const Point &p : accuracy)
+        drop.push_back(Point{p.onsetCycle, -p.level});
+    scanSustained(finding, drop, -(finding.baseline - t.driftDrop),
+                  t.sustainSamples);
+    finding.peak = -finding.peak; // back to a (worst) accuracy
+    finding.detail =
+        finding.fired
+            ? "accuracy fell to " + formatLevel(finding.peak) +
+                  " (baseline " + formatLevel(finding.baseline) +
+                  ", trip at -" + formatLevel(t.driftDrop) +
+                  ") from cycle " + std::to_string(finding.onsetCycle)
+            : "accuracy never sustained " +
+                  std::to_string(t.sustainSamples) + " samples below " +
+                  "baseline " + formatLevel(finding.baseline) + " - " +
+                  formatLevel(t.driftDrop) + " (worst " +
+                  formatLevel(finding.peak) + ")";
+    return finding;
+}
+
+void
+detectRingSaturation(const MetricsFile &file, const HealthThresholds &t,
+                     std::size_t begin,
+                     std::vector<HealthFinding> &findings)
+{
+    for (std::size_t s = 0; s < file.names.size(); ++s) {
+        const std::string &name = file.names[s];
+        if (!metricSelectorMatches("*.busy_links", name))
+            continue;
+        HealthFinding finding;
+        finding.detector = "ring_saturation";
+        finding.series = name;
+        if (file.header.numNodes == 0) {
+            finding.detail = "file header has no node count";
+            findings.push_back(std::move(finding));
+            continue;
+        }
+        std::vector<Point> ratios;
+        const std::vector<std::uint64_t> &col = file.columns[s];
+        for (std::size_t i = begin; i < col.size(); ++i) {
+            ratios.push_back(
+                Point{file.cycles[i],
+                      static_cast<double>(col[i]) /
+                          static_cast<double>(file.header.numNodes)});
+        }
+        finding.baseline = t.saturationRatio;
+        scanSustained(finding, ratios, t.saturationRatio,
+                      t.sustainSamples);
+        finding.detail =
+            finding.fired
+                ? "link occupancy reached " + formatLevel(finding.peak) +
+                      " (threshold " + formatLevel(t.saturationRatio) +
+                      ") from cycle " + std::to_string(finding.onsetCycle)
+                : "link occupancy peaked at " + formatLevel(finding.peak) +
+                      " without sustaining " +
+                      std::to_string(t.sustainSamples) +
+                      " samples above " + formatLevel(t.saturationRatio);
+        findings.push_back(std::move(finding));
+    }
+}
+
+HealthFinding
+detectQueueHorizon(const MetricsFile &file, const HealthThresholds &t,
+                   std::size_t begin)
+{
+    HealthFinding finding;
+    finding.detector = "queue_horizon";
+    finding.series = "queue.horizon";
+
+    const std::vector<std::uint64_t> *horizon = file.column(finding.series);
+    std::vector<Point> points;
+    for (std::size_t i = begin; horizon && i < horizon->size(); ++i) {
+        points.push_back(
+            Point{file.cycles[i], static_cast<double>((*horizon)[i])});
+    }
+    if (points.size() <= t.baselineSamples) {
+        finding.detail = "too few samples to evaluate";
+        return finding;
+    }
+
+    std::vector<double> head;
+    for (std::size_t i = 0; i < t.baselineSamples; ++i)
+        head.push_back(points[i].level);
+    finding.baseline = median(head);
+    const double threshold =
+        std::max(static_cast<double>(t.horizonFloor),
+                 t.horizonMult * finding.baseline);
+    scanSustained(finding, points, threshold, t.sustainSamples);
+    finding.detail =
+        finding.fired
+            ? "pending-event horizon reached " + formatLevel(finding.peak) +
+                  " cycles (threshold " + formatLevel(threshold) +
+                  ", baseline " + formatLevel(finding.baseline) +
+                  ") from cycle " + std::to_string(finding.onsetCycle)
+            : "horizon peaked at " + formatLevel(finding.peak) +
+                  " cycles without sustaining " +
+                  std::to_string(t.sustainSamples) +
+                  " samples above threshold " + formatLevel(threshold);
+    return finding;
+}
+
+/** A detector whose input series were filtered out of the capture has
+ *  nothing to say: keep it out of the panel entirely. */
+bool
+evaluable(const MetricsFile &file,
+          std::initializer_list<const char *> series)
+{
+    for (const char *name : series) {
+        if (file.indexOf(name) < 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<HealthFinding>
+runHealthDetectors(const MetricsFile &file, const HealthThresholds &t)
+{
+    const std::size_t begin = firstMeasuredIndex(file);
+    std::vector<HealthFinding> findings;
+    if (evaluable(file, {"ctrl.retries"}))
+        findings.push_back(detectRetryStorm(file, t, begin));
+    if (evaluable(file, {"pred.correct", "pred.predictions"}))
+        findings.push_back(detectPredictorDrift(file, t, begin));
+    detectRingSaturation(file, t, begin, findings);
+    if (evaluable(file, {"queue.horizon"}))
+        findings.push_back(detectQueueHorizon(file, t, begin));
+    return findings;
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Built-in health detectors over decoded metric time series
+ * (docs/TELEMETRY.md): each scans a `.fsmetrics` capture for one
+ * pathological temporal pattern and reports the onset cycle — the
+ * phenomena (watchdog retry storms, predictor-accuracy collapse under
+ * soft errors, ring saturation, scheduler-horizon blowout) begin
+ * partway through a run and are invisible in end-of-run aggregates.
+ */
+
+#ifndef FLEXSNOOP_TELEMETRY_HEALTH_HH
+#define FLEXSNOOP_TELEMETRY_HEALTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics_reader.hh"
+
+namespace flexsnoop
+{
+
+/** Tunable trip points of the detectors. Defaults are deliberately
+ *  conservative: a healthy paper-default run trips none of them. */
+struct HealthThresholds
+{
+    /** Samples a condition must hold consecutively before it fires. */
+    std::size_t sustainSamples = 3;
+    /** Intervals used to establish each detector's baseline. */
+    std::size_t baselineSamples = 5;
+
+    // retry_storm: windowed retry rate (retries per 1000 cycles).
+    double retryRateFloor = 0.5;    ///< absolute rate always tolerated
+    double retryBaselineMult = 8.0; ///< trip at mult x baseline rate
+
+    // predictor_drift: windowed accuracy from counter deltas.
+    double driftDrop = 0.05;        ///< accuracy drop that trips (5 ppt)
+    std::uint64_t minPredictions = 16; ///< deltas below this are skipped
+
+    // ring_saturation: busy output links / nodes.
+    double saturationRatio = 0.75;
+
+    // queue_horizon: pending-event horizon in cycles.
+    double horizonMult = 16.0;        ///< trip at mult x baseline horizon
+    std::uint64_t horizonFloor = 100000; ///< absolute horizon tolerated
+};
+
+/** Result of one detector (one per detector/series pair, fired or
+ *  not, so reports and CI checks see the full panel). */
+struct HealthFinding
+{
+    std::string detector; ///< retry_storm | predictor_drift |
+                          ///< ring_saturation | queue_horizon
+    std::string series;   ///< series the detector scanned
+    bool fired = false;
+    std::uint64_t onsetCycle = 0; ///< first cycle of the sustained run
+    double baseline = 0.0;        ///< per-detector baseline level
+    double peak = 0.0;            ///< worst level seen
+    std::string detail;           ///< human-readable one-liner
+};
+
+/**
+ * Run every applicable detector over @p file. Detectors whose input
+ * series were filtered out of the capture are skipped silently; the
+ * returned panel has one entry per (detector, series) that could be
+ * evaluated. Samples before the measure-start marker (warmup) are
+ * excluded.
+ */
+std::vector<HealthFinding>
+runHealthDetectors(const MetricsFile &file,
+                   const HealthThresholds &thresholds = {});
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_TELEMETRY_HEALTH_HH

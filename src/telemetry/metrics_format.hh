@@ -1,0 +1,140 @@
+/**
+ * @file
+ * On-disk format of the time-series telemetry subsystem
+ * (docs/TELEMETRY.md).
+ *
+ * A `.fsmetrics` file is a fixed 64-byte header, a series directory,
+ * and one delta-encoded column per series (cycles first). Columns are
+ * written once, at finish: the capture side appends raw 64-bit values
+ * to in-memory columns, so a sample never touches the file system.
+ *
+ * Values are stored as zigzag-varint deltas. Zigzag everywhere — not
+ * just for gauges — because counter columns are *not* monotonic across
+ * the warmup barrier: resetStats() drops every counter to zero
+ * mid-capture, and the encoding must absorb that step without a
+ * special case.
+ */
+
+#ifndef FLEXSNOOP_TELEMETRY_METRICS_FORMAT_HH
+#define FLEXSNOOP_TELEMETRY_METRICS_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace flexsnoop
+{
+
+constexpr char kMetricsMagic[8] = {'F', 'S', 'M', 'E', 'T', 'R', 'C',
+                                   '1'};
+constexpr std::uint32_t kMetricsVersion = 1;
+
+/** `measureStartCycle` of a capture whose run never left warmup. */
+constexpr std::uint64_t kMetricsNoMeasureStart = ~std::uint64_t{0};
+
+/** How a series should be interpreted by analyzers. */
+enum class SeriesKind : std::uint8_t
+{
+    Counter = 0, ///< cumulative count; rates come from deltas
+    Gauge = 1,   ///< instantaneous level at the sample cycle
+};
+
+constexpr std::string_view
+toString(SeriesKind k)
+{
+    return k == SeriesKind::Counter ? "counter" : "gauge";
+}
+
+/**
+ * Fixed 64-byte file header. `sampleCount` and `payloadBytes` are
+ * patched in when the sampler finishes; a crashed run leaves the
+ * placeholder (all-zero) header, which the reader rejects — unlike an
+ * event trace, a half-written columnar file has no decodable prefix.
+ */
+struct MetricsFileHeader
+{
+    char magic[8] = {};                ///< kMetricsMagic
+    std::uint32_t version = 0;         ///< kMetricsVersion
+    std::uint32_t seriesCount = 0;     ///< columns after the cycle column
+    std::uint64_t sampleCount = 0;     ///< rows in every column
+    std::uint64_t intervalCycles = 0;  ///< configured sampling cadence
+    std::uint64_t measureStartCycle =
+        kMetricsNoMeasureStart;        ///< warmup barrier cycle
+    std::uint32_t numNodes = 0;        ///< ring nodes of the machine
+    std::uint32_t numCores = 0;        ///< cores of the machine
+    std::uint64_t payloadBytes = 0;    ///< directory + columns length
+    std::uint64_t reserved = 0;        ///< pads the header to 64 bytes
+};
+
+static_assert(sizeof(MetricsFileHeader) == 64,
+              "header size is part of the file format");
+
+// Zigzag-varint codec ------------------------------------------------
+//
+// The standard LEB128 variable-length encoding of zigzag-mapped
+// signed deltas: small steps in either direction cost one or two
+// bytes, and a counter reset (a large negative delta) is just a long
+// varint, not a format error.
+
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+zigzagDecode(std::uint64_t z)
+{
+    return static_cast<std::int64_t>(z >> 1) ^
+           -static_cast<std::int64_t>(z & 1);
+}
+
+inline void
+appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/**
+ * Decode one varint from @p data at @p pos, advancing @p pos.
+ * @return false on a truncated or over-long (> 10 byte) encoding.
+ */
+inline bool
+readVarint(const std::uint8_t *data, std::size_t size, std::size_t &pos,
+           std::uint64_t &out)
+{
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (pos >= size)
+            return false;
+        const std::uint8_t byte = data[pos++];
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80)) {
+            out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Append @p values as zigzag-varint deltas (first delta from zero). */
+inline void
+appendDeltaColumn(std::vector<std::uint8_t> &out,
+                  const std::vector<std::uint64_t> &values)
+{
+    std::uint64_t prev = 0;
+    for (std::uint64_t v : values) {
+        appendVarint(out, zigzagEncode(static_cast<std::int64_t>(v - prev)));
+        prev = v;
+    }
+}
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_TELEMETRY_METRICS_FORMAT_HH

@@ -1,0 +1,124 @@
+#include "telemetry/metrics_reader.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &what)
+{
+    throw std::runtime_error("metrics file " + path + ": " + what);
+}
+
+std::vector<std::uint64_t>
+decodeColumn(const std::string &path, const std::uint8_t *data,
+             std::size_t size, std::size_t &pos, std::uint64_t count,
+             const std::string &label)
+{
+    std::vector<std::uint64_t> values;
+    values.reserve(count);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t z = 0;
+        if (!readVarint(data, size, pos, z))
+            fail(path, "truncated or corrupt column '" + label + "'");
+        prev = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(prev) + zigzagDecode(z));
+        values.push_back(prev);
+    }
+    return values;
+}
+
+} // namespace
+
+std::ptrdiff_t
+MetricsFile::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name)
+            return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+}
+
+const std::vector<std::uint64_t> *
+MetricsFile::column(const std::string &name) const
+{
+    const std::ptrdiff_t i = indexOf(name);
+    return i < 0 ? nullptr : &columns[static_cast<std::size_t>(i)];
+}
+
+MetricsFile
+loadMetrics(const std::string &path)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> file(
+        std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!file)
+        fail(path, "cannot open");
+
+    MetricsFile out;
+    if (std::fread(&out.header, sizeof(out.header), 1, file.get()) != 1)
+        fail(path, "shorter than the 64-byte header");
+    if (std::memcmp(out.header.magic, kMetricsMagic,
+                    sizeof(kMetricsMagic)) != 0) {
+        fail(path, "bad magic (not a .fsmetrics file, or the capture "
+                   "crashed before finishing)");
+    }
+    if (out.header.version != kMetricsVersion) {
+        fail(path, "unsupported version " +
+                       std::to_string(out.header.version) + " (expected " +
+                       std::to_string(kMetricsVersion) + ")");
+    }
+
+    std::vector<std::uint8_t> payload(out.header.payloadBytes);
+    if (!payload.empty() &&
+        std::fread(payload.data(), 1, payload.size(), file.get()) !=
+            payload.size()) {
+        fail(path, "truncated payload (header promises " +
+                       std::to_string(out.header.payloadBytes) +
+                       " bytes)");
+    }
+    if (std::fgetc(file.get()) != EOF)
+        fail(path, "trailing bytes after the promised payload");
+
+    const std::uint8_t *data = payload.data();
+    const std::size_t size = payload.size();
+    std::size_t pos = 0;
+
+    for (std::uint32_t s = 0; s < out.header.seriesCount; ++s) {
+        if (pos + 2 > size)
+            fail(path, "truncated series directory");
+        const std::uint16_t len = static_cast<std::uint16_t>(
+            data[pos] | (data[pos + 1] << 8));
+        pos += 2;
+        if (pos + len + 1 > size)
+            fail(path, "truncated series directory");
+        out.names.emplace_back(reinterpret_cast<const char *>(data + pos),
+                               len);
+        pos += len;
+        const std::uint8_t kind = data[pos++];
+        if (kind > static_cast<std::uint8_t>(SeriesKind::Gauge))
+            fail(path, "unknown series kind in directory");
+        out.kinds.push_back(static_cast<SeriesKind>(kind));
+    }
+
+    out.cycles = decodeColumn(path, data, size, pos,
+                              out.header.sampleCount, "cycle");
+    out.columns.reserve(out.names.size());
+    for (const std::string &name : out.names) {
+        out.columns.push_back(decodeColumn(
+            path, data, size, pos, out.header.sampleCount, name));
+    }
+    if (pos != size)
+        fail(path, "unused bytes after the last column");
+    return out;
+}
+
+} // namespace flexsnoop

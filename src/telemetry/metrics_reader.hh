@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Offline decoder for `.fsmetrics` files (docs/TELEMETRY.md): validates
+ * the header, decodes the delta-encoded columns, and hands the series
+ * to the health detectors and the flexsnoop_metrics CLI.
+ */
+
+#ifndef FLEXSNOOP_TELEMETRY_METRICS_READER_HH
+#define FLEXSNOOP_TELEMETRY_METRICS_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics_format.hh"
+
+namespace flexsnoop
+{
+
+/** A fully-decoded metrics file. */
+struct MetricsFile
+{
+    MetricsFileHeader header;
+    std::vector<std::string> names;     ///< series directory order
+    std::vector<SeriesKind> kinds;      ///< parallel to names
+    std::vector<std::uint64_t> cycles;  ///< sample instants
+    /** columns[s][i] = value of series s at cycles[i]. */
+    std::vector<std::vector<std::uint64_t>> columns;
+
+    /** Index of @p name, -1 when absent. */
+    std::ptrdiff_t indexOf(const std::string &name) const;
+
+    /** Column of @p name, nullptr when absent. */
+    const std::vector<std::uint64_t> *column(const std::string &name) const;
+};
+
+/**
+ * Load and validate @p path.
+ *
+ * @throws std::runtime_error on open failure, bad magic or version, a
+ *         placeholder (crashed-capture) header, a payload length that
+ *         disagrees with the file, or a truncated/corrupt column.
+ */
+MetricsFile loadMetrics(const std::string &path);
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_TELEMETRY_METRICS_READER_HH

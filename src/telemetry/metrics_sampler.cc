@@ -1,0 +1,208 @@
+#include "telemetry/metrics_sampler.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace flexsnoop
+{
+
+namespace
+{
+
+Cycle
+parseInterval(const std::string &value)
+{
+    std::uint64_t parsed = 0;
+    std::size_t pos = 0;
+    try {
+        parsed = std::stoull(value, &pos);
+    } catch (const std::exception &) {
+        throw std::invalid_argument(
+            "metrics spec: bad value for 'interval': '" + value + "'");
+    }
+    if (pos != value.size() || (!value.empty() && value[0] == '-'))
+        throw std::invalid_argument(
+            "metrics spec: bad value for 'interval': '" + value + "'");
+    if (parsed == 0)
+        throw std::invalid_argument(
+            "metrics spec: 'interval' must be at least 1 cycle");
+    return parsed;
+}
+
+} // namespace
+
+MetricsConfig
+MetricsConfig::fromSpec(const std::string &spec)
+{
+    MetricsConfig config;
+    std::istringstream iss(spec);
+    std::string item;
+    bool first = true;
+    while (std::getline(iss, item, ',')) {
+        if (first) {
+            config.path = item;
+            first = false;
+            continue;
+        }
+        const auto eq = item.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument(
+                "metrics spec: expected key=value, got '" + item + "'");
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "interval") {
+            config.intervalCycles = parseInterval(value);
+        } else if (key == "select") {
+            if (value.empty())
+                throw std::invalid_argument(
+                    "metrics spec: 'select' needs a glob pattern");
+            config.select = value;
+        } else {
+            throw std::invalid_argument(
+                "metrics spec: unknown key '" + key +
+                "' (expected interval or select)");
+        }
+    }
+    if (config.path.empty())
+        throw std::invalid_argument("metrics spec: missing output file");
+    return config;
+}
+
+bool
+metricSelectorMatches(const std::string &pattern, const std::string &name)
+{
+    if (pattern.empty())
+        return true;
+    // Iterative glob with single-star backtracking: on a mismatch past
+    // a '*', resume one name character further under that star.
+    std::size_t p = 0, n = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == name[n])) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = n;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            n = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+MetricsSampler::MetricsSampler(const MetricsConfig &config,
+                               std::size_t num_nodes,
+                               std::size_t num_cores)
+    : _config(config),
+      _numNodes(static_cast<std::uint32_t>(num_nodes)),
+      _numCores(static_cast<std::uint32_t>(num_cores))
+{
+    _file = std::fopen(_config.path.c_str(), "wb");
+    if (!_file) {
+        throw std::runtime_error("cannot create metrics file: " +
+                                 _config.path);
+    }
+    // Placeholder header: all zeroes, rewritten by finish(). The
+    // reader rejects it, so a crashed capture is detectably invalid
+    // rather than silently empty.
+    const MetricsFileHeader placeholder{};
+    std::fwrite(&placeholder, sizeof(placeholder), 1, _file);
+}
+
+MetricsSampler::~MetricsSampler()
+{
+    finish();
+}
+
+bool
+MetricsSampler::addSeries(std::string name, SeriesKind kind, GaugeFn fn)
+{
+    if (!metricSelectorMatches(_config.select, name))
+        return false;
+    _series.push_back(Series{std::move(name), kind, std::move(fn), {}});
+    return true;
+}
+
+void
+MetricsSampler::sample(Cycle cycle)
+{
+    _cycles.push_back(cycle);
+    for (Series &s : _series)
+        s.values.push_back(s.fn(cycle));
+}
+
+void
+MetricsSampler::finish()
+{
+    if (_finished)
+        return;
+    _finished = true;
+
+    std::vector<std::uint8_t> payload;
+    // Directory: u16 name length + bytes + u8 kind, per series.
+    for (const Series &s : _series) {
+        const auto len = static_cast<std::uint16_t>(s.name.size());
+        payload.push_back(static_cast<std::uint8_t>(len & 0xff));
+        payload.push_back(static_cast<std::uint8_t>(len >> 8));
+        payload.insert(payload.end(), s.name.begin(), s.name.end());
+        payload.push_back(static_cast<std::uint8_t>(s.kind));
+    }
+    appendDeltaColumn(payload, _cycles);
+    for (const Series &s : _series)
+        appendDeltaColumn(payload, s.values);
+
+    MetricsFileHeader header;
+    std::memcpy(header.magic, kMetricsMagic, sizeof(header.magic));
+    header.version = kMetricsVersion;
+    header.seriesCount = static_cast<std::uint32_t>(_series.size());
+    header.sampleCount = _cycles.size();
+    header.intervalCycles = _config.intervalCycles;
+    header.measureStartCycle = _measureStart;
+    header.numNodes = _numNodes;
+    header.numCores = _numCores;
+    header.payloadBytes = payload.size();
+
+    std::fseek(_file, 0, SEEK_SET);
+    std::fwrite(&header, sizeof(header), 1, _file);
+    if (!payload.empty())
+        std::fwrite(payload.data(), 1, payload.size(), _file);
+    std::fclose(_file);
+    _file = nullptr;
+}
+
+void
+MetricsSampler::dumpRecent(std::ostream &os, std::size_t k) const
+{
+    if (_cycles.empty()) {
+        os << "telemetry: armed (interval " << _config.intervalCycles
+           << ") but no samples taken yet\n";
+        return;
+    }
+    const std::size_t n = std::min(k, _cycles.size());
+    const std::size_t first = _cycles.size() - n;
+    os << "telemetry: last " << n << " of " << _cycles.size()
+       << " metric samples (interval " << _config.intervalCycles
+       << "):\n";
+    os << "  cycle:";
+    for (std::size_t i = first; i < _cycles.size(); ++i)
+        os << ' ' << _cycles[i];
+    os << '\n';
+    for (const Series &s : _series) {
+        os << "  " << s.name << ':';
+        for (std::size_t i = first; i < s.values.size(); ++i)
+            os << ' ' << s.values[i];
+        os << '\n';
+    }
+}
+
+} // namespace flexsnoop

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * MetricsSampler: the capture side of the time-series telemetry
+ * subsystem (docs/TELEMETRY.md).
+ *
+ * One sampler per simulation run. The machine registers a set of
+ * counters (cached `Counter&` handles from the existing StatGroup
+ * infrastructure) and derived gauges (closures evaluated at sample
+ * time); the EventQueue's sampling hook then calls sample() the first
+ * time simulated time crosses each interval boundary. Sampling is pure
+ * observation: it schedules no events, draws no randomness, and emits
+ * no trace records, so a run with sampling enabled is bit-identical —
+ * every RunResult field and every .fstrace byte — to the same run
+ * without it.
+ *
+ * Samples accumulate in columnar in-memory buffers (one vector per
+ * series) and are delta-encoded into the `.fsmetrics` file in one pass
+ * at finish().
+ */
+
+#ifndef FLEXSNOOP_TELEMETRY_METRICS_SAMPLER_HH
+#define FLEXSNOOP_TELEMETRY_METRICS_SAMPLER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "telemetry/metrics_format.hh"
+
+namespace flexsnoop
+{
+
+/**
+ * Runtime configuration of one telemetry capture. Disabled (empty
+ * path) by default; a MachineConfig with a disabled MetricsConfig
+ * builds a machine without a sampler and with the queue's sampling
+ * hook disarmed, so the only residual cost is one never-taken branch
+ * per event.
+ */
+struct MetricsConfig
+{
+    std::string path;             ///< output file; empty = sampling off
+    Cycle intervalCycles = 10000; ///< sample cadence in simulated cycles
+    std::string select;           ///< series-name glob; empty = all
+
+    bool enabled() const { return !path.empty(); }
+
+    /**
+     * Parse the CLI spec "FILE[,interval=N][,select=GLOB]".
+     * @throws std::invalid_argument naming the offending key/value
+     */
+    static MetricsConfig fromSpec(const std::string &spec);
+};
+
+/**
+ * Glob match of @p name against @p pattern (`*` = any run including
+ * empty, `?` = any one character). An empty pattern matches everything.
+ */
+bool metricSelectorMatches(const std::string &pattern,
+                           const std::string &name);
+
+class MetricsSampler
+{
+  public:
+    /** Value of one series at a sample instant. */
+    using GaugeFn = std::function<std::uint64_t(Cycle)>;
+
+    /**
+     * Opens @p config.path and writes a placeholder header (so a
+     * mis-typed path fails before the run, like the trace sink);
+     * throws std::runtime_error if the file cannot be created.
+     *
+     * @param num_nodes / @p num_cores recorded in the file header
+     */
+    MetricsSampler(const MetricsConfig &config, std::size_t num_nodes,
+                   std::size_t num_cores);
+    ~MetricsSampler(); ///< finish()es if the owner did not
+
+    MetricsSampler(const MetricsSampler &) = delete;
+    MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+    /**
+     * Register one series. Returns false (and registers nothing) when
+     * @p name does not match the configured selector glob, so a
+     * filtered-out series costs nothing per sample. Registration must
+     * finish before the first sample().
+     */
+    bool addSeries(std::string name, SeriesKind kind, GaugeFn fn);
+
+    /** Register a counter series reading @p c (a cached handle into a
+     *  StatGroup; must outlive the sampler). */
+    bool
+    addCounter(std::string name, const Counter &c)
+    {
+        return addSeries(std::move(name), SeriesKind::Counter,
+                         [&c](Cycle) { return c.value(); });
+    }
+
+    /** Snapshot every registered series at @p cycle. */
+    void sample(Cycle cycle);
+
+    /** Record the warmup barrier (statistics reset) cycle. */
+    void markMeasureStart(Cycle cycle) { _measureStart = cycle; }
+
+    /**
+     * Delta-encode all columns into the file, patch the header, and
+     * close. Idempotent; called by the destructor if the owner does
+     * not.
+     */
+    void finish();
+
+    const MetricsConfig &config() const { return _config; }
+    std::size_t numSeries() const { return _series.size(); }
+    std::size_t sampleCount() const { return _cycles.size(); }
+
+    /**
+     * Append the last @p k samples of every series to @p os as a
+     * per-series table — the telemetry lead-up a stuck-transaction
+     * post-mortem wants next to the frozen state.
+     */
+    void dumpRecent(std::ostream &os, std::size_t k) const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        SeriesKind kind;
+        GaugeFn fn;
+        std::vector<std::uint64_t> values; ///< one per sample, columnar
+    };
+
+    MetricsConfig _config;
+    std::uint32_t _numNodes = 0;
+    std::uint32_t _numCores = 0;
+    std::FILE *_file = nullptr;
+    std::vector<Series> _series;
+    std::vector<std::uint64_t> _cycles; ///< sample instants
+    Cycle _measureStart = kMetricsNoMeasureStart;
+    bool _finished = false;
+};
+
+} // namespace flexsnoop
+
+#endif // FLEXSNOOP_TELEMETRY_METRICS_SAMPLER_HH

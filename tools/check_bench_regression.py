@@ -36,6 +36,7 @@ from pathlib import Path
 # when it grows, "exact" = must match the baseline bit for bit.
 GATING_RULES = [
     (re.compile(r"^results_identical$"), "exact"),
+    (re.compile(r"^metrics_overhead_within_budget$"), "exact"),
     (re.compile(r"^speedup_.+"), "higher"),
     (re.compile(r"^wall_speedup_"), "higher"),
     (re.compile(r"^event_reduction_ratio$"), "higher"),

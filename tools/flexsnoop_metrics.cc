@@ -1,0 +1,389 @@
+/**
+ * @file
+ * flexsnoop_metrics — offline analyzer for `.fsmetrics` time-series
+ * captures (docs/TELEMETRY.md).
+ *
+ * Usage:
+ *   flexsnoop_metrics [options] FILE.fsmetrics
+ *     --summary            per-series summary table (the default)
+ *     --csv PATH           export all columns as CSV ("-" = stdout)
+ *     --prom PATH          export final values in Prometheus textfile
+ *                          format ("-" = stdout)
+ *     --align TRACE        cross-validate against the CounterSnapshot
+ *                          records of a .fstrace from the same run
+ *     --detect             run the health detectors and report onset
+ *                          cycles (retry storm, predictor drift, ring
+ *                          saturation, queue-horizon blowout)
+ *     --json               machine-readable --detect output
+ *     --sustain N          detector trip persistence (samples)
+ *     --version --help
+ *
+ * Exit status: 0 on success (findings or not), 1 on error, 2 on usage.
+ * Scripts gate on the "fired" fields of --detect --json, not on the
+ * exit status, so a monitoring pass that finds problems still exits 0.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli_parse.hh"
+#include "core/version.hh"
+#include "telemetry/health.hh"
+#include "telemetry/metrics_reader.hh"
+#include "trace/trace_reader.hh"
+
+#ifndef FLEXSNOOP_BUILD_TYPE
+#define FLEXSNOOP_BUILD_TYPE "unknown"
+#endif
+
+using namespace flexsnoop;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr << "usage: flexsnoop_metrics [options] FILE.fsmetrics\n"
+                 "  --summary            per-series summary (default)\n"
+                 "  --csv PATH|-         export columns as CSV\n"
+                 "  --prom PATH|-        Prometheus textfile export\n"
+                 "  --align TRACE        cross-check a .fstrace capture\n"
+                 "  --detect [--json]    run health detectors\n"
+                 "  --sustain N          detector trip persistence\n"
+                 "  --version --help\n";
+}
+
+const char *
+kindName(SeriesKind kind)
+{
+    return kind == SeriesKind::Counter ? "counter" : "gauge";
+}
+
+void
+printSummary(const MetricsFile &file, const std::string &path)
+{
+    const auto &h = file.header;
+    std::cout << path << ": .fsmetrics v" << h.version << ", "
+              << h.seriesCount << " series x " << h.sampleCount
+              << " samples, interval " << h.intervalCycles << " cycles, "
+              << h.numNodes << " nodes / " << h.numCores << " cores\n";
+    if (h.measureStartCycle == kMetricsNoMeasureStart)
+        std::cout << "measure start: not reached (all-warmup capture)\n";
+    else
+        std::cout << "measure start: cycle " << h.measureStartCycle
+                  << " (statistics reset here)\n";
+    if (file.cycles.empty())
+        return;
+    std::cout << "cycles " << file.cycles.front() << ".."
+              << file.cycles.back() << "\n\n";
+
+    std::cout << std::left << std::setw(36) << "series" << std::setw(9)
+              << "kind" << std::right << std::setw(12) << "first"
+              << std::setw(14) << "last" << std::setw(14) << "min"
+              << std::setw(14) << "max" << '\n'
+              << std::string(99, '-') << '\n';
+    for (std::size_t s = 0; s < file.names.size(); ++s) {
+        const auto &col = file.columns[s];
+        const auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+        std::cout << std::left << std::setw(36) << file.names[s]
+                  << std::setw(9) << kindName(file.kinds[s]) << std::right
+                  << std::setw(12) << col.front() << std::setw(14)
+                  << col.back() << std::setw(14) << *mn << std::setw(14)
+                  << *mx << '\n';
+    }
+}
+
+/** Open @p path for writing, or alias stdout for "-". */
+std::ostream &
+openOut(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return std::cout;
+    file.open(path, std::ios::trunc);
+    if (!file)
+        throw std::runtime_error("cannot create output file: " + path);
+    return file;
+}
+
+void
+exportCsv(const MetricsFile &file, const std::string &path)
+{
+    std::ofstream out_file;
+    std::ostream &os = openOut(path, out_file);
+    os << "cycle";
+    for (const auto &name : file.names)
+        os << ',' << name;
+    os << '\n';
+    for (std::size_t i = 0; i < file.cycles.size(); ++i) {
+        os << file.cycles[i];
+        for (const auto &col : file.columns)
+            os << ',' << col[i];
+        os << '\n';
+    }
+}
+
+void
+exportProm(const MetricsFile &file, const std::string &path)
+{
+    std::ofstream out_file;
+    std::ostream &os = openOut(path, out_file);
+    if (file.cycles.empty())
+        return;
+    os << "# HELP flexsnoop_sample_cycle Simulated cycle of the last "
+          "metric sample\n"
+          "# TYPE flexsnoop_sample_cycle gauge\n"
+          "flexsnoop_sample_cycle "
+       << file.cycles.back() << '\n';
+    for (std::size_t s = 0; s < file.names.size(); ++s) {
+        std::string prom = "flexsnoop_" + file.names[s];
+        for (char &c : prom) {
+            if (c == '.' || c == '-')
+                c = '_';
+        }
+        os << "# TYPE " << prom << ' ' << kindName(file.kinds[s]) << '\n'
+           << prom << ' ' << file.columns[s].back() << '\n';
+    }
+}
+
+/** ctrl.* series mirrored by .fstrace CounterSnapshot records. */
+const char *
+alignedSeries(TraceCounterId id)
+{
+    switch (id) {
+    case TraceCounterId::ReadRingRequests:
+        return "ctrl.read_ring_requests";
+    case TraceCounterId::ReadSnoops:
+        return "ctrl.read_snoops";
+    case TraceCounterId::ReadLinkMessages:
+        return "ctrl.read_link_messages";
+    case TraceCounterId::WriteRingRequests:
+        return "ctrl.write_ring_requests";
+    case TraceCounterId::Collisions:
+        return "ctrl.collisions";
+    case TraceCounterId::Retries:
+        return "ctrl.retries";
+    case TraceCounterId::WatchdogTimeouts:
+        return "ctrl.watchdog_timeouts";
+    default:
+        return nullptr;
+    }
+}
+
+/**
+ * Cross-validate the two observation channels of one run: both sample
+ * the same cumulative counters (at different instants), and both reset
+ * at the same warmup barrier, so per counter the union of (cycle,
+ * value) points past the barrier must be non-decreasing. A violation
+ * means the files are from different runs — or a capture bug.
+ */
+int
+alignWithTrace(const MetricsFile &file, const std::string &trace_path)
+{
+    const TraceFile trace = loadTrace(trace_path);
+
+    // The barrier cycle as each file recorded it; points before either
+    // are pre-reset and excluded.
+    std::uint64_t barrier = 0;
+    if (file.header.measureStartCycle != kMetricsNoMeasureStart)
+        barrier = file.header.measureStartCycle;
+    for (const TraceRecord &rec : trace.records) {
+        if (rec.event() == TraceEvent::MeasureStart)
+            barrier = std::max(barrier, rec.cycle);
+    }
+
+    std::cout << "aligning " << trace_path << " (" << trace.records.size()
+              << " records) from cycle " << barrier << ":\n";
+    bool any = false;
+    int inconsistent = 0;
+    for (std::uint16_t id = 0;
+         id < static_cast<std::uint16_t>(TraceCounterId::NumCounters);
+         ++id) {
+        const char *series =
+            alignedSeries(static_cast<TraceCounterId>(id));
+        const std::vector<std::uint64_t> *column =
+            series ? file.column(series) : nullptr;
+        if (!column)
+            continue;
+
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> points;
+        for (const TraceRecord &rec : trace.records) {
+            if (rec.event() == TraceEvent::CounterSnapshot &&
+                rec.a == id && rec.cycle >= barrier)
+                points.emplace_back(rec.cycle, rec.arg0);
+        }
+        const std::size_t trace_points = points.size();
+        for (std::size_t i = 0; i < file.cycles.size(); ++i) {
+            if (file.cycles[i] >= barrier)
+                points.emplace_back(file.cycles[i], (*column)[i]);
+        }
+        std::sort(points.begin(), points.end());
+
+        any = true;
+        bool ok = true;
+        for (std::size_t i = 1; i < points.size(); ++i) {
+            if (points[i].second < points[i - 1].second) {
+                std::cout << "  " << series << ": INCONSISTENT at cycle "
+                          << points[i].first << " (" << points[i].second
+                          << " after " << points[i - 1].second
+                          << " at cycle " << points[i - 1].first << ")\n";
+                ok = false;
+                ++inconsistent;
+                break;
+            }
+        }
+        if (ok) {
+            std::cout << "  " << series << ": consistent ("
+                      << trace_points << " trace snapshots vs "
+                      << points.size() - trace_points
+                      << " metric samples)\n";
+        }
+    }
+    if (!any) {
+        std::cout << "  no overlapping counters (trace has no "
+                     "CounterSnapshot records, or ctrl.* was filtered "
+                     "out of the metrics)\n";
+    }
+    return inconsistent == 0 ? 0 : 1;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+printFindings(const std::vector<HealthFinding> &findings, bool as_json,
+              const std::string &path)
+{
+    if (as_json) {
+        std::ostringstream os;
+        os << "{\"file\":\"" << jsonEscape(path) << "\",\"findings\":[";
+        for (std::size_t i = 0; i < findings.size(); ++i) {
+            const HealthFinding &f = findings[i];
+            os << (i ? "," : "") << "{\"detector\":\"" << f.detector
+               << "\",\"series\":\"" << jsonEscape(f.series)
+               << "\",\"fired\":" << (f.fired ? "true" : "false")
+               << ",\"onset_cycle\":" << f.onsetCycle
+               << ",\"baseline\":" << f.baseline << ",\"peak\":" << f.peak
+               << ",\"detail\":\"" << jsonEscape(f.detail) << "\"}";
+        }
+        os << "]}";
+        std::cout << os.str() << '\n';
+        return;
+    }
+    if (findings.empty()) {
+        std::cout << "no detector had enough data to evaluate\n";
+        return;
+    }
+    for (const HealthFinding &f : findings) {
+        std::cout << (f.fired ? "[FIRED] " : "[ok]    ") << std::left
+                  << std::setw(16) << f.detector << ' ' << f.detail
+                  << '\n';
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input, csv_path, prom_path, align_path;
+    bool detect = false, as_json = false, summary = false;
+    HealthThresholds thresholds;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--summary") {
+                summary = true;
+            } else if (arg == "--csv") {
+                csv_path = next();
+            } else if (arg == "--prom") {
+                prom_path = next();
+            } else if (arg == "--align") {
+                align_path = next();
+            } else if (arg == "--detect") {
+                detect = true;
+            } else if (arg == "--json") {
+                as_json = true;
+            } else if (arg == "--sustain") {
+                thresholds.sustainSamples = static_cast<std::size_t>(
+                    parseUnsignedArg(arg, next()));
+            } else if (arg == "--version") {
+                std::cout << "flexsnoop_metrics " << kVersionString << " ("
+                          << FLEXSNOOP_BUILD_TYPE << " build)\n";
+                return 0;
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::cerr << "unknown argument: " << arg << '\n';
+                usage();
+                return 2;
+            } else if (input.empty()) {
+                input = arg;
+            } else {
+                std::cerr << "multiple input files given\n";
+                usage();
+                return 2;
+            }
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << '\n';
+            return 2;
+        }
+    }
+    if (input.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        const MetricsFile file = loadMetrics(input);
+
+        const bool only_summary = !detect && csv_path.empty() &&
+                                  prom_path.empty() && align_path.empty();
+        if (summary || only_summary)
+            printSummary(file, input);
+        if (!csv_path.empty()) {
+            exportCsv(file, csv_path);
+            if (csv_path != "-")
+                std::cerr << "wrote " << csv_path << '\n';
+        }
+        if (!prom_path.empty()) {
+            exportProm(file, prom_path);
+            if (prom_path != "-")
+                std::cerr << "wrote " << prom_path << '\n';
+        }
+        int align_status = 0;
+        if (!align_path.empty())
+            align_status = alignWithTrace(file, align_path);
+        if (detect)
+            printFindings(runHealthDetectors(file, thresholds), as_json,
+                          input);
+        return align_status;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

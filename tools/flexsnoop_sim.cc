@@ -26,9 +26,20 @@
  *                             [,snapshot=N]. With more than one cell,
  *                             "_<workload>_<algorithm>" is inserted
  *                             before FILE's extension.
+ *     --metrics SPEC          sample counters/gauges into a .fsmetrics
+ *                             time-series file per cell
+ *                             (docs/TELEMETRY.md); SPEC is
+ *                             FILE[,interval=N][,select=GLOB]. Per-cell
+ *                             naming as with --trace. Sampling changes
+ *                             no result: RunResult and any .fstrace are
+ *                             bit-identical with it on or off.
+ *     --sweep-log PATH        JSON-lines sweep progress log: cell
+ *                             start/finish with status, wall time, ETA
+ *                             and peak RSS (docs/TELEMETRY.md)
  *     --csv PATH              write results as CSV
  *     --json PATH             write results as JSON
- *     --list                  list workload profiles and algorithms
+ *     --list                  list workload profiles, algorithms, and
+ *                             metric series selectors
  *     --version               print version and build type
  *     key=value               machine overrides (see config_parser.hh)
  *
@@ -55,8 +66,10 @@
  *       --dump-dir dumps
  */
 
+#include <chrono>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "core/cli_parse.hh"
@@ -64,6 +77,7 @@
 #include "core/experiment.hh"
 #include "core/parallel_executor.hh"
 #include "core/report.hh"
+#include "core/sweep_log.hh"
 #include "core/version.hh"
 #include "workload/profile.hh"
 #include "workload/synthetic_generator.hh"
@@ -101,7 +115,9 @@ usage()
            "--global-hop-cycles N\n"
            "  --trace-out PATH --trace-in PATH --csv PATH --json PATH\n"
            "  --trace FILE[,ring_kb=N][,mode=drop|spill][,snapshot=N]\n"
-           "  --faults drop=R,dup=R,delay=R,predictor=R,seed=S\n"
+           "  --metrics FILE[,interval=N][,select=GLOB] "
+           "--sweep-log PATH\n"
+           "  --faults drop=R,dup=R,delay=R,predictor=R,seed=S,start=N\n"
            "  --watchdog-cycles N --max-retries N --cell-timeout SEC\n"
            "  --checkpoint PATH --dump-dir PATH\n"
            "  --list --version --help\n"
@@ -181,16 +197,41 @@ printList()
               << "  " << std::setw(14) << ""
               << "--global-hop-cycles N; per-level algorithm via "
                  "global_algorithm=\n";
+
+    struct SelectorDesc
+    {
+        const char *glob;
+        const char *desc;
+    };
+    // Series families the sampler registers; --metrics select= globs
+    // match against these names (docs/TELEMETRY.md).
+    static const SelectorDesc selectors[] = {
+        {"ctrl.*", "coherence-controller counters and in-flight gauges"},
+        {"queue.*", "event-queue depth, horizon, and executed events"},
+        {"ring<N>.*", "per-ring link traversals and busy-link occupancy"},
+        {"net.*", "global-ring (hier) link traversals"},
+        {"pred.*", "aggregated predictor accuracy and hit rate"},
+        {"bridge.*", "bridge skip/descend counts (hier topology only)"},
+        {"faults.*", "injected-fault counters (--faults only)"},
+        {"mem.*", "memory-controller writebacks"},
+        {"energy.*", "cumulative energy account (nJ)"},
+    };
+    std::cout << "metric series selectors (--metrics ...,select=GLOB; "
+                 ".fsmetrics format v"
+              << kMetricsVersion << "):\n";
+    for (const SelectorDesc &s : selectors)
+        std::cout << "  " << std::left << std::setw(14) << s.glob << s.desc
+                  << '\n';
 }
 
 /**
- * Per-cell trace path: insert "_<workload>_<algorithm>" before the
- * extension of @p base (or append it when there is none), so each cell
- * of a sweep writes its own file.
+ * Per-cell artifact path (traces, metrics): insert
+ * "_<workload>_<algorithm>" before the extension of @p base (or append
+ * it when there is none), so each cell of a sweep writes its own file.
  */
 std::string
-cellTracePath(const std::string &base, const std::string &workload,
-              std::string_view algorithm)
+cellFilePath(const std::string &base, const std::string &workload,
+             std::string_view algorithm)
 {
     std::string suffix = "_" + workload + "_" + std::string(algorithm);
     const auto slash = base.find_last_of("/\\");
@@ -209,7 +250,7 @@ main(int argc, char **argv)
     std::vector<Algorithm> algorithms = paperAlgorithms();
     std::vector<std::string> workloads = {"mini"};
     std::string predictor, trace_out, trace_in, csv_path, json_path;
-    std::string faults_spec, trace_spec;
+    std::string faults_spec, trace_spec, metrics_spec, sweep_log_path;
     SweepHardening hardening;
     std::size_t refs = 0, warmup = SIZE_MAX;
     std::uint64_t watchdog_cycles = UINT64_MAX; // unset
@@ -265,6 +306,11 @@ main(int argc, char **argv)
             } else if (arg == "--trace") {
                 trace_spec = next();
                 TraceConfig::fromSpec(trace_spec); // validate early
+            } else if (arg == "--metrics") {
+                metrics_spec = next();
+                MetricsConfig::fromSpec(metrics_spec); // validate early
+            } else if (arg == "--sweep-log") {
+                sweep_log_path = next();
             } else if (arg == "--csv") {
                 csv_path = next();
             } else if (arg == "--json") {
@@ -331,6 +377,10 @@ main(int argc, char **argv)
         TraceConfig trace_config;
         if (!trace_spec.empty())
             trace_config = TraceConfig::fromSpec(trace_spec);
+        MetricsConfig metrics_config;
+        if (!metrics_spec.empty())
+            metrics_config = MetricsConfig::fromSpec(metrics_spec);
+        hardening.sweepLogPath = sweep_log_path;
         const std::size_t total_cells =
             workloads.size() * algorithms.size();
 
@@ -374,8 +424,15 @@ main(int argc, char **argv)
                     cfg.trace = trace_config;
                     if (total_cells > 1)
                         cfg.trace.path =
-                            cellTracePath(trace_config.path, workload,
-                                          toString(algorithm));
+                            cellFilePath(trace_config.path, workload,
+                                         toString(algorithm));
+                }
+                if (metrics_config.enabled()) {
+                    cfg.metrics = metrics_config;
+                    if (total_cells > 1)
+                        cfg.metrics.path =
+                            cellFilePath(metrics_config.path, workload,
+                                         toString(algorithm));
                 }
                 std::cerr << "planned " << workload << " / "
                           << toString(algorithm) << '\n';
@@ -394,6 +451,10 @@ main(int argc, char **argv)
         if (trace_config.enabled())
             std::cerr << "event tracing: one .fstrace per cell "
                          "(decode with flexsnoop_trace)\n";
+        if (metrics_config.enabled())
+            std::cerr << "telemetry: one .fsmetrics per cell, interval "
+                      << metrics_config.intervalCycles
+                      << " (analyze with flexsnoop_metrics)\n";
         if (hardened_run) {
             // all_traces is complete here, so the pointers are stable.
             std::vector<PlannedCell> cells;
@@ -405,12 +466,39 @@ main(int argc, char **argv)
             }
             results = runCellsHardened(cells, jobs, hardening);
         } else {
+            // The hardened runner owns the sweep log on its path; here
+            // the plain parallel pool wraps each run with the same
+            // start/finish events (a thrown cell aborts the sweep, so
+            // per-cell failure statuses are the hardened runner's job).
+            std::unique_ptr<SweepLog> sweep_log;
+            if (!sweep_log_path.empty()) {
+                sweep_log =
+                    std::make_unique<SweepLog>(sweep_log_path, plan.size());
+            }
             ParallelExecutor pool(jobs);
             results = pool.map(plan.size(), [&](std::size_t i) {
                 const PlannedRun &run = plan[i];
-                return runSimulation(run.cfg, all_traces[run.traces],
-                                     run.workload);
+                const std::string algorithm(
+                    toString(run.cfg.algorithm));
+                if (sweep_log) {
+                    sweep_log->cellStart(i, run.workload, algorithm,
+                                         run.cfg.predictor.id);
+                }
+                const auto t0 = std::chrono::steady_clock::now();
+                RunResult r = runSimulation(
+                    run.cfg, all_traces[run.traces], run.workload);
+                if (sweep_log) {
+                    sweep_log->cellFinish(
+                        i, run.workload, algorithm, run.cfg.predictor.id,
+                        SweepLog::Status::Ok,
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+                }
+                return r;
             });
+            if (sweep_log)
+                sweep_log->finish();
         }
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';
